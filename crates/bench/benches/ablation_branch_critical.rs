@@ -1,0 +1,9 @@
+//! §4.2 ablation: CDF with and without branch criticality.
+
+use cdf_sim::experiments::{AblationBranches, BRANCHY_KERNELS};
+
+fn main() {
+    let cfg = cdf_bench::eval_config();
+    let a = AblationBranches::run(&cfg, BRANCHY_KERNELS);
+    println!("{}", a.render());
+}

@@ -1,0 +1,10 @@
+//! Design-choice ablations: dynamic partitioning and the Mask Cache.
+
+use cdf_sim::experiments::AblationDesign;
+
+fn main() {
+    let cfg = cdf_bench::eval_config();
+    let kernels = ["astar_like", "bzip_like", "soplex_like", "mcf_like", "xalanc_like"];
+    let a = AblationDesign::run(&cfg, &kernels);
+    println!("{}", a.render());
+}

@@ -1,0 +1,36 @@
+//! Simulator engineering benchmark (not a paper figure): cycles simulated
+//! per wall-clock second on a representative kernel, for each mechanism.
+
+use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode};
+use cdf_workloads::{registry, GenConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_modes(c: &mut Criterion) {
+    let gen = GenConfig {
+        seed: 0xC0FFEE,
+        scale: 1.0 / 16.0,
+        iters: u64::MAX / 4,
+    };
+    let w = registry::by_name("astar_like", &gen).expect("known");
+    let mut group = c.benchmark_group("simulate_50k_instructions");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("baseline", CoreMode::Baseline),
+        ("cdf", CoreMode::Cdf(CdfConfig::default())),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = CoreConfig {
+                    mode: mode.clone(),
+                    ..CoreConfig::default()
+                };
+                let mut core = Core::new(&w.program, w.memory.clone(), cfg);
+                core.run(50_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Fig. 1: critical vs non-critical ROB contents during full-window stalls.
+
+use cdf_sim::experiments::Fig01;
+use cdf_workloads::registry::NAMES;
+
+fn main() {
+    let cfg = cdf_bench::eval_config();
+    let fig = Fig01::run(&cfg, NAMES);
+    println!("{}", fig.render());
+}

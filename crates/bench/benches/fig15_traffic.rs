@@ -1,0 +1,10 @@
+//! Fig. 15: memory traffic relative to the baseline.
+
+use cdf_sim::experiments::MatrixFigures;
+use cdf_workloads::registry::NAMES;
+
+fn main() {
+    let cfg = cdf_bench::eval_config();
+    let m = MatrixFigures::run(&cfg, NAMES);
+    println!("{}", m.render_fig15());
+}

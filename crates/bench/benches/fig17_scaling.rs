@@ -1,0 +1,9 @@
+//! Fig. 17: CDF vs baseline across scaled OoO window sizes.
+
+use cdf_sim::experiments::{Fig17, SCALING_KERNELS};
+
+fn main() {
+    let cfg = cdf_bench::eval_config();
+    let fig = Fig17::run(&cfg, SCALING_KERNELS, &[192, 256, 352, 512]);
+    println!("{}", fig.render());
+}

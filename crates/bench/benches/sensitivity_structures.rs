@@ -1,0 +1,11 @@
+//! §4.1 sensitivity: CDF speedup vs Critical Uop Cache / Fill Buffer /
+//! Delayed Branch Queue capacities.
+
+use cdf_sim::experiments::SensitivityCdfStructures;
+
+fn main() {
+    let cfg = cdf_bench::eval_config();
+    let kernels = ["astar_like", "mcf_like", "soplex_like", "nab_like"];
+    let s = SensitivityCdfStructures::run(&cfg, &kernels);
+    println!("{}", s.render());
+}

@@ -1,0 +1,6 @@
+//! Reprints the paper's Table 1 from the resolved simulator configuration.
+
+fn main() {
+    let cfg = cdf_bench::eval_config();
+    println!("{}", cdf_sim::table1_text(&cfg.core));
+}

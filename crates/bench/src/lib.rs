@@ -1,0 +1,23 @@
+//! # cdf-bench — the benchmark harness
+//!
+//! One bench target per paper table/figure (see `benches/`); each is a
+//! custom-harness binary that runs the corresponding experiment driver from
+//! `cdf_sim::experiments` and prints the paper-style table. Run them all
+//! with `cargo bench`, or one with `cargo bench --bench fig13_speedup`.
+//!
+//! Set `CDF_FAST=1` to use the quick evaluation sizing (smaller windows and
+//! footprints) for smoke runs.
+
+#![deny(missing_docs)]
+
+use cdf_sim::EvalConfig;
+
+/// The evaluation sizing used by every figure bench: the default window, or
+/// the quick one when `CDF_FAST` is set in the environment.
+pub fn eval_config() -> EvalConfig {
+    if std::env::var_os("CDF_FAST").is_some() {
+        EvalConfig::quick()
+    } else {
+        EvalConfig::default()
+    }
+}

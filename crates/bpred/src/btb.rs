@@ -1,0 +1,163 @@
+//! A set-associative branch target buffer.
+
+/// Configuration for a [`Btb`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BtbConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for BtbConfig {
+    fn default() -> BtbConfig {
+        BtbConfig {
+            sets: 512,
+            ways: 4,
+        }
+    }
+}
+
+/// One BTB entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BtbEntry {
+    /// Branch PC (full tag; a real BTB would store a partial tag).
+    pub pc: u64,
+    /// Predicted target.
+    pub target: u64,
+    /// Whether this entry is an unconditional jump.
+    pub unconditional: bool,
+}
+
+/// A set-associative BTB with LRU replacement.
+///
+/// In this simulator branch targets are architecturally known at decode
+/// (targets are encoded in the static uop), so a BTB miss for a
+/// predicted-taken branch costs a one-cycle fetch bubble rather than a full
+/// misfetch — the same first-order effect as a real front end resteering from
+/// decode.
+///
+/// ```
+/// use cdf_bpred::{Btb, BtbConfig};
+/// let mut btb = Btb::new(BtbConfig::default());
+/// assert_eq!(btb.lookup(0x40), None);
+/// btb.insert(0x40, 0x100, false);
+/// assert_eq!(btb.lookup(0x40).unwrap().target, 0x100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    cfg: BtbConfig,
+    /// `sets × ways` entries; `None` = invalid. Per-set LRU order is kept by
+    /// position (index 0 = MRU).
+    entries: Vec<Vec<Option<BtbEntry>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(cfg: BtbConfig) -> Btb {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "ways must be nonzero");
+        Btb {
+            entries: vec![vec![None; cfg.ways]; cfg.sets],
+            cfg,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.cfg.sets - 1)
+    }
+
+    /// Looks up `pc`, promoting a hit to MRU. Returns the entry on a hit.
+    pub fn lookup(&mut self, pc: u64) -> Option<BtbEntry> {
+        let set = self.set_of(pc);
+        let ways = &mut self.entries[set];
+        if let Some(pos) = ways.iter().position(|e| e.map(|e| e.pc) == Some(pc)) {
+            let entry = ways.remove(pos);
+            ways.insert(0, entry);
+            self.hits += 1;
+            ways[0]
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts or updates the mapping for `pc`, evicting the LRU way.
+    pub fn insert(&mut self, pc: u64, target: u64, unconditional: bool) {
+        let set = self.set_of(pc);
+        let ways = &mut self.entries[set];
+        let entry = Some(BtbEntry {
+            pc,
+            target,
+            unconditional,
+        });
+        if let Some(pos) = ways.iter().position(|e| e.map(|e| e.pc) == Some(pc)) {
+            ways.remove(pos);
+        } else {
+            ways.pop();
+        }
+        ways.insert(0, entry);
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Btb {
+        Btb::new(BtbConfig { sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = small();
+        assert!(btb.lookup(0x8).is_none());
+        btb.insert(0x8, 0x80, false);
+        let e = btb.lookup(0x8).unwrap();
+        assert_eq!(e.target, 0x80);
+        assert!(!e.unconditional);
+        assert_eq!(btb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn update_existing_entry() {
+        let mut btb = small();
+        btb.insert(0x8, 0x80, false);
+        btb.insert(0x8, 0x90, true);
+        let e = btb.lookup(0x8).unwrap();
+        assert_eq!(e.target, 0x90);
+        assert!(e.unconditional);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut btb = small();
+        // pcs 0x0, 0x10, 0x20 all map to set 0 (stride 16 with 2 sets).
+        btb.insert(0x0, 1, false);
+        btb.insert(0x10, 2, false);
+        btb.lookup(0x0); // promote 0x0 to MRU
+        btb.insert(0x20, 3, false); // evicts LRU = 0x10
+        assert!(btb.lookup(0x0).is_some());
+        assert!(btb.lookup(0x10).is_none());
+        assert!(btb.lookup(0x20).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        Btb::new(BtbConfig { sets: 3, ways: 1 });
+    }
+}

@@ -1,0 +1,270 @@
+//! Gshare and tournament predictors — mid-strength baselines between
+//! [`crate::Bimodal`] and [`crate::TageScL`] for predictor-sensitivity
+//! studies (CDF's branch-criticality benefit depends on what the underlying
+//! predictor already catches).
+
+use crate::history::History;
+use crate::tage::Prediction;
+use crate::{DirectionPredictor, Provider};
+
+/// Classic gshare: a table of 2-bit counters indexed by `pc ⊕ folded global
+/// history`.
+///
+/// ```
+/// use cdf_bpred::{DirectionPredictor, Gshare};
+/// let mut p = Gshare::new(12, 12);
+/// let pred = p.predict(0x40);
+/// p.update(0x40, true, &pred);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<i8>,
+    index_bits: u32,
+    hist_len: u32,
+    hist: History,
+}
+
+impl Gshare {
+    /// Creates a gshare with `2^index_bits` counters using `hist_len` bits
+    /// of global history (capped at 128).
+    pub fn new(index_bits: u32, hist_len: u32) -> Gshare {
+        Gshare {
+            counters: vec![0; 1 << index_bits],
+            index_bits,
+            hist_len: hist_len.min(128),
+            hist: History::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let h = self.hist.fold(self.hist_len, self.index_bits);
+        (((pc >> 2) ^ h) & ((1 << self.index_bits) as u64 - 1)) as usize
+    }
+}
+
+impl Default for Gshare {
+    fn default() -> Gshare {
+        Gshare::new(13, 13)
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let idx = self.index(pc);
+        let taken = self.counters[idx] >= 0;
+        let checkpoint = self.hist.checkpoint();
+        self.hist.push(pc, taken);
+        Prediction {
+            taken,
+            provider: Provider::Base,
+            pc,
+            checkpoint,
+            // Stash the predict-time index so update trains the entry the
+            // prediction actually came from (history moves on).
+            base_index: idx as u32,
+            ..Prediction::not_taken()
+        }
+    }
+
+    fn update(&mut self, _pc: u64, taken: bool, pred: &Prediction) {
+        let c = &mut self.counters[pred.base_index as usize];
+        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+    }
+
+    fn recover(&mut self, pred: &Prediction, actual_taken: bool) {
+        self.hist.restore(&pred.checkpoint);
+        self.hist.push(pred.pc, actual_taken);
+    }
+
+    fn rewind(&mut self, pred: &Prediction) {
+        self.hist.restore(&pred.checkpoint);
+    }
+
+    fn peek(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 0
+    }
+}
+
+/// Alpha-21264-style tournament: a per-branch chooser selects between a
+/// bimodal component and a gshare component.
+#[derive(Clone, Debug)]
+pub struct Tournament {
+    bimodal: Vec<i8>,
+    gshare: Gshare,
+    /// 2-bit chooser: ≥0 selects gshare.
+    chooser: Vec<i8>,
+    index_bits: u32,
+}
+
+impl Tournament {
+    /// Creates a tournament predictor with `2^index_bits` entries per
+    /// component.
+    pub fn new(index_bits: u32) -> Tournament {
+        Tournament {
+            bimodal: vec![0; 1 << index_bits],
+            gshare: Gshare::new(index_bits, index_bits),
+            chooser: vec![0; 1 << index_bits],
+            index_bits,
+        }
+    }
+
+    fn pc_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.index_bits) as u64 - 1)) as usize
+    }
+}
+
+impl Default for Tournament {
+    fn default() -> Tournament {
+        Tournament::new(12)
+    }
+}
+
+impl DirectionPredictor for Tournament {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let pidx = self.pc_index(pc);
+        let bim_taken = self.bimodal[pidx] >= 0;
+        let gsh = self.gshare.predict(pc); // advances the shared history
+        let use_gshare = self.chooser[pidx] >= 0;
+        let taken = if use_gshare { gsh.taken } else { bim_taken };
+        Prediction {
+            taken,
+            // Reuse spare Prediction fields to carry component state to
+            // update: alt = bimodal's prediction, tage = gshare's.
+            alt_taken: bim_taken,
+            tage_taken: gsh.taken,
+            provider: Provider::Base,
+            ..gsh
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, pred: &Prediction) {
+        let pidx = self.pc_index(pc);
+        // Chooser trains when the components disagree.
+        if pred.tage_taken != pred.alt_taken {
+            let c = &mut self.chooser[pidx];
+            *c = if pred.tage_taken == taken {
+                (*c + 1).min(1)
+            } else {
+                (*c - 1).max(-2)
+            };
+        }
+        let b = &mut self.bimodal[pidx];
+        *b = if taken { (*b + 1).min(1) } else { (*b - 1).max(-2) };
+        self.gshare.update(pc, taken, pred);
+    }
+
+    fn recover(&mut self, pred: &Prediction, actual_taken: bool) {
+        self.gshare.recover(pred, actual_taken);
+    }
+
+    fn rewind(&mut self, pred: &Prediction) {
+        self.gshare.rewind(pred);
+    }
+
+    fn peek(&self, pc: u64) -> bool {
+        let pidx = self.pc_index(pc);
+        if self.chooser[pidx] >= 0 {
+            self.gshare.peek(pc)
+        } else {
+            self.bimodal[pidx] >= 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<P: DirectionPredictor>(p: &mut P, seq: &[(u64, bool)], reps: usize) -> (u64, u64) {
+        let (mut correct, mut total) = (0, 0);
+        for _ in 0..reps {
+            for &(pc, taken) in seq {
+                let pred = p.predict(pc);
+                if pred.taken == taken {
+                    correct += 1;
+                } else {
+                    p.recover(&pred, taken);
+                }
+                p.update(pc, taken, &pred);
+                total += 1;
+            }
+        }
+        (correct, total)
+    }
+
+    #[test]
+    fn gshare_learns_alternation() {
+        // T,N,T,N needs history: bimodal can't, gshare can.
+        let seq: Vec<_> = (0..2).map(|i| (0x100u64, i % 2 == 0)).collect();
+        let mut g = Gshare::default();
+        drive(&mut g, &seq, 200);
+        let (c, n) = drive(&mut g, &seq, 200);
+        assert!(c * 10 >= n * 9, "gshare: {c}/{n}");
+    }
+
+    #[test]
+    fn gshare_learns_bias() {
+        let mut g = Gshare::default();
+        let (c, n) = drive(&mut g, &[(0x40, true)], 100);
+        assert!(c * 10 >= n * 9);
+    }
+
+    #[test]
+    fn tournament_beats_components_on_mixed_workload() {
+        // Branch A is biased (bimodal-friendly), branch B alternates
+        // (gshare-friendly). The tournament must learn both.
+        let mut seq = Vec::new();
+        for i in 0..8u64 {
+            seq.push((0x100, true));
+            seq.push((0x200, i % 2 == 0));
+        }
+        let mut t = Tournament::default();
+        drive(&mut t, &seq, 100);
+        let (c, n) = drive(&mut t, &seq, 100);
+        assert!(c * 10 >= n * 9, "tournament: {c}/{n}");
+    }
+
+    #[test]
+    fn tournament_recover_restores_history() {
+        let mut t = Tournament::default();
+        drive(&mut t, &[(0x40, true), (0x80, false)], 50);
+        let snapshot = t.clone();
+        let pred = t.predict(0x40);
+        t.rewind(&pred);
+        // Predictions after rewind match the un-speculated twin.
+        let mut twin = snapshot;
+        let p1 = t.predict(0x80);
+        let p2 = twin.predict(0x80);
+        assert_eq!(p1.taken, p2.taken);
+    }
+
+    #[test]
+    fn gshare_update_uses_predict_time_index() {
+        // Regression: training must hit the entry the prediction read, even
+        // though the history advanced between predict and update.
+        let mut g = Gshare::new(6, 6);
+        for _ in 0..32 {
+            let p1 = g.predict(0x40);
+            let p2 = g.predict(0x80);
+            g.update(0x40, true, &p1);
+            g.update(0x80, false, &p2);
+        }
+        let (c, n) = {
+            let mut correct = 0;
+            for _ in 0..16 {
+                let p1 = g.predict(0x40);
+                if p1.taken {
+                    correct += 1;
+                }
+                g.update(0x40, true, &p1);
+                let p2 = g.predict(0x80);
+                if !p2.taken {
+                    correct += 1;
+                }
+                g.update(0x80, false, &p2);
+            }
+            (correct, 32)
+        };
+        assert!(c * 10 >= n * 8, "{c}/{n}");
+    }
+}

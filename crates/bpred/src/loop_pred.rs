@@ -1,0 +1,169 @@
+//! The loop predictor component of TAGE-SC-L.
+
+/// A loop-predictor entry tracking one loop-closing branch.
+#[derive(Clone, Copy, Debug, Default)]
+struct LoopEntry {
+    tag: u16,
+    /// Learned trip count (iterations the branch is taken before one
+    /// not-taken).
+    trip: u16,
+    /// Iterations observed in the current traversal.
+    current: u16,
+    /// Confidence: saturates up every time a full traversal matches `trip`.
+    conf: u8,
+    /// Replacement age.
+    age: u8,
+    valid: bool,
+}
+
+/// Predicts loops of the form "taken `N` times, then not taken once".
+///
+/// Iteration counters are advanced at (in-order) update time rather than
+/// speculatively at predict time; deep in-flight loop speculation therefore
+/// sees a slightly stale count. This is a deliberate simplification of
+/// Seznec's speculative loop-predictor state and only costs accuracy on loops
+/// whose entire body fits in the fetch-to-retire window many times over.
+#[derive(Clone, Debug)]
+pub(crate) struct LoopPredictor {
+    entries: Vec<LoopEntry>,
+    index_bits: u32,
+    conf_threshold: u8,
+}
+
+impl LoopPredictor {
+    pub fn new(index_bits: u32) -> LoopPredictor {
+        LoopPredictor {
+            entries: vec![LoopEntry::default(); 1 << index_bits],
+            index_bits,
+            conf_threshold: 3,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.index_bits) - 1)) as usize
+    }
+
+    fn tag(&self, pc: u64) -> u16 {
+        ((pc >> (2 + self.index_bits)) & 0x3FFF) as u16
+    }
+
+    /// Returns `(predicted_taken, confident)` if the entry hits.
+    pub fn predict(&self, pc: u64) -> Option<(bool, bool)> {
+        let e = &self.entries[self.index(pc)];
+        if !e.valid || e.tag != self.tag(pc) {
+            return None;
+        }
+        let taken = e.current + 1 < e.trip || e.trip == 0;
+        Some((taken, e.conf >= self.conf_threshold && e.trip > 0))
+    }
+
+    /// Trains the entry with the resolved outcome. `was_useful` bumps the age
+    /// so useful entries resist replacement.
+    pub fn update(&mut self, pc: u64, taken: bool, was_useful: bool) {
+        let idx = self.index(pc);
+        let tag = self.tag(pc);
+        let e = &mut self.entries[idx];
+        if e.valid && e.tag == tag {
+            if was_useful {
+                e.age = (e.age + 1).min(7);
+            }
+            if taken {
+                e.current = e.current.saturating_add(1);
+                // Overran the learned trip count: relearn.
+                if e.trip != 0 && e.current >= e.trip {
+                    e.conf = 0;
+                    e.trip = 0;
+                }
+            } else {
+                let observed = e.current + 1; // iterations including the exit
+                if e.trip == observed {
+                    e.conf = (e.conf + 1).min(7);
+                } else {
+                    e.trip = observed;
+                    e.conf = 0;
+                }
+                e.current = 0;
+            }
+        } else if !taken {
+            // Allocate on a not-taken outcome (potential loop exit).
+            if !e.valid || e.age == 0 {
+                *e = LoopEntry {
+                    tag,
+                    trip: 0,
+                    current: 0,
+                    conf: 0,
+                    age: 1,
+                    valid: true,
+                };
+            } else {
+                e.age -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `reps` traversals of a loop with `trip` taken iterations + exit,
+    /// returning prediction accuracy over the last traversal.
+    fn run_loop(p: &mut LoopPredictor, pc: u64, trip: usize, reps: usize) -> (usize, usize) {
+        let (mut correct, mut total) = (0, 0);
+        for rep in 0..reps {
+            for i in 0..=trip {
+                let taken = i < trip;
+                if rep == reps - 1 {
+                    if let Some((pred, conf)) = p.predict(pc) {
+                        if conf {
+                            total += 1;
+                            if pred == taken {
+                                correct += 1;
+                            }
+                        }
+                    }
+                }
+                let useful = p.predict(pc).map(|(d, c)| c && d == taken).unwrap_or(false);
+                p.update(pc, taken, useful);
+            }
+        }
+        (correct, total)
+    }
+
+    #[test]
+    fn learns_fixed_trip_count() {
+        let mut p = LoopPredictor::new(6);
+        let (correct, total) = run_loop(&mut p, 0x80, 7, 20);
+        assert_eq!(total, 8, "confident on every iteration incl. exit");
+        assert_eq!(correct, 8);
+    }
+
+    #[test]
+    fn no_confidence_before_training() {
+        let mut p = LoopPredictor::new(6);
+        assert_eq!(p.predict(0x80), None);
+        p.update(0x80, false, false); // allocates
+        let (_, conf) = p.predict(0x80).unwrap();
+        assert!(!conf);
+    }
+
+    #[test]
+    fn changing_trip_count_drops_confidence() {
+        let mut p = LoopPredictor::new(6);
+        run_loop(&mut p, 0x80, 5, 10);
+        // Switch to a different trip count: confidence must reset, then relearn.
+        run_loop(&mut p, 0x80, 9, 2);
+        let (correct, total) = run_loop(&mut p, 0x80, 9, 10);
+        assert_eq!(correct, total);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn tag_mismatch_misses() {
+        let mut p = LoopPredictor::new(2); // tiny: forces index collisions
+        run_loop(&mut p, 0x80, 3, 10);
+        // Same index, different tag.
+        let alias = 0x80 + (1 << (2 + 2 + 2)) * 4;
+        assert_eq!(p.predict(alias), None);
+    }
+}

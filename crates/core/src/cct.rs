@@ -1,0 +1,267 @@
+//! Critical Count Tables (§3.2, "Identifying Critical Loads").
+//!
+//! A small set-associative table with **two saturating counters per entry**:
+//! a *strict* counter (long saturation, high threshold — marks fewer, sparser
+//! critical instructions, letting CDF expand the effective window further)
+//! and a *permissive* counter (lower threshold — better coverage). At
+//! runtime the core measures the fraction of instructions marked critical
+//! and flips to the permissive counters when too few loads are being marked.
+//! Hard-to-predict branches are tracked in a second table of the same shape
+//! with different thresholds.
+
+use cdf_isa::Pc;
+
+/// Tuning for a [`CriticalCountTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CctConfig {
+    /// Number of sets (entries = sets × ways).
+    pub sets: usize,
+    /// Associativity (Table 1: 2-way, 64 entries total).
+    pub ways: usize,
+    /// Saturation maximum of the strict counter.
+    pub strict_max: i32,
+    /// Threshold at or above which the strict counter marks critical.
+    pub strict_threshold: i32,
+    /// Decrement applied to the strict counter on a non-qualifying event.
+    pub strict_decay: i32,
+    /// Saturation maximum of the permissive counter.
+    pub permissive_max: i32,
+    /// Threshold for the permissive counter.
+    pub permissive_threshold: i32,
+    /// Decrement for the permissive counter.
+    pub permissive_decay: i32,
+}
+
+impl CctConfig {
+    /// Defaults for the load table.
+    pub fn loads() -> CctConfig {
+        CctConfig {
+            sets: 32,
+            ways: 2,
+            strict_max: 15,
+            strict_threshold: 12,
+            strict_decay: 2,
+            permissive_max: 15,
+            permissive_threshold: 4,
+            permissive_decay: 1,
+        }
+    }
+
+    /// Defaults for the hard-to-predict-branch table ("tracked similarly in
+    /// a separate table and have different thresholds").
+    pub fn branches() -> CctConfig {
+        CctConfig {
+            sets: 32,
+            ways: 2,
+            strict_max: 15,
+            strict_threshold: 8,
+            strict_decay: 1,
+            permissive_max: 15,
+            permissive_threshold: 3,
+            permissive_decay: 1,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    tag: u64,
+    strict: i32,
+    permissive: i32,
+    lru: u64,
+}
+
+/// One Critical Count Table. See the [module docs](self).
+///
+/// ```
+/// use cdf_core::cct::{CctConfig, CriticalCountTable};
+/// use cdf_isa::Pc;
+///
+/// let mut t = CriticalCountTable::new(CctConfig::loads());
+/// let pc = Pc::new(12);
+/// for _ in 0..16 {
+///     t.update(pc, true); // the load keeps missing the LLC
+/// }
+/// assert!(t.is_critical(pc));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CriticalCountTable {
+    cfg: CctConfig,
+    entries: Vec<Option<Entry>>,
+    use_permissive: bool,
+    clock: u64,
+}
+
+impl CriticalCountTable {
+    /// Creates a table.
+    pub fn new(cfg: CctConfig) -> CriticalCountTable {
+        CriticalCountTable {
+            entries: vec![None; cfg.sets * cfg.ways],
+            use_permissive: false,
+            clock: 0,
+            cfg,
+        }
+    }
+
+    fn set_range(&self, pc: Pc) -> std::ops::Range<usize> {
+        let set = pc.index() % self.cfg.sets;
+        set * self.cfg.ways..(set + 1) * self.cfg.ways
+    }
+
+    /// Updates the counters for `pc` at retire time. `qualifies` is "missed
+    /// the LLC" for loads or "was mispredicted" for branches. Allocates an
+    /// entry (LRU victim) on the first qualifying event.
+    pub fn update(&mut self, pc: Pc, qualifies: bool) {
+        self.clock += 1;
+        let clock = self.clock;
+        let cfg = self.cfg;
+        let range = self.set_range(pc);
+        let ways = &mut self.entries[range];
+        let tag = pc.index() as u64;
+        if let Some(e) = ways.iter_mut().flatten().find(|e| e.tag == tag) {
+            if qualifies {
+                e.strict = (e.strict + 1).min(cfg.strict_max);
+                e.permissive = (e.permissive + 1).min(cfg.permissive_max);
+            } else {
+                e.strict = (e.strict - cfg.strict_decay).max(0);
+                e.permissive = (e.permissive - cfg.permissive_decay).max(0);
+            }
+            e.lru = clock;
+            return;
+        }
+        if !qualifies {
+            return; // never-qualifying instructions don't take an entry
+        }
+        // Allocate, evicting the LRU way if needed.
+        let slot = ways
+            .iter_mut()
+            .min_by_key(|e| e.as_ref().map(|e| e.lru).unwrap_or(0))
+            .expect("ways > 0");
+        *slot = Some(Entry {
+            tag,
+            strict: 1,
+            permissive: 1,
+            lru: clock,
+        });
+    }
+
+    /// Whether `pc` is currently predicted critical.
+    pub fn is_critical(&self, pc: Pc) -> bool {
+        let range = self.set_range(pc);
+        let tag = pc.index() as u64;
+        self.entries[range]
+            .iter()
+            .flatten()
+            .find(|e| e.tag == tag)
+            .map(|e| {
+                if self.use_permissive {
+                    e.permissive >= self.cfg.permissive_threshold
+                } else {
+                    e.strict >= self.cfg.strict_threshold
+                }
+            })
+            .unwrap_or(false)
+    }
+
+    /// Switches between strict and permissive counters ("dynamically pick
+    /// the more permissive counters for prediction if too few loads are
+    /// marked critical").
+    pub fn set_permissive(&mut self, permissive: bool) {
+        self.use_permissive = permissive;
+    }
+
+    /// Whether the permissive counters are selected.
+    pub fn is_permissive(&self) -> bool {
+        self.use_permissive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CriticalCountTable {
+        CriticalCountTable::new(CctConfig::loads())
+    }
+
+    #[test]
+    fn strict_counter_needs_many_qualifying_events() {
+        let mut t = table();
+        let pc = Pc::new(4);
+        for _ in 0..11 {
+            t.update(pc, true);
+        }
+        assert!(!t.is_critical(pc), "strict threshold is 12");
+        t.update(pc, true);
+        assert!(t.is_critical(pc));
+    }
+
+    #[test]
+    fn permissive_mode_marks_sooner() {
+        let mut t = table();
+        t.set_permissive(true);
+        assert!(t.is_permissive());
+        let pc = Pc::new(4);
+        for _ in 0..4 {
+            t.update(pc, true);
+        }
+        assert!(t.is_critical(pc), "permissive threshold is 4");
+    }
+
+    #[test]
+    fn decay_on_non_qualifying_events() {
+        let mut t = table();
+        let pc = Pc::new(4);
+        for _ in 0..15 {
+            t.update(pc, true);
+        }
+        assert!(t.is_critical(pc));
+        // Strict decays by 2 per hit: 15 -> below 12 after 2 hits.
+        t.update(pc, false);
+        t.update(pc, false);
+        assert!(!t.is_critical(pc));
+    }
+
+    #[test]
+    fn unknown_pc_not_critical() {
+        let t = table();
+        assert!(!t.is_critical(Pc::new(999)));
+    }
+
+    #[test]
+    fn non_qualifying_never_allocates() {
+        let mut t = table();
+        for i in 0..100 {
+            t.update(Pc::new(i), false);
+        }
+        for i in 0..100 {
+            assert!(!t.is_critical(Pc::new(i)));
+        }
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let cfg = CctConfig {
+            sets: 1,
+            ways: 2,
+            ..CctConfig::loads()
+        };
+        let mut t = CriticalCountTable::new(cfg);
+        for _ in 0..15 {
+            t.update(Pc::new(0), true);
+            t.update(Pc::new(1), true);
+        }
+        assert!(t.is_critical(Pc::new(0)));
+        // A third PC evicts the LRU entry (pc 0, older update).
+        t.update(Pc::new(2), true);
+        assert!(!t.is_critical(Pc::new(0)), "evicted");
+        assert!(t.is_critical(Pc::new(1)), "survivor");
+    }
+
+    #[test]
+    fn branch_config_thresholds_differ() {
+        let b = CctConfig::branches();
+        let l = CctConfig::loads();
+        assert!(b.strict_threshold < l.strict_threshold);
+    }
+}

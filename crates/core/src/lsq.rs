@@ -1,0 +1,246 @@
+//! Partitioned load and store queues with memory disambiguation.
+//!
+//! §3.5 "Memory Disambiguation": both queues are partitioned like the ROB;
+//! each section is in program order, so ordering checks are associative
+//! lookups over two (smaller) ordered queues keyed by timestamp. Violations
+//! are detected when a store resolves its address and finds a younger,
+//! already-executed load to the same word.
+
+use crate::rob::{HasSeq, PartitionedQueue};
+use crate::types::Seq;
+
+/// A load-queue record.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LqEntry {
+    pub seq: Seq,
+    /// Effective word address once computed.
+    pub addr: Option<u64>,
+    /// The load has produced its value.
+    pub done: bool,
+}
+
+impl HasSeq for LqEntry {
+    fn seq(&self) -> Seq {
+        self.seq
+    }
+}
+
+/// A store-queue record.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SqEntry {
+    pub seq: Seq,
+    pub addr: Option<u64>,
+    /// Store data once the data source is read.
+    pub data: Option<u64>,
+}
+
+impl HasSeq for SqEntry {
+    fn seq(&self) -> Seq {
+        self.seq
+    }
+}
+
+/// Outcome of a load probing the store queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ForwardResult {
+    /// No older store to the same word: go to memory.
+    Miss,
+    /// Youngest older same-word store has its data: forward it.
+    Forward(u64),
+    /// Youngest older same-word store's data isn't ready: retry later.
+    Stall,
+}
+
+/// The paired load/store queues.
+#[derive(Clone, Debug)]
+pub(crate) struct Lsq {
+    pub lq: PartitionedQueue<LqEntry>,
+    pub sq: PartitionedQueue<SqEntry>,
+}
+
+/// Word-granularity address used for ordering checks (all memory ops are
+/// 8-byte in this ISA).
+fn word(addr: u64) -> u64 {
+    addr >> 3
+}
+
+impl Lsq {
+    pub fn new(lq_total: usize, lq_crit: usize, sq_total: usize, sq_crit: usize, min: usize) -> Lsq {
+        Lsq {
+            lq: PartitionedQueue::new(lq_total, lq_crit, min),
+            sq: PartitionedQueue::new(sq_total, sq_crit, min),
+        }
+    }
+
+    /// Records the computed address (and readiness) for the load `seq`.
+    pub fn set_load_state(&mut self, seq: Seq, addr: u64, done: bool) {
+        for crit in [true, false] {
+            for e in self.lq.iter_mut_section(crit) {
+                if e.seq == seq {
+                    e.addr = Some(word(addr));
+                    e.done = done;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Records the computed address for the store `seq`.
+    pub fn set_store_addr(&mut self, seq: Seq, addr: u64) {
+        for crit in [true, false] {
+            for e in self.sq.iter_mut_section(crit) {
+                if e.seq == seq {
+                    e.addr = Some(word(addr));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Records the data value for the store `seq`.
+    pub fn set_store_data(&mut self, seq: Seq, data: u64) {
+        for crit in [true, false] {
+            for e in self.sq.iter_mut_section(crit) {
+                if e.seq == seq {
+                    e.data = Some(data);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Store-to-load forwarding probe for a load at `load_seq` reading
+    /// `addr`: finds the *youngest older* store to the same word across both
+    /// sections.
+    ///
+    /// Older stores with unresolved addresses are speculatively ignored (the
+    /// violation check below catches mis-speculation) — this is what lets
+    /// CDF's critical loads run ahead of non-critical stores, §3.5.
+    pub fn forward(&self, load_seq: Seq, addr: u64) -> ForwardResult {
+        let w = word(addr);
+        let mut best: Option<&SqEntry> = None;
+        for e in self.sq.iter() {
+            if e.seq < load_seq && e.addr == Some(w) {
+                if best.map(|b| e.seq > b.seq).unwrap_or(true) {
+                    best = Some(e);
+                }
+            }
+        }
+        match best {
+            None => ForwardResult::Miss,
+            Some(e) => match e.data {
+                Some(v) => ForwardResult::Forward(v),
+                None => ForwardResult::Stall,
+            },
+        }
+    }
+
+    /// Whether any store older than `load_seq` still has an unresolved
+    /// address (used by the memory-dependence predictor: a load predicted to
+    /// conflict waits for these instead of speculating past them).
+    pub fn older_store_addr_unknown(&self, load_seq: Seq) -> bool {
+        self.sq
+            .iter()
+            .any(|e| e.seq < load_seq && e.addr.is_none())
+    }
+
+    /// Memory-ordering violation check when the store at `store_seq`
+    /// resolves `addr`: returns the *oldest younger executed* load of the
+    /// same word, if any — everything from that load must be flushed.
+    pub fn check_violation(&self, store_seq: Seq, addr: u64) -> Option<Seq> {
+        let w = word(addr);
+        let mut oldest: Option<Seq> = None;
+        for e in self.lq.iter() {
+            if e.seq > store_seq && e.done && e.addr == Some(w) {
+                if oldest.map(|o| e.seq < o).unwrap_or(true) {
+                    oldest = Some(e.seq);
+                }
+            }
+        }
+        oldest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsq() -> Lsq {
+        Lsq::new(8, 4, 8, 4, 1)
+    }
+
+    #[test]
+    fn forward_from_youngest_older_store() {
+        let mut l = lsq();
+        l.sq.push(SqEntry { seq: Seq(1), addr: Some(word(0x100)), data: Some(11) }, false);
+        l.sq.push(SqEntry { seq: Seq(3), addr: Some(word(0x100)), data: Some(33) }, true);
+        l.sq.push(SqEntry { seq: Seq(5), addr: Some(word(0x100)), data: Some(55) }, false);
+        // Load at seq 4 must see the store at seq 3, not 1 or 5.
+        assert_eq!(l.forward(Seq(4), 0x100), ForwardResult::Forward(33));
+        // Different word: miss.
+        assert_eq!(l.forward(Seq(4), 0x200), ForwardResult::Miss);
+    }
+
+    #[test]
+    fn forward_stalls_on_data_not_ready() {
+        let mut l = lsq();
+        l.sq.push(SqEntry { seq: Seq(2), addr: Some(word(0x80)), data: None }, false);
+        assert_eq!(l.forward(Seq(5), 0x80), ForwardResult::Stall);
+    }
+
+    #[test]
+    fn unresolved_older_store_is_speculatively_ignored() {
+        let mut l = lsq();
+        l.sq.push(SqEntry { seq: Seq(2), addr: None, data: None }, false);
+        assert_eq!(l.forward(Seq(5), 0x80), ForwardResult::Miss);
+    }
+
+    #[test]
+    fn violation_finds_oldest_younger_done_load() {
+        let mut l = lsq();
+        l.lq.push(LqEntry { seq: Seq(4), addr: Some(word(0x40)), done: true }, true);
+        l.lq.push(LqEntry { seq: Seq(6), addr: Some(word(0x40)), done: true }, true);
+        l.lq.push(LqEntry { seq: Seq(5), addr: Some(word(0x40)), done: false }, false);
+        assert_eq!(l.check_violation(Seq(3), 0x40), Some(Seq(4)));
+        // Store younger than all loads: no violation.
+        assert_eq!(l.check_violation(Seq(9), 0x40), None);
+        // Different word: no violation.
+        assert_eq!(l.check_violation(Seq(3), 0x1040), None);
+    }
+
+    #[test]
+    fn older_unknown_store_addresses_are_visible() {
+        let mut l = lsq();
+        l.sq.push(SqEntry { seq: Seq(3), addr: None, data: None }, false);
+        assert!(l.older_store_addr_unknown(Seq(5)));
+        assert!(!l.older_store_addr_unknown(Seq(2)), "younger stores don't count");
+        l.set_store_addr(Seq(3), 0x40);
+        assert!(!l.older_store_addr_unknown(Seq(5)));
+    }
+
+    #[test]
+    fn not_done_loads_do_not_violate() {
+        let mut l = lsq();
+        l.lq.push(LqEntry { seq: Seq(4), addr: Some(word(0x40)), done: false }, false);
+        assert_eq!(l.check_violation(Seq(3), 0x40), None);
+    }
+
+    #[test]
+    fn same_word_different_byte_addresses_conflict() {
+        let mut l = lsq();
+        l.sq.push(SqEntry { seq: Seq(1), addr: Some(word(0x100)), data: Some(7) }, false);
+        assert_eq!(l.forward(Seq(2), 0x104), ForwardResult::Forward(7));
+    }
+
+    #[test]
+    fn set_state_updates_entries_across_sections() {
+        let mut l = lsq();
+        l.lq.push(LqEntry { seq: Seq(2), addr: None, done: false }, true);
+        l.sq.push(SqEntry { seq: Seq(3), addr: None, data: None }, false);
+        l.set_load_state(Seq(2), 0x60, true);
+        l.set_store_addr(Seq(3), 0x60);
+        l.set_store_data(Seq(3), 99);
+        assert_eq!(l.check_violation(Seq(1), 0x60), Some(Seq(2)));
+        assert_eq!(l.forward(Seq(9), 0x64), ForwardResult::Forward(99));
+    }
+}

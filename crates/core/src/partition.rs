@@ -1,0 +1,126 @@
+//! The dynamic partition controller (§3.5, "Dynamically Changing the
+//! Partition Size").
+//!
+//! Each partitioned structure (ROB, LQ, SQ — the RS/PRF limits follow the
+//! ROB) has a controller that counts full-window-stall cycles caused by each
+//! section. When one section's stall count exceeds the other's by the
+//! threshold (the paper uses 4 cycles), that section is expanded by the
+//! structure's step (8 entries for ROB/RS, 2 for LQ/SQ) and the counters
+//! reset.
+
+/// Which way to move partition capacity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resize {
+    /// Expand the critical section by the step.
+    GrowCritical,
+    /// Expand the non-critical section by the step.
+    GrowNonCritical,
+}
+
+/// Stall-counter-driven partition controller for one structure.
+///
+/// ```
+/// use cdf_core::partition::{PartitionController, Resize};
+/// let mut pc = PartitionController::new(4, 8);
+/// // Five stalls charged to the critical section, none to non-critical:
+/// let mut decision = None;
+/// for _ in 0..5 {
+///     decision = pc.on_stall_cycle(true);
+/// }
+/// assert_eq!(decision, Some(Resize::GrowCritical));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartitionController {
+    crit_stalls: u64,
+    noncrit_stalls: u64,
+    threshold: u64,
+    step: usize,
+}
+
+impl PartitionController {
+    /// Creates a controller with the given stall-difference `threshold`
+    /// (cycles) and resize `step` (entries).
+    pub fn new(threshold: u64, step: usize) -> PartitionController {
+        PartitionController {
+            crit_stalls: 0,
+            noncrit_stalls: 0,
+            threshold,
+            step,
+        }
+    }
+
+    /// The resize step in entries.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Records one cycle in which the structure's `critical` (or
+    /// non-critical) section caused a stall. Returns a resize decision when
+    /// the imbalance crosses the threshold, resetting the counters.
+    pub fn on_stall_cycle(&mut self, critical: bool) -> Option<Resize> {
+        if critical {
+            self.crit_stalls += 1;
+        } else {
+            self.noncrit_stalls += 1;
+        }
+        if self.crit_stalls > self.noncrit_stalls + self.threshold {
+            self.reset();
+            Some(Resize::GrowCritical)
+        } else if self.noncrit_stalls > self.crit_stalls + self.threshold {
+            self.reset();
+            Some(Resize::GrowNonCritical)
+        } else {
+            None
+        }
+    }
+
+    /// Clears both counters (also called when CDF mode ends).
+    pub fn reset(&mut self) {
+        self.crit_stalls = 0;
+        self.noncrit_stalls = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_stalls_never_resize() {
+        let mut pc = PartitionController::new(4, 8);
+        for i in 0..100 {
+            assert_eq!(pc.on_stall_cycle(i % 2 == 0), None);
+        }
+    }
+
+    #[test]
+    fn noncritical_pressure_grows_noncritical() {
+        let mut pc = PartitionController::new(4, 2);
+        let mut decision = None;
+        for _ in 0..5 {
+            decision = pc.on_stall_cycle(false);
+        }
+        assert_eq!(decision, Some(Resize::GrowNonCritical));
+    }
+
+    #[test]
+    fn counters_reset_after_decision() {
+        let mut pc = PartitionController::new(2, 8);
+        for _ in 0..3 {
+            pc.on_stall_cycle(true);
+        }
+        // Decision happened; a single opposite stall must not trigger.
+        assert_eq!(pc.on_stall_cycle(false), None);
+        assert_eq!(pc.on_stall_cycle(false), None);
+        assert_eq!(pc.on_stall_cycle(false), Some(Resize::GrowNonCritical));
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let mut pc = PartitionController::new(4, 8);
+        for _ in 0..4 {
+            assert_eq!(pc.on_stall_cycle(true), None);
+        }
+        assert_eq!(pc.on_stall_cycle(true), Some(Resize::GrowCritical));
+    }
+}

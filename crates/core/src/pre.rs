@@ -1,0 +1,290 @@
+//! Precise Runahead (PRE) — the comparator of §4.1/§4.2.
+//!
+//! Implemented per the paper's methodology note: PRE shares CDF's marking
+//! and trace machinery ("we use the same mechanism as CDF for marking and
+//! fetching critical instructions in Precise Runahead, except we only mark
+//! loads that cause full window stalls as critical"), and runs the marked
+//! dependence chains during full-window stalls using resources that are free
+//! while the window is stalled (PRE's free-RS/PRF insight means entering and
+//! exiting costs nothing; we model the episode as zero-cost to enter/exit
+//! and bounded by the stall duration).
+//!
+//! Runahead execution here is a dataflow interpretation over a scratch
+//! register value map seeded from the current rename state: uops whose
+//! sources are all *known* produce known results; loads with known addresses
+//! issue real memory accesses (the prefetch benefit — and the extra traffic
+//! when the chain was stale); anything depending on the stalled load or on
+//! an unavailable register produces an *unknown* value that poisons its
+//! consumers, exactly the filtered-chain behaviour of runahead hardware.
+//! Runahead stores do not commit; branches use a read-only predictor peek.
+
+use crate::types::Seq;
+use cdf_isa::{ArchReg, Op, Pc, StaticUop, NUM_ARCH_REGS};
+use std::collections::VecDeque;
+
+/// What interpreting one runahead uop asks the core to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunaheadEffect {
+    /// Nothing externally visible (ALU work, store, unknown-value sink).
+    None,
+    /// Issue a memory read of the given address (a runahead load whose
+    /// address is known).
+    IssueLoad(u64),
+    /// A conditional branch whose direction is *known* from runahead values
+    /// (the core steers runahead fetch with it).
+    BranchResolved(bool),
+    /// A conditional branch whose operands are unknown (core falls back to
+    /// the predictor peek).
+    BranchUnknown,
+}
+
+/// Runahead scratch state: a per-architectural-register value map where
+/// `None` means "unknown in runahead" (INV in runahead terminology).
+#[derive(Clone, Debug)]
+pub struct RunaheadState {
+    values: [Option<u64>; NUM_ARCH_REGS],
+    /// Uops of the current trace still to interpret.
+    pub(crate) queue: VecDeque<Pc>,
+    /// Next block to fetch from the Critical Uop Cache (`None` once fetch
+    /// stops).
+    pub(crate) fetch_pc: Option<Pc>,
+    /// Uops interpreted this episode (bounded by config).
+    pub(crate) issued: usize,
+    /// Whether an episode is active.
+    pub(crate) active: bool,
+    /// Total episodes entered.
+    pub episodes: u64,
+    /// Total runahead uops interpreted.
+    pub uops_executed: u64,
+    /// Total runahead loads issued to memory.
+    pub loads_issued: u64,
+}
+
+impl Default for RunaheadState {
+    fn default() -> RunaheadState {
+        RunaheadState::new()
+    }
+}
+
+impl RunaheadState {
+    /// Creates an idle runahead engine.
+    pub fn new() -> RunaheadState {
+        RunaheadState {
+            values: [None; NUM_ARCH_REGS],
+            queue: VecDeque::new(),
+            fetch_pc: None,
+            issued: 0,
+            active: false,
+            episodes: 0,
+            uops_executed: 0,
+            loads_issued: 0,
+        }
+    }
+
+    /// Whether an episode is running.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Begins an episode at the block containing the stalling load, seeding
+    /// the scratch values with whatever the core's rename state knows.
+    pub(crate) fn enter(&mut self, block_start: Pc, seed: [Option<u64>; NUM_ARCH_REGS]) {
+        self.values = seed;
+        self.queue.clear();
+        self.fetch_pc = Some(block_start);
+        self.issued = 0;
+        self.active = true;
+        self.episodes += 1;
+    }
+
+    /// Ends the episode (stall resolved or budget exhausted). All scratch
+    /// state is discarded — PRE's free-resource trick means nothing to clean.
+    pub(crate) fn exit(&mut self) {
+        self.active = false;
+        self.queue.clear();
+        self.fetch_pc = None;
+    }
+
+    fn get(&self, r: Option<ArchReg>) -> Option<u64> {
+        r.and_then(|r| self.values[r.index()])
+    }
+
+    fn set(&mut self, r: Option<ArchReg>, v: Option<u64>) {
+        if let Some(r) = r {
+            self.values[r.index()] = v;
+        }
+    }
+
+    /// Reads a scratch register (tests / inspection).
+    pub fn value(&self, r: ArchReg) -> Option<u64> {
+        self.values[r.index()]
+    }
+
+    /// Interprets one uop against the scratch state. `service_load` is
+    /// invoked with the effective address of a known-address load and returns
+    /// the loaded value (the core issues the real memory access there and
+    /// supplies the functional memory's value, so dependent chain uops keep
+    /// meaningful addresses — hardware runahead forwards the actual fill).
+    pub(crate) fn eval<F>(&mut self, uop: &StaticUop, service_load: F) -> RunaheadEffect
+    where
+        F: FnOnce(u64) -> Option<u64>,
+    {
+        self.uops_executed += 1;
+        match uop.op {
+            Op::Nop | Op::Halt | Op::Jump => RunaheadEffect::None,
+            Op::MovImm => {
+                self.set(uop.dst, Some(uop.imm as u64));
+                RunaheadEffect::None
+            }
+            Op::Alu(op) => {
+                let a = self.get(uop.src1);
+                let b = if uop.src2.is_some() {
+                    self.get(uop.src2)
+                } else {
+                    Some(uop.imm as u64)
+                };
+                let v = match (a, b) {
+                    (Some(a), Some(b)) => Some(op.apply(a, b)),
+                    _ => None,
+                };
+                self.set(uop.dst, v);
+                RunaheadEffect::None
+            }
+            Op::Load => {
+                let base = if uop.mem.base.is_some() {
+                    self.get(uop.mem.base)
+                } else {
+                    Some(0)
+                };
+                let index = if uop.mem.index.is_some() {
+                    self.get(uop.mem.index)
+                } else {
+                    Some(0)
+                };
+                match (base, index) {
+                    (Some(b), Some(i)) => {
+                        self.loads_issued += 1;
+                        let addr = uop.mem.effective(b, i);
+                        let v = service_load(addr);
+                        self.set(uop.dst, v);
+                        RunaheadEffect::IssueLoad(addr)
+                    }
+                    _ => {
+                        self.set(uop.dst, None);
+                        RunaheadEffect::None
+                    }
+                }
+            }
+            Op::Store => RunaheadEffect::None, // runahead stores are dropped
+            Op::Branch(cond) => {
+                let a = self.get(uop.src1);
+                let b = if uop.src2.is_some() {
+                    self.get(uop.src2)
+                } else {
+                    Some(uop.imm as u64)
+                };
+                match (a, b) {
+                    (Some(a), Some(b)) => RunaheadEffect::BranchResolved(cond.eval(a, b)),
+                    _ => RunaheadEffect::BranchUnknown,
+                }
+            }
+        }
+    }
+}
+
+/// Seq is unused here but re-exported patterns keep rustc quiet about the
+/// import in doc examples.
+#[allow(unused)]
+type _Unused = Seq;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdf_isa::{AluOp, Cond, MemAddressing};
+
+    fn seed_with(pairs: &[(ArchReg, u64)]) -> [Option<u64>; NUM_ARCH_REGS] {
+        let mut s = [None; NUM_ARCH_REGS];
+        for &(r, v) in pairs {
+            s[r.index()] = Some(v);
+        }
+        s
+    }
+
+    #[test]
+    fn known_alu_chain_produces_known_values() {
+        let mut ra = RunaheadState::new();
+        ra.enter(Pc::new(0), seed_with(&[(ArchReg::R1, 10)]));
+        let u = StaticUop::alu_imm(AluOp::Add, ArchReg::R2, ArchReg::R1, 5);
+        assert_eq!(ra.eval(&u, |_| None), RunaheadEffect::None);
+        assert_eq!(ra.value(ArchReg::R2), Some(15));
+    }
+
+    #[test]
+    fn unknown_source_poisons_consumers() {
+        let mut ra = RunaheadState::new();
+        ra.enter(Pc::new(0), seed_with(&[(ArchReg::R1, 10)]));
+        // R9 unknown → R3 unknown → branch on R3 unknown.
+        let u = StaticUop::alu(AluOp::Add, ArchReg::R3, ArchReg::R1, ArchReg::R9);
+        ra.eval(&u, |_| None);
+        assert_eq!(ra.value(ArchReg::R3), None);
+        let br = StaticUop::branch_imm(Cond::Ne, ArchReg::R3, 0, Pc::new(0));
+        assert_eq!(ra.eval(&br, |_| None), RunaheadEffect::BranchUnknown);
+    }
+
+    #[test]
+    fn load_with_known_address_issues() {
+        let mut ra = RunaheadState::new();
+        ra.enter(Pc::new(0), seed_with(&[(ArchReg::R1, 0x1000)]));
+        let u = StaticUop {
+            op: Op::Load,
+            dst: Some(ArchReg::R2),
+            mem: MemAddressing {
+                base: Some(ArchReg::R1),
+                disp: 8,
+                ..MemAddressing::default()
+            },
+            ..StaticUop::nop()
+        };
+        assert_eq!(ra.eval(&u, |addr| { assert_eq!(addr, 0x1008); Some(77) }), RunaheadEffect::IssueLoad(0x1008));
+        assert_eq!(ra.value(ArchReg::R2), Some(77));
+        assert_eq!(ra.loads_issued, 1);
+    }
+
+    #[test]
+    fn load_with_unknown_address_is_dropped() {
+        let mut ra = RunaheadState::new();
+        ra.enter(Pc::new(0), [None; NUM_ARCH_REGS]);
+        let u = StaticUop {
+            op: Op::Load,
+            dst: Some(ArchReg::R2),
+            mem: MemAddressing {
+                base: Some(ArchReg::R1),
+                ..MemAddressing::default()
+            },
+            ..StaticUop::nop()
+        };
+        assert_eq!(ra.eval(&u, |_| None), RunaheadEffect::None);
+        assert_eq!(ra.value(ArchReg::R2), None);
+        assert_eq!(ra.loads_issued, 0);
+    }
+
+    #[test]
+    fn resolved_branch_reports_direction() {
+        let mut ra = RunaheadState::new();
+        ra.enter(Pc::new(0), seed_with(&[(ArchReg::R1, 0)]));
+        let br = StaticUop::branch_imm(Cond::Eq, ArchReg::R1, 0, Pc::new(3));
+        assert_eq!(ra.eval(&br, |_| None), RunaheadEffect::BranchResolved(true));
+    }
+
+    #[test]
+    fn exit_clears_activity() {
+        let mut ra = RunaheadState::new();
+        ra.enter(Pc::new(0), [None; NUM_ARCH_REGS]);
+        assert!(ra.is_active());
+        ra.exit();
+        assert!(!ra.is_active());
+        assert_eq!(ra.episodes, 1);
+        ra.enter(Pc::new(0), [None; NUM_ARCH_REGS]);
+        assert_eq!(ra.episodes, 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Compiler-assisted chain seeding — the paper's §6 future-work extension.
+//!
+//! "While compilers cannot identify critical instructions and find the
+//! optimal level of loop unrolling statically, they can be used to augment
+//! CDF by statically generating a set of possible chains that CDF can then
+//! choose to fetch and execute at runtime. This can help reduce the hardware
+//! overhead and complexity of CDF significantly."
+//!
+//! This module implements that augmentation path: given *seed* instructions
+//! (e.g. loads a compiler's profile pass flagged as delinquent), it computes
+//! their static backward register slices over the program text — the static
+//! analogue of the Fill Buffer's backwards dataflow walk — and produces the
+//! per-basic-block criticality masks that [`crate::Core::preinstall_chains`]
+//! installs directly into the Critical Uop Cache and Mask Cache. The runtime
+//! machinery (CCTs, walks, density guards, violations) still runs and keeps
+//! correcting the static guess; seeding only removes the cold-start training
+//! delay.
+
+use cdf_isa::{Pc, Program};
+
+/// Computes per-block criticality masks for the static backward slices of
+/// `seeds`.
+///
+/// The slice walks the program text backwards from each seed (the linear
+/// order is the static analogue of the dynamic retire order inside a loop
+/// body), accumulating the live register set exactly like the Fill Buffer
+/// walk; it is capped at `max_chain` uops per seed, mirroring the finite
+/// Fill Buffer. Every block between the oldest marked uop and the youngest
+/// seed receives an entry (possibly with an empty mask) so the critical
+/// fetch logic can carry control flow and timestamps across non-critical
+/// blocks.
+///
+/// Returns `(block_start, block_len, mask)` triples, mask bit *i* marking
+/// offset *i* critical. Blocks longer than 64 uops only mark their first 64
+/// offsets (the Mask Cache storage limit).
+///
+/// ```
+/// use cdf_core::static_chains::static_critical_masks;
+/// use cdf_isa::{ProgramBuilder, ArchReg::*, Pc};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.movi(R1, 0x1000);          // pc0: in the slice (produces R1)
+/// b.addi(R9, R9, 1);           // pc1: NOT in the slice
+/// b.load(R2, R1, 0);           // pc2: the seed
+/// b.halt();
+/// let p = b.build().unwrap();
+/// let masks = static_critical_masks(&p, &[Pc::new(2)], 64);
+/// let (_, _, mask) = masks.iter().find(|(b, _, _)| b.index() == 0).unwrap();
+/// assert_eq!(*mask, 0b101);
+/// ```
+pub fn static_critical_masks(
+    program: &Program,
+    seeds: &[Pc],
+    max_chain: usize,
+) -> Vec<(Pc, u32, u64)> {
+    let mut marked = vec![false; program.len()];
+    let mut touched = vec![false; program.len()];
+
+    let n = program.len();
+    for &seed in seeds {
+        if seed.index() >= n {
+            continue;
+        }
+        // Grow-only fixed point: a uop is in the slice if it writes any
+        // register the slice reads. Unlike the dynamic walk, the static
+        // slice must NOT kill liveness at a redefinition — across loop
+        // iterations *both* writers of an induction variable (the preamble
+        // init and the loop-carried increment) feed the seed, and a kill at
+        // the init would hide the increment from a linear backward pass.
+        // Over-marking is corrected at runtime by the Fill Buffer walks.
+        let mut live = program.uop(seed).srcs();
+        let mut budget = max_chain.saturating_sub(1);
+        marked[seed.index()] = true;
+        touched[seed.index()] = true;
+        loop {
+            let mut changed = false;
+            for i in (0..n).rev() {
+                touched[i] = true;
+                if budget == 0 {
+                    break;
+                }
+                if marked[i] {
+                    continue;
+                }
+                let uop = program.uop(Pc::new(i as u32));
+                if uop.dst_set().intersects(live) {
+                    marked[i] = true;
+                    live = live.union(uop.srcs());
+                    budget -= 1;
+                    changed = true;
+                }
+            }
+            if !changed || budget == 0 {
+                break;
+            }
+        }
+    }
+
+    // No seed produced a slice: nothing to install.
+    if !touched.iter().any(|&t| t) {
+        return Vec::new();
+    }
+
+    // Emit an entry for *every* block of the function body — blocks with no
+    // marked uops get an empty mask. The critical fetch logic needs every
+    // block's length and terminator to skip timestamps and carry control
+    // flow through non-critical code; covering only the slice's own blocks
+    // would make it fall out of CDF mode at the first unmarked block of the
+    // loop (exactly what the dynamic walk's empty traces prevent).
+    program
+        .blocks()
+        .iter()
+        .map(|block| {
+            let start = block.start.index();
+            let mut mask = 0u64;
+            for o in 0..(block.len as usize).min(64) {
+                if marked[start + o] {
+                    mask |= 1 << o;
+                }
+            }
+            (block.start, block.len, mask)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdf_isa::{ArchReg::*, ProgramBuilder};
+
+    fn loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 0); // i
+        b.movi(R2, 100); // bound
+        b.movi(R3, 0x1000); // base
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.addi(R9, R9, 7); // filler (not in any slice)
+        b.load_idx(R4, R3, R1, 8, 0); // seed: a[i]
+        b.add(R5, R4, R9); // consumer (not in the slice)
+        b.addi(R1, R1, 1); // feeds the seed's address next iteration
+        b.br(cdf_isa::Cond::Ltu, R1, R2, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn slice_includes_address_producers_only() {
+        let p = loop_program();
+        let seed = Pc::new(4); // the load
+        let masks = static_critical_masks(&p, &[seed], 64);
+        // Loop block starts at pc3 with len 5: [addi R9, load, add R5, addi R1, br].
+        let (_, len, mask) = masks
+            .iter()
+            .find(|(b, _, _)| b.index() == 3)
+            .expect("loop block present");
+        assert_eq!(*len, 5);
+        assert_eq!(mask & 0b00010, 0b00010, "the seed load is marked");
+        assert_eq!(mask & 0b00001, 0, "filler addi R9 is not marked");
+        assert_eq!(mask & 0b00100, 0, "the consumer is not marked");
+        // Preamble block(s) carry the base/index producers.
+        let (_, _, pre_mask) = masks
+            .iter()
+            .find(|(b, _, _)| b.index() == 0)
+            .expect("preamble present");
+        assert_eq!(pre_mask & 0b101, 0b101, "movi R1 and movi R3 are in the slice");
+    }
+
+    #[test]
+    fn chain_budget_caps_slice() {
+        let p = loop_program();
+        let masks = static_critical_masks(&p, &[Pc::new(4)], 1);
+        let total: u32 = masks.iter().map(|(_, _, m)| m.count_ones()).sum();
+        assert_eq!(total, 1, "budget of 1 marks only the seed");
+    }
+
+    #[test]
+    fn out_of_range_seed_is_ignored() {
+        let p = loop_program();
+        assert!(static_critical_masks(&p, &[Pc::new(999)], 64).is_empty());
+    }
+
+    #[test]
+    fn whole_body_covered_with_empty_masks() {
+        // A seed at pc0 marks only block 0, but every block gets an entry
+        // (empty masks carry control flow for the critical fetch logic).
+        let p = loop_program();
+        let masks = static_critical_masks(&p, &[Pc::new(0)], 64);
+        assert_eq!(masks.len(), p.blocks().len());
+        for (b, _, mask) in &masks {
+            if b.index() != 0 {
+                assert_eq!(*mask, 0, "only block 0 carries marks");
+            }
+        }
+    }
+
+    #[test]
+    fn no_valid_seeds_installs_nothing() {
+        let p = loop_program();
+        assert!(static_critical_masks(&p, &[], 64).is_empty());
+    }
+}

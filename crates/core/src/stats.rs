@@ -1,0 +1,161 @@
+//! Simulation statistics collected by the core.
+
+/// ROB occupancy mix sampled during full-window stalls (Fig. 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RobMix {
+    /// Samples taken (one per sampled full-window-stall cycle).
+    pub samples: u64,
+    /// Sum of ROB entries classified critical over all samples.
+    pub critical: u64,
+    /// Sum of ROB entries classified non-critical.
+    pub non_critical: u64,
+}
+
+impl RobMix {
+    /// Fraction of ROB occupancy that was critical during full-window
+    /// stalls.
+    pub fn critical_fraction(&self) -> f64 {
+        let total = self.critical + self.non_critical;
+        if total == 0 {
+            0.0
+        } else {
+            self.critical as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a simulation run reports.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Uops retired.
+    pub retired: u64,
+    /// The program executed its `Halt` (otherwise the instruction budget ran
+    /// out first).
+    pub halted: bool,
+    /// Uops fetched by the regular stream.
+    pub fetched_regular: u64,
+    /// Uops fetched by the critical (CDF) stream.
+    pub fetched_critical: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Conditional branches mispredicted (resolved-at-execute flushes).
+    pub mispredicts: u64,
+    /// Pipeline flushes due to memory-ordering violations.
+    pub memory_violations: u64,
+    /// Pipeline flushes due to CDF register dependence violations (poison).
+    pub dependence_violations: u64,
+    /// Cycles in which rename was blocked with the ROB full and the ROB head
+    /// waiting on DRAM — the paper's full-window stalls.
+    pub full_window_stall_cycles: u64,
+    /// Full-window stall episodes (entries into a stall).
+    pub full_window_stalls: u64,
+    /// Cycles spent with CDF mode active.
+    pub cdf_mode_cycles: u64,
+    /// Times the core entered CDF mode.
+    pub cdf_entries: u64,
+    /// Uops issued to the backend via the critical stream.
+    pub critical_uops_issued: u64,
+    /// Backwards dataflow walks performed.
+    pub walks: u64,
+    /// Traces installed into the Critical Uop Cache.
+    pub traces_installed: u64,
+    /// Walks discarded by the <2%/>50% density guards.
+    pub walks_dropped_by_density: u64,
+    /// Runahead episodes (PRE).
+    pub runahead_episodes: u64,
+    /// Runahead uops executed (PRE).
+    pub runahead_uops: u64,
+    /// ROB criticality mix during full-window stalls (Fig. 1).
+    pub rob_mix: RobMix,
+    /// Sum over cycles of outstanding demand LLC misses (MLP numerator).
+    pub mlp_sum: u64,
+    /// Cycles with at least one outstanding demand LLC miss (MLP
+    /// denominator).
+    pub mlp_cycles: u64,
+    /// Loads retired.
+    pub loads_retired: u64,
+    /// Retired loads that were serviced by DRAM.
+    pub llc_miss_loads: u64,
+}
+
+impl CoreStats {
+    /// Retired uops per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// Average outstanding demand LLC misses while at least one is
+    /// outstanding — the MLP metric of Fig. 14.
+    pub fn mlp(&self) -> f64 {
+        if self.mlp_cycles == 0 {
+            0.0
+        } else {
+            self.mlp_sum as f64 / self.mlp_cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction (retired demand loads only).
+    pub fn llc_mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.llc_miss_loads as f64 * 1000.0 / self.retired as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = CoreStats {
+            cycles: 1000,
+            retired: 2500,
+            mispredicts: 5,
+            mlp_sum: 600,
+            mlp_cycles: 200,
+            llc_miss_loads: 25,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.branch_mpki() - 2.0).abs() < 1e-12);
+        assert!((s.mlp() - 3.0).abs() < 1e-12);
+        assert!((s.llc_mpki() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.branch_mpki(), 0.0);
+        assert_eq!(s.mlp(), 0.0);
+        assert_eq!(s.rob_mix.critical_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rob_mix_fraction() {
+        let m = RobMix {
+            samples: 10,
+            critical: 30,
+            non_critical: 70,
+        };
+        assert!((m.critical_fraction() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Pipeline tracing: per-uop stage timestamps and a text timeline renderer
+//! (in the spirit of Konata/pipeview). Enabled per-core via
+//! [`crate::Core::enable_trace`]; the overhead is a bounded table update per
+//! pipeline event, zero when disabled.
+//!
+//! The rendering makes the CDF mechanism directly visible: critical-stream
+//! uops (`*`) fetch and execute far before their program-order neighbours,
+//! while their regular-stream duplicates are discarded at rename.
+
+use crate::types::Seq;
+use cdf_isa::Pc;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Stage timestamps of one traced uop (cycles; `None` = never reached).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceRow {
+    /// Fetched (regular stream) or read from the Critical Uop Cache.
+    pub fetch: Option<u64>,
+    /// Renamed/dispatched into the backend.
+    pub dispatch: Option<u64>,
+    /// Selected for execution.
+    pub execute: Option<u64>,
+    /// Result available.
+    pub complete: Option<u64>,
+    /// Retired.
+    pub retire: Option<u64>,
+    /// Issued via the critical stream.
+    pub critical: bool,
+    /// Times this sequence number was flushed and re-fetched.
+    pub flushes: u32,
+    /// The uop's PC (from the latest attempt).
+    pub pc: Pc,
+}
+
+/// A bounded per-sequence-number trace of pipeline events.
+#[derive(Clone, Debug)]
+pub struct PipeTrace {
+    rows: BTreeMap<u64, TraceRow>,
+    /// Only sequence numbers `< limit` are recorded.
+    limit: u64,
+}
+
+impl PipeTrace {
+    /// Traces the first `limit` sequence numbers.
+    pub fn new(limit: u64) -> PipeTrace {
+        PipeTrace {
+            rows: BTreeMap::new(),
+            limit,
+        }
+    }
+
+    /// The mutable row for `seq` (created on first touch), or `None` when
+    /// `seq` is beyond the trace limit. Public so tooling can re-window or
+    /// synthesize traces for rendering.
+    #[inline]
+    pub fn row(&mut self, seq: Seq, pc: Pc) -> Option<&mut TraceRow> {
+        if seq.0 >= self.limit {
+            return None;
+        }
+        let row = self.rows.entry(seq.0).or_default();
+        row.pc = pc;
+        Some(row)
+    }
+
+    pub(crate) fn note_flush(&mut self, after: Seq) {
+        for (_, row) in self.rows.range_mut(after.0 + 1..) {
+            if row.retire.is_none() {
+                row.flushes += 1;
+                // The next attempt overwrites stage timestamps.
+                row.fetch = None;
+                row.dispatch = None;
+                row.execute = None;
+                row.complete = None;
+                row.critical = false;
+            }
+        }
+    }
+
+    /// The traced rows, oldest first.
+    pub fn rows(&self) -> impl Iterator<Item = (Seq, &TraceRow)> {
+        self.rows.iter().map(|(&s, r)| (Seq(s), r))
+    }
+
+    /// Renders a text timeline: one line per uop, one column per cycle
+    /// (relative to the earliest traced event), stages marked
+    /// `F`(etch) `D`(ispatch) `E`(xecute) `C`(omplete) `R`(etire), with `.`
+    /// filling the span. Critical-stream uops are flagged with `*`.
+    ///
+    /// `max_cols` bounds the rendered width; later events are clipped.
+    pub fn render(&self, max_cols: usize) -> String {
+        let base = self
+            .rows
+            .values()
+            .filter_map(|r| r.fetch)
+            .min()
+            .unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>6} {:>6} c{:<6} timeline (cycles from {base})", "seq", "pc", "rit");
+        for (seq, row) in &self.rows {
+            let marks: [(Option<u64>, char); 5] = [
+                (row.fetch, 'F'),
+                (row.dispatch, 'D'),
+                (row.execute, 'E'),
+                (row.complete, 'C'),
+                (row.retire, 'R'),
+            ];
+            let mut lane = vec![b' '; max_cols];
+            let mut first = usize::MAX;
+            let mut last = 0usize;
+            for (when, ch) in marks {
+                if let Some(c) = when {
+                    let col = (c.saturating_sub(base)) as usize;
+                    if col < max_cols {
+                        lane[col] = ch as u8;
+                        first = first.min(col);
+                        last = last.max(col);
+                    }
+                }
+            }
+            if first != usize::MAX {
+                for slot in lane.iter_mut().take(last).skip(first) {
+                    if *slot == b' ' {
+                        *slot = b'.';
+                    }
+                }
+            }
+            let lane: String = String::from_utf8(lane).expect("ascii").trim_end().to_string();
+            let _ = writeln!(
+                out,
+                "{:>6} {:>6} {:^7} {}",
+                seq,
+                row.pc.to_string(),
+                if row.critical { "*" } else { "" },
+                lane
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_below_limit() {
+        let mut t = PipeTrace::new(4);
+        assert!(t.row(Seq(3), Pc::new(1)).is_some());
+        assert!(t.row(Seq(4), Pc::new(1)).is_none());
+        assert_eq!(t.rows().count(), 1);
+    }
+
+    #[test]
+    fn flush_resets_unretired_rows() {
+        let mut t = PipeTrace::new(8);
+        {
+            let r = t.row(Seq(2), Pc::new(0)).unwrap();
+            r.fetch = Some(10);
+            r.dispatch = Some(12);
+        }
+        {
+            let r = t.row(Seq(1), Pc::new(0)).unwrap();
+            r.fetch = Some(9);
+            r.retire = Some(20);
+        }
+        t.note_flush(Seq(1));
+        let rows: Vec<_> = t.rows().collect();
+        let s2 = rows.iter().find(|(s, _)| *s == Seq(2)).unwrap().1;
+        assert_eq!(s2.flushes, 1);
+        assert_eq!(s2.fetch, None);
+        let s1 = rows.iter().find(|(s, _)| *s == Seq(1)).unwrap().1;
+        assert_eq!(s1.flushes, 0, "retired rows are immutable history");
+        assert_eq!(s1.fetch, Some(9));
+    }
+
+    #[test]
+    fn render_places_stage_letters() {
+        let mut t = PipeTrace::new(4);
+        {
+            let r = t.row(Seq(1), Pc::new(7)).unwrap();
+            r.fetch = Some(100);
+            r.dispatch = Some(103);
+            r.execute = Some(105);
+            r.complete = Some(106);
+            r.retire = Some(110);
+            r.critical = true;
+        }
+        let text = t.render(40);
+        let line = text.lines().nth(1).unwrap();
+        assert!(line.contains('F') && line.contains('R'), "{line}");
+        assert!(line.contains('*'), "critical flag: {line}");
+        let f = line.find('F').unwrap();
+        let r = line.rfind('R').unwrap();
+        assert_eq!(r - f, 10, "R lands 10 cycles after F: {line}");
+    }
+
+    #[test]
+    fn render_clips_to_width() {
+        let mut t = PipeTrace::new(4);
+        {
+            let r = t.row(Seq(1), Pc::new(0)).unwrap();
+            r.fetch = Some(0);
+            r.retire = Some(10_000);
+        }
+        let text = t.render(32);
+        assert!(text.lines().nth(1).unwrap().len() < 64);
+    }
+}

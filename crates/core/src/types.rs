@@ -1,0 +1,282 @@
+//! Core-internal value types: sequence numbers, physical registers, dynamic
+//! uops.
+
+use cdf_bpred::Prediction;
+use cdf_isa::{Pc, StaticUop};
+use std::fmt;
+
+/// A program-order sequence number — the paper's "timestamp".
+///
+/// Every dynamic uop gets a unique, monotonically increasing `Seq`. In CDF
+/// mode the critical stream *skips* the numbers of the non-critical uops
+/// between critical ones (the counts are known from the trace), and the
+/// regular stream fills them in, so relative order between the two ROB
+/// partitions is always a simple integer comparison (§3.3, "Assigning
+/// Timestamps").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Seq(pub u64);
+
+impl Seq {
+    /// The next sequence number.
+    #[must_use]
+    pub fn next(self) -> Seq {
+        Seq(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A physical register name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u32);
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Execution status of an in-flight uop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum UopState {
+    /// In the ROB/RS, sources not yet all ready or not yet selected.
+    Waiting,
+    /// Selected and executing; completes at the stored cycle.
+    Executing { done_at: u64 },
+    /// Result produced; eligible for retirement.
+    Done,
+}
+
+/// Which fetch stream produced a uop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Stream {
+    /// Regular (program-order) fetch.
+    Regular,
+    /// The CDF critical fetch (or PRE runahead fetch).
+    Critical,
+}
+
+/// An in-flight dynamic uop. Lives in the core's instruction pool; ROB, RS
+/// and LSQ refer to it by `Seq`.
+#[derive(Clone, Debug)]
+#[allow(dead_code)] // `stream` documents provenance; kept for debugging dumps
+pub(crate) struct DynUop {
+    pub seq: Seq,
+    /// Unique dispatch id: distinguishes a uop from a later one that reuses
+    /// the same sequence number after a flush (guards stale completions).
+    pub uid: u64,
+    pub pc: Pc,
+    pub uop: StaticUop,
+    /// Which stream issued it to the backend.
+    pub stream: Stream,
+    /// Occupies the critical partition of the backend structures.
+    pub critical: bool,
+    /// Renamed sources: role-indexed (see `src_roles`): for loads
+    /// `[base, index, -]`, stores `[base, index, data]`, ALU/branches
+    /// `[src1, src2, -]`.
+    pub psrcs: [Option<PhysReg>; 3],
+    /// Renamed destination.
+    pub pdst: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register (freed at
+    /// retire, reinstated on flush).
+    pub prev_pdst: Option<PhysReg>,
+    pub state: UopState,
+    /// For conditional branches: the predictor state captured at predict
+    /// time. `None` for branches that were never predicted (unconditional).
+    pub pred: Option<Prediction>,
+    /// Predicted direction (conditional branches).
+    pub pred_taken: bool,
+    /// Resolved direction, set at execute.
+    pub taken: Option<bool>,
+    /// Whether this uop was fetched while CDF mode was active (affects
+    /// misprediction recovery, §3.6).
+    pub fetched_in_cdf: bool,
+    /// Effective address once computed (loads and stores).
+    pub mem_addr: Option<u64>,
+    /// Load value / ALU result / store data once known.
+    pub result: Option<u64>,
+    /// Loads: serviced by DRAM (used for CCT training at retire).
+    pub llc_miss: bool,
+    /// Loads: data obtained via store-to-load forwarding.
+    pub forwarded: bool,
+}
+
+impl DynUop {
+    pub fn new(seq: Seq, pc: Pc, uop: StaticUop, stream: Stream) -> DynUop {
+        DynUop {
+            seq,
+            uid: 0,
+            pc,
+            uop,
+            stream,
+            critical: stream == Stream::Critical,
+            psrcs: [None; 3],
+            pdst: None,
+            prev_pdst: None,
+            state: UopState::Waiting,
+            pred: None,
+            pred_taken: false,
+            taken: None,
+            fetched_in_cdf: false,
+            mem_addr: None,
+            result: None,
+            llc_miss: false,
+            forwarded: false,
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.state == UopState::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_ordering_and_display() {
+        assert!(Seq(3) < Seq(4));
+        assert_eq!(Seq(3).next(), Seq(4));
+        assert_eq!(Seq(7).to_string(), "s7");
+        assert_eq!(format!("{:?}", PhysReg(9)), "p9");
+    }
+
+    #[test]
+    fn new_dynuop_defaults() {
+        let u = DynUop::new(Seq(1), Pc::new(0), StaticUop::nop(), Stream::Regular);
+        assert!(!u.critical);
+        assert!(!u.is_done());
+        let c = DynUop::new(Seq(2), Pc::new(0), StaticUop::nop(), Stream::Critical);
+        assert!(c.critical);
+    }
+}
+
+/// The in-flight instruction pool: a ring-indexed array keyed by sequence
+/// number. In-flight sequence numbers span at most the critical-fetch
+/// runahead guard (8192) plus the window size, so a power-of-two ring of
+/// 16384 slots can never alias two live uops.
+#[derive(Clone, Debug)]
+pub(crate) struct InstrPool {
+    slots: Vec<Option<DynUop>>,
+    len: usize,
+}
+
+const POOL_SLOTS: usize = 16384;
+
+impl InstrPool {
+    pub fn new() -> InstrPool {
+        InstrPool {
+            slots: vec![None; POOL_SLOTS],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(seq: u64) -> usize {
+        (seq as usize) & (POOL_SLOTS - 1)
+    }
+
+    #[inline]
+    pub fn get(&self, seq: u64) -> Option<&DynUop> {
+        self.slots[Self::idx(seq)]
+            .as_ref()
+            .filter(|u| u.seq.0 == seq)
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut DynUop> {
+        self.slots[Self::idx(seq)]
+            .as_mut()
+            .filter(|u| u.seq.0 == seq)
+    }
+
+    pub fn contains_key(&self, seq: u64) -> bool {
+        self.get(seq).is_some()
+    }
+
+    /// Inserts a uop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied by a *different live* uop (ring
+    /// aliasing would be a correctness bug, not a capacity condition).
+    pub fn insert(&mut self, seq: u64, uop: DynUop) {
+        let slot = &mut self.slots[Self::idx(seq)];
+        if let Some(old) = slot {
+            assert!(
+                old.seq.0 == seq,
+                "instruction pool ring aliasing: {} vs {seq}",
+                old.seq.0
+            );
+        } else {
+            self.len += 1;
+        }
+        *slot = Some(uop);
+    }
+
+    pub fn remove(&mut self, seq: u64) -> Option<DynUop> {
+        let slot = &mut self.slots[Self::idx(seq)];
+        if slot.as_ref().map(|u| u.seq.0) == Some(seq) {
+            self.len -= 1;
+            slot.take()
+        } else {
+            None
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    fn uop(seq: u64) -> DynUop {
+        DynUop::new(Seq(seq), Pc::new(0), StaticUop::nop(), Stream::Regular)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut p = InstrPool::new();
+        p.insert(5, uop(5));
+        assert!(p.contains_key(5));
+        assert_eq!(p.get(5).unwrap().seq, Seq(5));
+        assert!(p.get(5 + POOL_SLOTS as u64).is_none(), "aliased slot rejects");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.remove(5).unwrap().seq, Seq(5));
+        assert!(p.remove(5).is_none());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_same_seq_replaces() {
+        let mut p = InstrPool::new();
+        p.insert(7, uop(7));
+        let mut u = uop(7);
+        u.uid = 99;
+        p.insert(7, u);
+        assert_eq!(p.get(7).unwrap().uid, 99);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing")]
+    fn aliasing_panics() {
+        let mut p = InstrPool::new();
+        p.insert(1, uop(1));
+        p.insert(1 + POOL_SLOTS as u64, uop(1 + POOL_SLOTS as u64));
+    }
+}

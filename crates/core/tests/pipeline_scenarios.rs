@@ -1,0 +1,297 @@
+//! Directional pipeline scenarios on hand-built programs: each test checks
+//! that a microarchitectural knob moves performance the way the hardware
+//! argument says it must (port pressure, window-limited MLP, store-forward
+//! latency, decode depth, I-cache footprint, FP latency…). These pin the
+//! timing model against accidental regressions that correctness tests would
+//! not notice.
+
+use cdf_core::{Core, CoreConfig, ExecPorts};
+use cdf_isa::{AluOp, ArchReg::*, MemoryImage, Program, ProgramBuilder};
+
+fn run(program: &Program, cfg: CoreConfig, max: u64) -> cdf_core::CoreStats {
+    let mut core = Core::new(program, MemoryImage::new(), cfg);
+    core.run(max)
+}
+
+fn run_mem(program: &Program, mem: MemoryImage, cfg: CoreConfig, max: u64) -> cdf_core::CoreStats {
+    let mut core = Core::new(program, mem, cfg);
+    core.run(max)
+}
+
+/// A loop of independent integer adds: throughput must track the ALU port
+/// count.
+#[test]
+fn alu_port_pressure_limits_ipc() {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 3000);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    for i in 0..8 {
+        let d = cdf_isa::ArchReg::new(4 + i).unwrap();
+        b.addi(d, d, 1); // independent chains
+    }
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    let wide = run(&p, CoreConfig::default(), 200_000);
+    let narrow_cfg = CoreConfig {
+        ports: ExecPorts { int: 1, fp: 2, load: 2, store: 1 },
+        ..CoreConfig::default()
+    };
+    let narrow = run(&p, narrow_cfg, 200_000);
+    assert!(
+        wide.ipc() > narrow.ipc() * 1.8,
+        "4 ALU ports must clearly beat 1: {:.2} vs {:.2}",
+        wide.ipc(),
+        narrow.ipc()
+    );
+    assert!(narrow.ipc() < 1.3, "1 int port caps the loop: {:.2}", narrow.ipc());
+}
+
+/// Independent random misses: measured MLP must grow with the ROB and be
+/// bounded by it.
+#[test]
+fn window_size_bounds_mlp() {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 4000);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R9, (1 << 18) - 1);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R5, R10, 8, 0x1000_0000); // independent random miss
+    for _ in 0..12 {
+        b.addi(R20, R20, 1); // spacing so the window limits concurrency
+    }
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    let small = run(&p, CoreConfig::default().with_scaled_window(64), 200_000);
+    let large = run(&p, CoreConfig::default().with_scaled_window(352), 200_000);
+    assert!(
+        large.mlp() > small.mlp() * 1.5,
+        "a 352-entry window must expose clearly more MLP than 64: {:.2} vs {:.2}",
+        large.mlp(),
+        small.mlp()
+    );
+    assert!(large.ipc() > small.ipc());
+}
+
+/// Store→load forwarding: a loop that reads what it just wrote must not pay
+/// memory latency per iteration.
+#[test]
+fn store_forwarding_beats_memory_round_trip() {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 2000);
+    b.movi(R2, 0x2000);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.store(R3, R2, 0);
+    b.load(R4, R2, 0); // must forward
+    b.add(R3, R4, R1);
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+    let s = run(&p, CoreConfig::default(), 100_000);
+    assert!(s.halted);
+    // 5 uops/iter; forwarded chain ≈ store-addr + forward + add ≈ a few
+    // cycles, far below even an L1 round trip per iteration.
+    assert!(s.ipc() > 0.9, "forwarding path too slow: {:.2}", s.ipc());
+}
+
+/// Deeper decode pipes cost misprediction penalty: a hard branch loop gets
+/// slower as the front-end deepens.
+#[test]
+fn decode_depth_raises_misprediction_cost() {
+    let mut mem = MemoryImage::new();
+    let mut x = 9u64;
+    let vals: Vec<u64> = (0..2048)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 40) & 1
+        })
+        .collect();
+    mem.store_words(0x3000, &vals);
+
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 2000);
+    b.movi(R2, 0x3000);
+    b.movi(R9, 2047);
+    let top = b.label("top");
+    let skip = b.label("skip");
+    b.bind(top).unwrap();
+    b.alu(AluOp::And, R10, R1, R9);
+    b.load_idx(R3, R2, R10, 8, 0);
+    b.brnz(R3, skip); // 50/50 branch
+    b.addi(R4, R4, 1);
+    b.bind(skip).unwrap();
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    let shallow = run_mem(&p, mem.clone(), CoreConfig { decode_latency: 1, ..CoreConfig::default() }, 100_000);
+    let deep = run_mem(&p, mem, CoreConfig { decode_latency: 12, ..CoreConfig::default() }, 100_000);
+    assert!(shallow.mispredicts > 300, "branch must actually be hard: {}", shallow.mispredicts);
+    assert!(
+        deep.cycles > shallow.cycles,
+        "deeper decode must cost cycles on mispredicts: {} vs {}",
+        deep.cycles,
+        shallow.cycles
+    );
+}
+
+/// Long-latency FP divide chains serialize; adds do not.
+#[test]
+fn fp_divide_latency_dominates_chain() {
+    let build = |op: AluOp| {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 1000);
+        b.movi(R2, 3);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.alu(op, R3, R3, R2); // loop-carried chain
+        b.addi(R1, R1, -1);
+        b.brnz(R1, top);
+        b.halt();
+        b.build().unwrap()
+    };
+    let adds = run(&build(AluOp::FAdd), CoreConfig::default(), 100_000);
+    let divs = run(&build(AluOp::FDiv), CoreConfig::default(), 100_000);
+    assert!(
+        divs.cycles as f64 > adds.cycles as f64 * 3.0,
+        "20-cycle divides must dominate 3-cycle adds: {} vs {}",
+        divs.cycles,
+        adds.cycles
+    );
+}
+
+/// A code footprint larger than the L1I costs fetch stalls relative to a hot
+/// loop of the same dynamic length.
+#[test]
+fn icache_footprint_costs_fetch() {
+    // Hot: tiny loop. Cold: the same work unrolled across many cache lines,
+    // iterated so both execute similar dynamic uops.
+    let hot = {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 12_000);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.addi(R2, R2, 1);
+        b.addi(R1, R1, -1);
+        b.brnz(R1, top);
+        b.halt();
+        b.build().unwrap()
+    };
+    let cold = {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 3);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        // 12k static uops ≈ 48KB of code > 32KB L1I.
+        for _ in 0..12_000 {
+            b.addi(R2, R2, 1);
+        }
+        b.addi(R1, R1, -1);
+        b.brnz(R1, top);
+        b.halt();
+        b.build().unwrap()
+    };
+    let h = run(&hot, CoreConfig::default(), 100_000);
+    let c = run(&cold, CoreConfig::default(), 100_000);
+    assert!(
+        c.ipc() < h.ipc(),
+        "L1I-exceeding code must fetch slower: {:.2} vs {:.2}",
+        c.ipc(),
+        h.ipc()
+    );
+}
+
+/// Retire width caps IPC even when execution is unconstrained.
+#[test]
+fn retire_width_caps_ipc() {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 4000);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    for i in 0..6 {
+        let d = cdf_isa::ArchReg::new(4 + i).unwrap();
+        b.addi(d, d, 1);
+    }
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+    let narrow = run(&p, CoreConfig { retire_width: 2, ..CoreConfig::default() }, 200_000);
+    let wide = run(&p, CoreConfig { retire_width: 8, ..CoreConfig::default() }, 200_000);
+    assert!(narrow.ipc() <= 2.05, "retire width 2 caps IPC: {:.2}", narrow.ipc());
+    assert!(wide.ipc() > narrow.ipc() * 1.5);
+}
+
+/// The prefetcher turns a sequential-sweep loop from memory-bound into
+/// compute-bound (the "baseline with prefetching" premise of every figure).
+#[test]
+fn stream_prefetcher_rescues_sequential_sweep() {
+    // A *serial* sequential walk (each load's address comes from the
+    // previous load) so the OoO window cannot overlap the misses itself —
+    // only the prefetcher can run ahead.
+    let mut mem = MemoryImage::new();
+    let base = 0x4000_0000u64;
+    for i in 0..6000u64 {
+        mem.store(base + i * 64, base + (i + 1) * 64);
+    }
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 5000);
+    b.movi(R3, base as i64);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.load(R3, R3, 0); // next = *p  (sequential addresses, serial deps)
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    let with = run_mem(&p, mem.clone(), CoreConfig::default(), 100_000);
+    let mut no_pf_cfg = CoreConfig::default();
+    no_pf_cfg.mem.prefetcher.enabled = false;
+    let without = run_mem(&p, mem, no_pf_cfg, 100_000);
+    assert!(
+        with.ipc() > without.ipc() * 1.5,
+        "prefetcher must rescue the serial walk: {:.3} vs {:.3}",
+        with.ipc(),
+        without.ipc()
+    );
+}
+
+/// MSHR depth bounds achievable MLP on independent misses.
+#[test]
+fn mshr_depth_bounds_mlp() {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 3000);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R9, (1 << 18) - 1);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R5, R10, 8, 0x1000_0000);
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    let mut small_cfg = CoreConfig::default();
+    small_cfg.mem.l1d_mshrs = 2;
+    small_cfg.mem.llc_mshrs = 2;
+    let small = run(&p, small_cfg, 100_000);
+    let large = run(&p, CoreConfig::default(), 100_000);
+    assert!(small.mlp() <= 2.05, "2 MSHRs bound MLP: {:.2}", small.mlp());
+    assert!(large.mlp() > 4.0, "deep MSHRs expose MLP: {:.2}", large.mlp());
+    assert!(large.ipc() > small.ipc() * 1.5);
+}

@@ -1,0 +1,157 @@
+//! Property tests for the public CDF structures: saturation and bounds on
+//! the Critical Count Tables, mask-accumulation monotonicity, Critical Uop
+//! Cache capacity accounting, fill-buffer walk closure, and partition
+//! controller stability.
+
+use cdf_core::cct::{CctConfig, CriticalCountTable};
+use cdf_core::fill_buffer::{FbEntry, FillBuffer};
+use cdf_core::mask_cache::MaskCache;
+use cdf_core::partition::{PartitionController, Resize};
+use cdf_core::uop_cache::{CriticalUopCache, Trace};
+use cdf_isa::{ArchReg, Pc, RegSet};
+use proptest::prelude::*;
+
+proptest! {
+    /// CCT predictions are total and stable: arbitrary update streams never
+    /// panic, and a long run of qualifying events always ends critical while
+    /// a long run of non-qualifying events always ends non-critical.
+    #[test]
+    fn cct_saturates_both_ways(
+        stream in prop::collection::vec((0u32..64, any::<bool>()), 0..200),
+        pc in 0u32..64,
+    ) {
+        let mut t = CriticalCountTable::new(CctConfig::loads());
+        for (p, q) in stream {
+            t.update(Pc::new(p), q);
+            let _ = t.is_critical(Pc::new(p));
+        }
+        let pc = Pc::new(pc);
+        for _ in 0..32 {
+            t.update(pc, true);
+        }
+        prop_assert!(t.is_critical(pc), "saturated up");
+        for _ in 0..32 {
+            t.update(pc, false);
+        }
+        prop_assert!(!t.is_critical(pc), "saturated down");
+    }
+
+    /// Mask merging is monotone (bits never disappear without remove/reset)
+    /// and idempotent.
+    #[test]
+    fn mask_cache_merge_monotone(masks in prop::collection::vec(any::<u64>(), 1..20)) {
+        let mut mc = MaskCache::new(16, 4);
+        let block = Pc::new(5);
+        let mut acc = 0u64;
+        for m in masks {
+            acc |= m;
+            let merged = mc.merge(block, m);
+            prop_assert_eq!(merged, acc);
+            prop_assert_eq!(mc.get(block), Some(acc));
+            // Idempotent re-merge.
+            prop_assert_eq!(mc.merge(block, m), acc);
+        }
+        mc.remove(block);
+        prop_assert_eq!(mc.get(block), None);
+    }
+
+    /// The Critical Uop Cache never holds more 8-uop lines per set than its
+    /// capacity, under arbitrary insert sequences.
+    #[test]
+    fn uop_cache_capacity_respected(
+        inserts in prop::collection::vec((0u32..32, 1u32..20), 1..60)
+    ) {
+        let sets = 4usize;
+        let lines_per_set = 4usize;
+        let mut c = CriticalUopCache::new(sets, lines_per_set);
+        let mut all_blocks = std::collections::BTreeSet::new();
+        for (block, crit_count) in inserts {
+            let crit_count = crit_count.min(lines_per_set as u32 * 8);
+            let len = crit_count.max(1);
+            let mask = if len >= 64 { u64::MAX } else { (1u64 << len) - 1 };
+            let t = Trace::from_mask(Pc::new(block), len.min(64), mask);
+            c.insert(t);
+            all_blocks.insert(block);
+            // Capacity per set: sum of lines of resident traces.
+            for s in 0..sets as u32 {
+                let resident: usize = all_blocks
+                    .iter()
+                    .filter(|&&b| b as usize % sets == s as usize)
+                    .filter_map(|&b| c.peek(Pc::new(b)))
+                    .map(|t| t.lines())
+                    .sum();
+                prop_assert!(resident <= lines_per_set, "set {s} over capacity");
+            }
+        }
+    }
+
+    /// The backwards-walk marked set is dependence-closed: for every marked
+    /// uop, each of its sources is produced by the *youngest earlier marked
+    /// writer* or by no in-window writer at all. (No marked uop depends on an
+    /// unmarked in-window producer through registers.)
+    #[test]
+    fn walk_marked_set_is_closed(
+        entries in prop::collection::vec(
+            (0u8..8, 0u8..8, any::<bool>()), 1..64
+        )
+    ) {
+        let mut fb = FillBuffer::new(64);
+        let mut raw = Vec::new();
+        for (i, (src, dst, seed)) in entries.iter().enumerate() {
+            let e = FbEntry {
+                pc: Pc::new(i as u32),
+                block_start: Pc::new(0),
+                block_len: 64,
+                offset: i as u8,
+                srcs: RegSet::from_iter([ArchReg::new(*src as usize).unwrap()]),
+                dsts: RegSet::from_iter([ArchReg::new(*dst as usize).unwrap()]),
+                mem_read: None,
+                mem_write: None,
+                crit_seed: *seed,
+            };
+            fb.push(e);
+            raw.push(e);
+        }
+        let w = fb.walk(&MaskCache::new(4, 2));
+        for i in 0..raw.len() {
+            if !w.marks[i] {
+                continue;
+            }
+            for src in raw[i].srcs.iter() {
+                // Youngest earlier writer of src, if any.
+                let producer = (0..i).rev().find(|&j| raw[j].dsts.contains(src));
+                if let Some(j) = producer {
+                    prop_assert!(
+                        w.marks[j],
+                        "marked uop {i} reads {src} from unmarked producer {j}"
+                    );
+                }
+            }
+        }
+        // Seeds are always marked.
+        for (i, e) in raw.iter().enumerate() {
+            if e.crit_seed {
+                prop_assert!(w.marks[i], "seed {i} unmarked");
+            }
+        }
+    }
+
+    /// The partition controller always resolves sustained one-sided pressure
+    /// within `2*threshold + 2` votes (the worst case carries up to
+    /// `threshold` residual votes for the other side).
+    #[test]
+    fn controller_bounded_response(threshold in 1u64..8, votes in prop::collection::vec(any::<bool>(), 0..100)) {
+        let mut pc = PartitionController::new(threshold, 8);
+        for v in votes {
+            let _ = pc.on_stall_cycle(v);
+        }
+        let mut fired = false;
+        for _ in 0..=2 * threshold + 2 {
+            if pc.on_stall_cycle(true) == Some(Resize::GrowCritical) {
+                fired = true;
+                break;
+            }
+        }
+        prop_assert!(fired, "controller failed to respond to sustained pressure");
+    }
+}

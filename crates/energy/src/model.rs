@@ -1,0 +1,163 @@
+//! The activity-counting energy model.
+
+use crate::params::EnergyParams;
+use crate::Activity;
+
+/// Records activity counts and converts them to energy.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EnergyModel {
+    params: EnergyParams,
+    counts: Vec<u64>,
+}
+
+impl EnergyModel {
+    /// A model with baseline (352-entry-window) parameters.
+    pub fn baseline() -> EnergyModel {
+        EnergyModel::new(EnergyParams::default())
+    }
+
+    /// A model with explicit parameters (e.g. window-scaled for Fig. 17).
+    pub fn new(params: EnergyParams) -> EnergyModel {
+        EnergyModel {
+            counts: vec![0; Activity::ALL.len()],
+            params,
+        }
+    }
+
+    /// The parameter table in use.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Adds `n` events of activity `a`.
+    pub fn record(&mut self, a: Activity, n: u64) {
+        self.counts[a.index()] += n;
+    }
+
+    /// The accumulated count for `a`.
+    pub fn count(&self, a: Activity) -> u64 {
+        self.counts[a.index()]
+    }
+
+    /// Produces an energy report for a run of `cycles` core cycles.
+    pub fn report(&self, cycles: u64) -> EnergyReport {
+        let dynamic_pj: Vec<f64> = Activity::ALL
+            .iter()
+            .map(|&a| self.counts[a.index()] as f64 * self.params.pj(a))
+            .collect();
+        let seconds = cycles as f64 / (self.params.freq_ghz * 1e9);
+        let cdf_active = Activity::ALL
+            .iter()
+            .any(|a| a.is_cdf_structure() && self.counts[a.index()] > 0);
+        let base_static_nj = self.params.base_leakage_mw * 1e-3 * seconds * 1e9;
+        let cdf_static_nj = if cdf_active {
+            self.params.cdf_leakage_mw * 1e-3 * seconds * 1e9
+        } else {
+            0.0
+        };
+        EnergyReport {
+            dynamic_pj,
+            base_static_nj,
+            cdf_static_nj,
+        }
+    }
+}
+
+/// The energy breakdown of a run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EnergyReport {
+    dynamic_pj: Vec<f64>,
+    base_static_nj: f64,
+    cdf_static_nj: f64,
+}
+
+impl EnergyReport {
+    /// Dynamic energy of one activity in nanojoules.
+    pub fn dynamic_of(&self, a: Activity) -> f64 {
+        self.dynamic_pj[a.index()] * 1e-3
+    }
+
+    /// Total dynamic energy in nanojoules.
+    pub fn dynamic_nj(&self) -> f64 {
+        self.dynamic_pj.iter().sum::<f64>() * 1e-3
+    }
+
+    /// Total static (leakage) energy in nanojoules.
+    pub fn static_nj(&self) -> f64 {
+        self.base_static_nj + self.cdf_static_nj
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.dynamic_nj() + self.static_nj()
+    }
+
+    /// Energy attributable to CDF-only structures (dynamic + their leakage),
+    /// in nanojoules — the paper's "energy overhead of all the additional
+    /// structures adds up to 2% of the baseline" (§4.3).
+    pub fn cdf_structures_nj(&self) -> f64 {
+        let dyn_nj: f64 = Activity::ALL
+            .iter()
+            .filter(|a| a.is_cdf_structure())
+            .map(|&a| self.dynamic_of(a))
+            .sum();
+        dyn_nj + self.cdf_static_nj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_counts_give_only_leakage() {
+        let m = EnergyModel::baseline();
+        let r = m.report(3_200_000); // 1 ms at 3.2 GHz
+        assert_eq!(r.dynamic_nj(), 0.0);
+        // 500 mW for 1 ms = 0.5 mJ = 5e5 nJ.
+        assert!((r.static_nj() - 5.0e5).abs() < 1e2, "{}", r.static_nj());
+        // No CDF activity → no CDF leakage charged.
+        assert_eq!(r.cdf_structures_nj(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_counts() {
+        let mut m = EnergyModel::baseline();
+        m.record(Activity::L1Access, 1000);
+        let r1 = m.report(0).dynamic_nj();
+        m.record(Activity::L1Access, 1000);
+        let r2 = m.report(0).dynamic_nj();
+        assert!((r2 - 2.0 * r1).abs() < 1e-9);
+        assert_eq!(m.count(Activity::L1Access), 2000);
+    }
+
+    #[test]
+    fn cdf_leakage_charged_only_when_used() {
+        let mut m = EnergyModel::baseline();
+        let without = m.report(1_000_000).static_nj();
+        m.record(Activity::MaskCacheOp, 1);
+        let with = m.report(1_000_000).static_nj();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn cdf_structure_breakdown() {
+        let mut m = EnergyModel::baseline();
+        m.record(Activity::CriticalUopCacheOp, 100);
+        m.record(Activity::RobWrite, 100);
+        let r = m.report(0);
+        let cdf = r.cdf_structures_nj();
+        assert!(cdf > 0.0);
+        assert!(cdf < r.total_nj());
+    }
+
+    #[test]
+    fn report_total_is_sum() {
+        let mut m = EnergyModel::baseline();
+        m.record(Activity::DramAccess, 10);
+        let r = m.report(1000);
+        assert!((r.total_nj() - r.dynamic_nj() - r.static_nj()).abs() < 1e-12);
+    }
+}

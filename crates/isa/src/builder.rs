@@ -1,0 +1,449 @@
+//! A tiny assembler for constructing [`Program`]s with labels.
+
+use crate::op::{AluOp, Cond, Op};
+use crate::program::{Pc, Program};
+use crate::reg::ArchReg;
+use crate::uop::{MemAddressing, StaticUop};
+use std::error::Error;
+use std::fmt;
+
+/// A forward-referenceable code label created by [`ProgramBuilder::label`]
+/// and placed by [`ProgramBuilder::bind`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error building a [`Program`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// A label was referenced by a branch/jump but never bound.
+    UnboundLabel(String),
+    /// `bind` was called twice on the same label.
+    LabelRebound(String),
+    /// A bound label points past the last uop.
+    LabelAtEnd(String),
+    /// The program contains no uops.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(n) => write!(f, "label `{n}` referenced but never bound"),
+            BuildError::LabelRebound(n) => write!(f, "label `{n}` bound more than once"),
+            BuildError::LabelAtEnd(n) => write!(f, "label `{n}` bound past the last uop"),
+            BuildError::Empty => write!(f, "program contains no uops"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builds [`Program`]s one uop at a time, assembler-style.
+///
+/// This is a non-consuming builder ([C-BUILDER]): configuration methods take
+/// `&mut self` and the terminal [`build`](ProgramBuilder::build) takes
+/// `&self`-by-value semantics via `self` consumption to transfer the uops.
+///
+/// ```
+/// use cdf_isa::{ProgramBuilder, ArchReg::*};
+///
+/// # fn main() -> Result<(), cdf_isa::BuildError> {
+/// let mut b = ProgramBuilder::named("count");
+/// b.movi(R1, 10);
+/// let top = b.label("top");
+/// b.bind(top)?;
+/// b.addi(R1, R1, -1);
+/// b.brnz(R1, top);
+/// b.halt();
+/// let program = b.build()?;
+/// assert_eq!(program.name(), "count");
+/// assert_eq!(program.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    uops: Vec<StaticUop>,
+    /// For each created label: `(name, bound position)`.
+    labels: Vec<(String, Option<Pc>)>,
+    /// `(uop index, label)` fixups to resolve at build time.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with an empty program name.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Creates an empty builder with a program name (shown in reports).
+    pub fn named(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Number of uops emitted so far.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether no uops have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// The `Pc` the next emitted uop will occupy.
+    pub fn here(&self) -> Pc {
+        Pc::new(self.uops.len() as u32)
+    }
+
+    /// Creates a new, unbound label.
+    pub fn label(&mut self, name: impl Into<String>) -> Label {
+        self.labels.push((name.into(), None));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position (the next uop emitted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::LabelRebound`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), BuildError> {
+        let here = self.here();
+        let entry = &mut self.labels[label.0];
+        if entry.1.is_some() {
+            return Err(BuildError::LabelRebound(entry.0.clone()));
+        }
+        entry.1 = Some(here);
+        Ok(())
+    }
+
+    /// Emits a raw uop (escape hatch; prefer the typed emitters below).
+    pub fn push(&mut self, uop: StaticUop) -> &mut Self {
+        self.uops.push(uop);
+        self
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(StaticUop::nop())
+    }
+
+    /// Emits `dst = imm`.
+    pub fn movi(&mut self, dst: ArchReg, imm: i64) -> &mut Self {
+        self.push(StaticUop {
+            op: Op::MovImm,
+            dst: Some(dst),
+            imm,
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits `dst = src` (encoded as `dst = src | 0`).
+    pub fn mov(&mut self, dst: ArchReg, src: ArchReg) -> &mut Self {
+        self.push(StaticUop::alu_imm(AluOp::Or, dst, src, 0))
+    }
+
+    /// Emits `dst = op(a, b)` with two register operands.
+    pub fn alu(&mut self, op: AluOp, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(StaticUop::alu(op, dst, a, b))
+    }
+
+    /// Emits `dst = op(a, imm)`.
+    pub fn alu_imm(&mut self, op: AluOp, dst: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.push(StaticUop::alu_imm(op, dst, a, imm))
+    }
+
+    /// Emits `dst = a + b`.
+    pub fn add(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// Emits `dst = a + imm`.
+    pub fn addi(&mut self, dst: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Add, dst, a, imm)
+    }
+
+    /// Emits `dst = a & imm`.
+    pub fn andi(&mut self, dst: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::And, dst, a, imm)
+    }
+
+    /// Emits `dst = a ^ b`.
+    pub fn xor(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.alu(AluOp::Xor, dst, a, b)
+    }
+
+    /// Emits `dst = a * b`.
+    pub fn mul(&mut self, dst: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.alu(AluOp::Mul, dst, a, b)
+    }
+
+    /// Emits `dst = a << imm`.
+    pub fn shli(&mut self, dst: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Shl, dst, a, imm)
+    }
+
+    /// Emits `dst = a >> imm`.
+    pub fn shri(&mut self, dst: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Shr, dst, a, imm)
+    }
+
+    /// Emits `dst = mem[base + disp]`.
+    pub fn load(&mut self, dst: ArchReg, base: ArchReg, disp: i64) -> &mut Self {
+        self.push(StaticUop {
+            op: Op::Load,
+            dst: Some(dst),
+            mem: MemAddressing {
+                base: Some(base),
+                disp,
+                ..MemAddressing::default()
+            },
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits `dst = mem[base + index*scale + disp]`.
+    pub fn load_idx(
+        &mut self,
+        dst: ArchReg,
+        base: ArchReg,
+        index: ArchReg,
+        scale: u8,
+        disp: i64,
+    ) -> &mut Self {
+        self.push(StaticUop {
+            op: Op::Load,
+            dst: Some(dst),
+            mem: MemAddressing {
+                base: Some(base),
+                index: Some(index),
+                scale,
+                disp,
+            },
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits `dst = mem[index*scale + disp]` (absolute base, like the paper's
+    /// `R4 <- [0x200 + R0]`).
+    pub fn load_abs(&mut self, dst: ArchReg, index: ArchReg, scale: u8, disp: i64) -> &mut Self {
+        self.push(StaticUop {
+            op: Op::Load,
+            dst: Some(dst),
+            mem: MemAddressing {
+                base: None,
+                index: Some(index),
+                scale,
+                disp,
+            },
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits `mem[base + disp] = data`.
+    pub fn store(&mut self, data: ArchReg, base: ArchReg, disp: i64) -> &mut Self {
+        self.push(StaticUop {
+            op: Op::Store,
+            src1: Some(data),
+            mem: MemAddressing {
+                base: Some(base),
+                disp,
+                ..MemAddressing::default()
+            },
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits `mem[base + index*scale + disp] = data`.
+    pub fn store_idx(
+        &mut self,
+        data: ArchReg,
+        base: ArchReg,
+        index: ArchReg,
+        scale: u8,
+        disp: i64,
+    ) -> &mut Self {
+        self.push(StaticUop {
+            op: Op::Store,
+            src1: Some(data),
+            mem: MemAddressing {
+                base: Some(base),
+                index: Some(index),
+                scale,
+                disp,
+            },
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits a conditional branch comparing two registers.
+    pub fn br(&mut self, cond: Cond, a: ArchReg, b: ArchReg, target: Label) -> &mut Self {
+        self.fixups.push((self.uops.len(), target));
+        self.push(StaticUop {
+            op: Op::Branch(cond),
+            src1: Some(a),
+            src2: Some(b),
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits a conditional branch comparing a register to an immediate.
+    pub fn br_imm(&mut self, cond: Cond, a: ArchReg, imm: i64, target: Label) -> &mut Self {
+        self.fixups.push((self.uops.len(), target));
+        self.push(StaticUop {
+            op: Op::Branch(cond),
+            src1: Some(a),
+            imm,
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits "branch if `a == 0`".
+    pub fn brz(&mut self, a: ArchReg, target: Label) -> &mut Self {
+        self.br_imm(Cond::Eq, a, 0, target)
+    }
+
+    /// Emits "branch if `a != 0`".
+    pub fn brnz(&mut self, a: ArchReg, target: Label) -> &mut Self {
+        self.br_imm(Cond::Ne, a, 0, target)
+    }
+
+    /// Emits an unconditional jump.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.fixups.push((self.uops.len(), target));
+        self.push(StaticUop {
+            op: Op::Jump,
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(StaticUop {
+            op: Op::Halt,
+            ..StaticUop::nop()
+        })
+    }
+
+    /// Resolves labels and produces the immutable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program is empty, any referenced label is
+    /// unbound, or a label is bound past the last uop.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        if self.uops.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let len = self.uops.len() as u32;
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let (name, pos) = &self.labels[label.0];
+            let pc = pos.ok_or_else(|| BuildError::UnboundLabel(name.clone()))?;
+            if pc.index() as u32 >= len {
+                return Err(BuildError::LabelAtEnd(name.clone()));
+            }
+            self.uops[idx].target = Some(pc);
+        }
+        Ok(Program::from_uops(self.name, self.uops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg::*;
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new().build(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("nowhere");
+        b.jmp(l);
+        b.halt();
+        assert_eq!(
+            b.build(),
+            Err(BuildError::UnboundLabel("nowhere".to_string()))
+        );
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("twice");
+        b.bind(l).unwrap();
+        b.nop();
+        assert_eq!(b.bind(l), Err(BuildError::LabelRebound("twice".to_string())));
+    }
+
+    #[test]
+    fn label_at_end_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("end");
+        b.jmp(l);
+        b.bind(l).unwrap(); // bound after the last uop
+        assert_eq!(b.build(), Err(BuildError::LabelAtEnd("end".to_string())));
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.label("fwd");
+        let back = b.label("back");
+        b.bind(back).unwrap();
+        b.movi(R1, 1);
+        b.jmp(fwd);
+        b.bind(fwd).unwrap();
+        b.brnz(R1, back);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.uop(Pc::new(1)).target, Some(Pc::new(2)));
+        assert_eq!(p.uop(Pc::new(2)).target, Some(Pc::new(0)));
+    }
+
+    #[test]
+    fn emitters_encode_expected_ops() {
+        let mut b = ProgramBuilder::new();
+        b.load_idx(R1, R2, R3, 8, 16);
+        b.store(R4, R5, -8);
+        b.mov(R6, R7);
+        b.halt();
+        let p = b.build().unwrap();
+        let load = p.uop(Pc::new(0));
+        assert_eq!(load.op, Op::Load);
+        assert_eq!(load.mem.scale, 8);
+        assert_eq!(load.mem.disp, 16);
+        let store = p.uop(Pc::new(1));
+        assert_eq!(store.op, Op::Store);
+        assert_eq!(store.src1, Some(R4));
+        let mov = p.uop(Pc::new(2));
+        assert_eq!(mov.op, Op::Alu(AluOp::Or));
+        assert_eq!(mov.imm, 0);
+    }
+
+    #[test]
+    fn here_tracks_positions() {
+        let mut b = ProgramBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.here(), Pc::new(0));
+        b.nop().nop();
+        assert_eq!(b.here(), Pc::new(2));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn build_error_display() {
+        assert_eq!(
+            BuildError::UnboundLabel("x".into()).to_string(),
+            "label `x` referenced but never bound"
+        );
+        assert_eq!(BuildError::Empty.to_string(), "program contains no uops");
+    }
+}

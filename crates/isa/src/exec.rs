@@ -1,0 +1,427 @@
+//! The functional (oracle) executor.
+//!
+//! Executes a [`Program`] architecturally — no timing, no speculation. The
+//! out-of-order core in `cdf-core` is validated against this executor: for any
+//! program, the retired architectural state of the timing simulator (with or
+//! without CDF/PRE) must match the state produced here.
+
+use crate::mem_image::MemoryImage;
+use crate::op::Op;
+use crate::program::{Pc, Program};
+use crate::reg::{ArchReg, NUM_ARCH_REGS};
+use std::error::Error;
+use std::fmt;
+
+/// Architectural state: registers and data memory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchState {
+    regs: [u64; NUM_ARCH_REGS],
+    mem: MemoryImage,
+}
+
+impl ArchState {
+    /// Creates a state with all registers zero and the given memory image.
+    pub fn new(mem: MemoryImage) -> ArchState {
+        ArchState {
+            regs: [0; NUM_ARCH_REGS],
+            mem,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: ArchReg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: ArchReg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &MemoryImage {
+        &self.mem
+    }
+
+    /// Mutable access to the data memory.
+    pub fn mem_mut(&mut self) -> &mut MemoryImage {
+        &mut self.mem
+    }
+
+    /// All register values in index order (for whole-state comparisons).
+    pub fn regs(&self) -> &[u64; NUM_ARCH_REGS] {
+        &self.regs
+    }
+}
+
+impl Default for ArchState {
+    fn default() -> ArchState {
+        ArchState::new(MemoryImage::new())
+    }
+}
+
+/// What a single functional step did (used by tests and trace tooling).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepEvent {
+    /// The uop executed.
+    pub pc: Pc,
+    /// The next program counter (`None` after `Halt`).
+    pub next_pc: Option<Pc>,
+    /// Effective address and value for a load (`addr, loaded value`).
+    pub load: Option<(u64, u64)>,
+    /// Effective address and value for a store (`addr, stored value`).
+    pub store: Option<(u64, u64)>,
+    /// For conditional branches, whether the branch was taken.
+    pub branch_taken: Option<bool>,
+}
+
+/// Error during functional execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// Control flow left the program (fell off the end or bad target).
+    PcOutOfRange(Pc),
+    /// [`Executor::run`] hit its fuel limit before `Halt`.
+    FuelExhausted,
+    /// [`Executor::step`] was called after the program halted.
+    AlreadyHalted,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange(pc) => write!(f, "control flow left the program at {pc}"),
+            ExecError::FuelExhausted => write!(f, "fuel exhausted before halt"),
+            ExecError::AlreadyHalted => write!(f, "program already halted"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Functional executor over a borrowed [`Program`].
+///
+/// ```
+/// use cdf_isa::{ProgramBuilder, Executor, MemoryImage, ArchReg::*};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.movi(R1, 0x100);
+/// b.load(R2, R1, 0);
+/// b.addi(R2, R2, 1);
+/// b.store(R2, R1, 0);
+/// b.halt();
+/// let p = b.build()?;
+///
+/// let mut mem = MemoryImage::new();
+/// mem.store(0x100, 41);
+/// let mut e = Executor::new(&p, mem);
+/// e.run(100)?;
+/// assert_eq!(e.state().mem().load(0x100), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    state: ArchState,
+    pc: Pc,
+    halted: bool,
+    retired: u64,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor at `pc 0` with the given initial memory.
+    pub fn new(program: &'p Program, mem: MemoryImage) -> Executor<'p> {
+        Executor {
+            program,
+            state: ArchState::new(mem),
+            pc: Pc::new(0),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Creates an executor with a fully specified initial state.
+    pub fn with_state(program: &'p Program, state: ArchState) -> Executor<'p> {
+        Executor {
+            program,
+            state,
+            pc: Pc::new(0),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Current architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Consumes the executor, returning the architectural state.
+    pub fn into_state(self) -> ArchState {
+        self.state
+    }
+
+    /// The next uop to execute.
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Whether the program has executed `Halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of uops executed so far (including the `Halt`).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Executes one uop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::AlreadyHalted`] after `Halt`, or
+    /// [`ExecError::PcOutOfRange`] if control flow leaves the program.
+    pub fn step(&mut self) -> Result<StepEvent, ExecError> {
+        if self.halted {
+            return Err(ExecError::AlreadyHalted);
+        }
+        let pc = self.pc;
+        let uop = self.program.get(pc).ok_or(ExecError::PcOutOfRange(pc))?;
+        let mut ev = StepEvent {
+            pc,
+            next_pc: Some(pc.next()),
+            load: None,
+            store: None,
+            branch_taken: None,
+        };
+        let reg = |r: Option<ArchReg>, s: &ArchState| r.map(|r| s.reg(r)).unwrap_or(0);
+        match uop.op {
+            Op::Nop => {}
+            Op::MovImm => {
+                let d = uop.dst.expect("movi has a destination");
+                self.state.set_reg(d, uop.imm as u64);
+            }
+            Op::Alu(op) => {
+                let a = reg(uop.src1, &self.state);
+                let b = if uop.src2.is_some() {
+                    reg(uop.src2, &self.state)
+                } else {
+                    uop.imm as u64
+                };
+                let d = uop.dst.expect("alu has a destination");
+                self.state.set_reg(d, op.apply(a, b));
+            }
+            Op::Load => {
+                let base = reg(uop.mem.base, &self.state);
+                let index = reg(uop.mem.index, &self.state);
+                let addr = uop.mem.effective(base, index);
+                let v = self.state.mem().load(addr);
+                let d = uop.dst.expect("load has a destination");
+                self.state.set_reg(d, v);
+                ev.load = Some((addr, v));
+            }
+            Op::Store => {
+                let base = reg(uop.mem.base, &self.state);
+                let index = reg(uop.mem.index, &self.state);
+                let addr = uop.mem.effective(base, index);
+                let v = reg(uop.src1, &self.state);
+                self.state.mem_mut().store(addr, v);
+                ev.store = Some((addr, v));
+            }
+            Op::Branch(cond) => {
+                let a = reg(uop.src1, &self.state);
+                let b = if uop.src2.is_some() {
+                    reg(uop.src2, &self.state)
+                } else {
+                    uop.imm as u64
+                };
+                let taken = cond.eval(a, b);
+                ev.branch_taken = Some(taken);
+                if taken {
+                    ev.next_pc = Some(uop.target.expect("branch has a target"));
+                }
+            }
+            Op::Jump => {
+                ev.next_pc = Some(uop.target.expect("jump has a target"));
+            }
+            Op::Halt => {
+                self.halted = true;
+                ev.next_pc = None;
+            }
+        }
+        if let Some(next) = ev.next_pc {
+            self.pc = next;
+        }
+        self.retired += 1;
+        Ok(ev)
+    }
+
+    /// Runs until `Halt`, returning the number of uops executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::FuelExhausted`] if `Halt` is not reached within
+    /// `fuel` steps, or propagates any [`ExecError`] from [`step`](Self::step).
+    pub fn run(&mut self, fuel: u64) -> Result<u64, ExecError> {
+        let start = self.retired;
+        for _ in 0..fuel {
+            if self.halted {
+                return Ok(self.retired - start);
+            }
+            self.step()?;
+        }
+        if self.halted {
+            Ok(self.retired - start)
+        } else {
+            Err(ExecError::FuelExhausted)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::ArchReg::*;
+
+    #[test]
+    fn arithmetic_loop() {
+        // sum = 0; for i in 1..=10 { sum += i }
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 10); // i
+        b.movi(R2, 0); // sum
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.add(R2, R2, R1);
+        b.addi(R1, R1, -1);
+        b.brnz(R1, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p, MemoryImage::new());
+        e.run(1000).unwrap();
+        assert_eq!(e.state().reg(R2), 55);
+        assert!(e.is_halted());
+    }
+
+    #[test]
+    fn memory_round_trip_and_events() {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 0x1000);
+        b.movi(R2, 99);
+        b.store(R2, R1, 8);
+        b.load(R3, R1, 8);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p, MemoryImage::new());
+        e.step().unwrap();
+        e.step().unwrap();
+        let st = e.step().unwrap();
+        assert_eq!(st.store, Some((0x1008, 99)));
+        let ld = e.step().unwrap();
+        assert_eq!(ld.load, Some((0x1008, 99)));
+        assert_eq!(e.state().reg(R3), 99);
+    }
+
+    #[test]
+    fn branch_events_and_jump() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label("skip");
+        b.movi(R1, 1);
+        b.brnz(R1, skip);
+        b.movi(R2, 111); // skipped
+        b.bind(skip).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p, MemoryImage::new());
+        e.step().unwrap();
+        let br = e.step().unwrap();
+        assert_eq!(br.branch_taken, Some(true));
+        assert_eq!(br.next_pc, Some(Pc::new(3)));
+        e.step().unwrap();
+        assert!(e.is_halted());
+        assert_eq!(e.state().reg(R2), 0);
+    }
+
+    #[test]
+    fn falling_off_the_end_errors() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.nop();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p, MemoryImage::new());
+        e.step().unwrap();
+        e.step().unwrap();
+        assert_eq!(e.step(), Err(ExecError::PcOutOfRange(Pc::new(2))));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.jmp(top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p, MemoryImage::new());
+        assert_eq!(e.run(100), Err(ExecError::FuelExhausted));
+    }
+
+    #[test]
+    fn step_after_halt_errors() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p, MemoryImage::new());
+        assert_eq!(e.run(10).unwrap(), 1);
+        assert_eq!(e.step(), Err(ExecError::AlreadyHalted));
+        // run() after halt is a no-op returning 0 steps.
+        assert_eq!(e.run(10).unwrap(), 0);
+    }
+
+    #[test]
+    fn with_state_preserves_registers() {
+        let mut b = ProgramBuilder::new();
+        b.addi(R2, R1, 5);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut st = ArchState::default();
+        st.set_reg(R1, 37);
+        let mut e = Executor::with_state(&p, st);
+        e.run(10).unwrap();
+        assert_eq!(e.state().reg(R2), 42);
+    }
+
+    #[test]
+    fn paper_fig5_code_shape_executes() {
+        // The Fig. 5 fill-buffer example: I0..I8 with loads, shift, store,
+        // loop-closing branch. Checks our ISA can express the paper's example.
+        let mut b = ProgramBuilder::new();
+        b.movi(R0, 2); // loop counter
+        b.movi(R3, 0x800); // chain table base
+        let i0 = b.label("i0");
+        let done = b.label("done");
+        b.bind(i0).unwrap();
+        b.addi(R0, R0, -1); // I0: R0 <- R0 - 1
+        b.brz(R0, done); // I1: BRZ (exits loop when R0 == 0)
+        b.load_idx(R1, R3, R0, 8, 0); // I3: R1 <- [R3 + R0]
+        b.load_abs(R4, R0, 8, 0x200); // I4: R4 <- [0x200 + R0]
+        b.shri(R5, R4, 2); // I5: R5 <- R4 >> 2
+        b.load(R2, R1, 0); // I6: R2 <- [R1]
+        b.store_idx(R2, R0, R5, 8, 0x300); // I7: [0x300 + R5] <- R2  (approx)
+        b.jmp(i0); // I8: BRNZ I0
+        b.bind(done).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut mem = MemoryImage::new();
+        mem.store(0x808, 0x4000); // chain pointer for R0 == 1
+        mem.store(0x4000, 777); // pointee
+        mem.store(0x208, 40); // [0x200 + 8]
+        let mut e = Executor::new(&p, mem);
+        e.run(1000).unwrap();
+        assert_eq!(e.state().reg(R2), 777);
+        assert!(e.is_halted());
+    }
+}

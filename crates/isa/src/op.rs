@@ -1,0 +1,240 @@
+//! Opcodes: ALU operation kinds, branch conditions, and the top-level [`Op`].
+
+use std::fmt;
+
+/// Arithmetic/logic operation performed by an [`Op::Alu`] uop.
+///
+/// Integer and floating-point classes are distinguished because the timing
+/// core assigns them different execution latencies and port classes (the
+/// paper's baseline is a 6-wide Sunny-Cove-like core). FP ops operate on the
+/// same 64-bit values; their *semantics* are integer-like but their *timing*
+/// is FP-like, which is all the microarchitecture observes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// 64-bit wrapping add.
+    Add,
+    /// 64-bit wrapping subtract.
+    Sub,
+    /// 64-bit wrapping multiply (longer latency).
+    Mul,
+    /// 64-bit unsigned divide (long latency; divide by zero yields 0).
+    Div,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Shl,
+    /// Logical shift right (shift amount masked to 6 bits).
+    Shr,
+    /// Floating-point-class add (integer semantics, FP latency/port).
+    FAdd,
+    /// Floating-point-class multiply (integer semantics, FP latency/port).
+    FMul,
+    /// Floating-point-class divide (integer semantics, FP latency/port).
+    FDiv,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit operands.
+    ///
+    /// Division by zero returns 0 rather than trapping; the simulated ISA has
+    /// no exceptions.
+    ///
+    /// ```
+    /// use cdf_isa::AluOp;
+    /// assert_eq!(AluOp::Add.apply(3, 4), 7);
+    /// assert_eq!(AluOp::Div.apply(10, 0), 0);
+    /// assert_eq!(AluOp::Shl.apply(1, 65), 2); // shift masked to 6 bits
+    /// ```
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add | AluOp::FAdd => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul | AluOp::FMul => a.wrapping_mul(b),
+            AluOp::Div | AluOp::FDiv => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+            AluOp::Shr => a >> (b & 63),
+        }
+    }
+
+    /// Whether this operation executes on the floating-point port class.
+    pub fn is_fp(self) -> bool {
+        matches!(self, AluOp::FAdd | AluOp::FMul | AluOp::FDiv)
+    }
+}
+
+/// Condition evaluated by a conditional branch.
+///
+/// The branch compares its first source operand against its second operand
+/// (a register or an immediate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Taken if `a == b`.
+    Eq,
+    /// Taken if `a != b`.
+    Ne,
+    /// Taken if `a < b` (unsigned).
+    Ltu,
+    /// Taken if `a >= b` (unsigned).
+    Geu,
+    /// Taken if `a < b` (signed).
+    Lt,
+    /// Taken if `a >= b` (signed).
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 64-bit operands.
+    ///
+    /// ```
+    /// use cdf_isa::Cond;
+    /// assert!(Cond::Eq.eval(5, 5));
+    /// assert!(Cond::Lt.eval(u64::MAX, 0)); // signed: -1 < 0
+    /// assert!(!Cond::Ltu.eval(u64::MAX, 0));
+    /// ```
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+        }
+    }
+}
+
+/// The operation class of a static uop.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// No operation.
+    Nop,
+    /// `dst = imm`.
+    MovImm,
+    /// `dst = alu(src1, src2-or-imm)`.
+    Alu(AluOp),
+    /// `dst = mem[base + index*scale + disp]` (8-byte load).
+    Load,
+    /// `mem[base + index*scale + disp] = data` (8-byte store).
+    Store,
+    /// Conditional branch: `if cond(src1, src2-or-imm) goto target`.
+    Branch(Cond),
+    /// Unconditional jump to `target`.
+    Jump,
+    /// Stops the program.
+    Halt,
+}
+
+impl Op {
+    /// Whether the uop reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Load)
+    }
+
+    /// Whether the uop writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Store)
+    }
+
+    /// Whether the uop is a memory operation (load or store).
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether the uop is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Op::Branch(_))
+    }
+
+    /// Whether the uop may redirect control flow (branch or jump).
+    pub fn is_control(self) -> bool {
+        matches!(self, Op::Branch(_) | Op::Jump)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Nop => write!(f, "nop"),
+            Op::MovImm => write!(f, "movi"),
+            Op::Alu(a) => write!(f, "{}", format!("{a:?}").to_lowercase()),
+            Op::Load => write!(f, "load"),
+            Op::Store => write!(f, "store"),
+            Op::Branch(c) => write!(f, "br.{}", format!("{c:?}").to_lowercase()),
+            Op::Jump => write!(f, "jmp"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 5), 15);
+        assert_eq!(AluOp::Div.apply(17, 5), 3);
+        assert_eq!(AluOp::Div.apply(17, 0), 0);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 3), 8);
+        assert_eq!(AluOp::Shr.apply(8, 3), 1);
+    }
+
+    #[test]
+    fn fp_class() {
+        assert!(AluOp::FAdd.is_fp());
+        assert!(AluOp::FDiv.is_fp());
+        assert!(!AluOp::Add.is_fp());
+        // FP-class ops still compute integer results (timing-only distinction).
+        assert_eq!(AluOp::FAdd.apply(2, 2), 4);
+        assert_eq!(AluOp::FDiv.apply(9, 0), 0);
+    }
+
+    #[test]
+    fn cond_signed_vs_unsigned() {
+        let minus_one = u64::MAX;
+        assert!(Cond::Lt.eval(minus_one, 0));
+        assert!(!Cond::Ge.eval(minus_one, 0));
+        assert!(Cond::Geu.eval(minus_one, 0));
+        assert!(!Cond::Ltu.eval(minus_one, 0));
+        assert!(Cond::Ne.eval(1, 2));
+        assert!(!Cond::Eq.eval(1, 2));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::Load.is_load());
+        assert!(Op::Load.is_mem());
+        assert!(!Op::Load.is_store());
+        assert!(Op::Store.is_mem());
+        assert!(Op::Branch(Cond::Eq).is_cond_branch());
+        assert!(Op::Branch(Cond::Eq).is_control());
+        assert!(Op::Jump.is_control());
+        assert!(!Op::Jump.is_cond_branch());
+        assert!(!Op::Alu(AluOp::Add).is_control());
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(Op::Load.to_string(), "load");
+        assert_eq!(Op::Alu(AluOp::FMul).to_string(), "fmul");
+        assert_eq!(Op::Branch(Cond::Ne).to_string(), "br.ne");
+    }
+}

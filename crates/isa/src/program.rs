@@ -1,0 +1,360 @@
+//! Static programs and basic-block (CFG) analysis.
+
+use crate::op::Op;
+use crate::uop::StaticUop;
+use std::fmt;
+
+/// A program counter: the index of a uop within a [`Program`].
+///
+/// The simulated fetch unit converts a `Pc` into a byte address
+/// (`code_base + 4 * pc`) when probing the I-cache; at the ISA level a `Pc`
+/// is simply an index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u32);
+
+impl Pc {
+    /// Creates a `Pc` from a uop index.
+    pub fn new(index: u32) -> Pc {
+        Pc(index)
+    }
+
+    /// The uop index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next sequential `Pc`.
+    #[must_use]
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+
+    /// Byte address of this uop given a code base address (4 bytes per uop
+    /// slot, matching the Critical Uop Cache tag granularity).
+    pub fn byte_addr(self, code_base: u64) -> u64 {
+        code_base + 4 * self.0 as u64
+    }
+}
+
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{}", self.0)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// A basic block: a maximal straight-line run of uops.
+///
+/// Blocks are what the Mask Cache and Critical Uop Cache are keyed on
+/// (paper §3.2: "the critical uops corresponding to the basic block are
+/// collected into a trace ... tagged with the first instruction in the basic
+/// block").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BasicBlock {
+    /// First uop of the block.
+    pub start: Pc,
+    /// Number of uops in the block (always ≥ 1).
+    pub len: u32,
+    /// Whether the block ends in a conditional branch (the "ends in a branch"
+    /// bit stored per Critical Uop Cache trace, Fig. 7).
+    pub ends_in_cond_branch: bool,
+    /// Whether the block ends in an unconditional jump.
+    pub ends_in_jump: bool,
+}
+
+impl BasicBlock {
+    /// `Pc` one past the last uop of the block.
+    pub fn end(&self) -> Pc {
+        Pc(self.start.0 + self.len)
+    }
+
+    /// The last uop of the block.
+    pub fn last(&self) -> Pc {
+        Pc(self.start.0 + self.len - 1)
+    }
+
+    /// Whether `pc` lies inside this block.
+    pub fn contains(&self, pc: Pc) -> bool {
+        pc >= self.start && pc < self.end()
+    }
+}
+
+/// An immutable static program: a sequence of uops plus its basic-block
+/// decomposition.
+///
+/// Construct programs with [`crate::ProgramBuilder`]; `Program` itself
+/// guarantees that all branch targets are in range and that the block
+/// decomposition covers every uop exactly once.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    uops: Vec<StaticUop>,
+    blocks: Vec<BasicBlock>,
+    /// For each uop index, the id of the containing block.
+    block_of: Vec<BlockId>,
+    name: String,
+}
+
+impl Program {
+    /// Builds a program from validated uops. Internal to the crate: use
+    /// [`crate::ProgramBuilder`].
+    pub(crate) fn from_uops(name: String, uops: Vec<StaticUop>) -> Program {
+        let blocks = compute_blocks(&uops);
+        let mut block_of = vec![BlockId(0); uops.len()];
+        for (i, b) in blocks.iter().enumerate() {
+            for pc in b.start.0..b.end().0 {
+                block_of[pc as usize] = BlockId(i as u32);
+            }
+        }
+        Program {
+            uops,
+            blocks,
+            block_of,
+            name,
+        }
+    }
+
+    /// The program's human-readable name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static uops.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the program has no uops (never true for built programs).
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// The uop at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn uop(&self, pc: Pc) -> &StaticUop {
+        &self.uops[pc.index()]
+    }
+
+    /// The uop at `pc`, or `None` if out of range.
+    pub fn get(&self, pc: Pc) -> Option<&StaticUop> {
+        self.uops.get(pc.index())
+    }
+
+    /// Iterates over `(Pc, &StaticUop)` in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &StaticUop)> {
+        self.uops
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (Pc(i as u32), u))
+    }
+
+    /// The basic blocks of the program in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn block_of(&self, pc: Pc) -> BlockId {
+        self.block_of[pc.index()]
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// The block starting exactly at `pc`, if any.
+    pub fn block_starting_at(&self, pc: Pc) -> Option<BlockId> {
+        let id = *self.block_of.get(pc.index())?;
+        (self.block(id).start == pc).then_some(id)
+    }
+
+    /// Renders the program as an assembly-style listing, one uop per line,
+    /// with block boundaries marked. Useful for debugging generated kernels
+    /// and inspecting what the CDF machinery learned (see the
+    /// `criticality_inspector` example).
+    ///
+    /// ```
+    /// use cdf_isa::{ProgramBuilder, ArchReg::*};
+    /// let mut b = ProgramBuilder::named("tiny");
+    /// b.movi(R1, 2);
+    /// let top = b.label("top");
+    /// b.bind(top).unwrap();
+    /// b.addi(R1, R1, -1);
+    /// b.brnz(R1, top);
+    /// b.halt();
+    /// let text = b.build().unwrap().disassemble();
+    /// assert!(text.contains("block b1"));
+    /// assert!(text.contains("add R1 R1 #-1"));
+    /// ```
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        if !self.name.is_empty() {
+            out.push_str(&format!("; program `{}`: {} uops, {} blocks\n", self.name, self.len(), self.blocks.len()));
+        }
+        for (i, block) in self.blocks.iter().enumerate() {
+            let kind = if block.ends_in_cond_branch {
+                "ends in branch"
+            } else if block.ends_in_jump {
+                "ends in jump"
+            } else {
+                "falls through"
+            };
+            out.push_str(&format!("block b{i} @ {} (len {}, {kind}):\n", block.start, block.len));
+            for o in 0..block.len {
+                let pc = Pc(block.start.0 + o);
+                out.push_str(&format!("  {pc:>6}  {}\n", self.uop(pc)));
+            }
+        }
+        out
+    }
+}
+
+/// Leader analysis: block starts are uop 0, branch/jump targets, and
+/// fall-throughs after control uops and `Halt`.
+fn compute_blocks(uops: &[StaticUop]) -> Vec<BasicBlock> {
+    if uops.is_empty() {
+        return Vec::new();
+    }
+    let n = uops.len();
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for (i, u) in uops.iter().enumerate() {
+        if let Some(t) = u.target {
+            if t.index() < n {
+                leader[t.index()] = true;
+            }
+        }
+        if (u.op.is_control() || u.op == Op::Halt) && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=n {
+        if i == n || leader[i] {
+            let last = &uops[i - 1];
+            blocks.push(BasicBlock {
+                start: Pc(start as u32),
+                len: (i - start) as u32,
+                ends_in_cond_branch: last.op.is_cond_branch(),
+                ends_in_jump: last.op == Op::Jump,
+            });
+            start = i;
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::ArchReg::*;
+
+    fn loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 4);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.addi(R2, R2, 1);
+        b.addi(R1, R1, -1);
+        b.brnz(R1, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pc_basics() {
+        let pc = Pc::new(7);
+        assert_eq!(pc.index(), 7);
+        assert_eq!(pc.next(), Pc::new(8));
+        assert_eq!(pc.byte_addr(0x1000), 0x1000 + 28);
+        assert_eq!(pc.to_string(), "pc7");
+    }
+
+    #[test]
+    fn blocks_cover_program_exactly_once() {
+        let p = loop_program();
+        let total: u32 = p.blocks().iter().map(|b| b.len).sum();
+        assert_eq!(total as usize, p.len());
+        // Blocks are contiguous and ordered.
+        let mut next = Pc::new(0);
+        for b in p.blocks() {
+            assert_eq!(b.start, next);
+            next = b.end();
+        }
+    }
+
+    #[test]
+    fn loop_block_structure() {
+        let p = loop_program();
+        // Blocks: [movi], [addi,addi,brnz], [halt]
+        assert_eq!(p.blocks().len(), 3);
+        assert_eq!(p.blocks()[0].len, 1);
+        assert_eq!(p.blocks()[1].len, 3);
+        assert!(p.blocks()[1].ends_in_cond_branch);
+        assert!(!p.blocks()[1].ends_in_jump);
+        assert_eq!(p.blocks()[2].len, 1);
+        // block_of is consistent.
+        assert_eq!(p.block_of(Pc::new(0)), BlockId(0));
+        assert_eq!(p.block_of(Pc::new(2)), BlockId(1));
+        assert_eq!(p.block_of(Pc::new(4)), BlockId(2));
+        assert_eq!(p.block_starting_at(Pc::new(1)), Some(BlockId(1)));
+        assert_eq!(p.block_starting_at(Pc::new(2)), None);
+    }
+
+    #[test]
+    fn jump_creates_block_boundary() {
+        let mut b = ProgramBuilder::new();
+        let out = b.label("out");
+        b.movi(R1, 1);
+        b.jmp(out);
+        b.movi(R2, 2); // unreachable but still a block
+        b.bind(out).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.blocks().len(), 3);
+        assert!(p.blocks()[0].ends_in_jump);
+        assert!(p.block(BlockId(0)).contains(Pc::new(1)));
+        assert!(!p.block(BlockId(0)).contains(Pc::new(2)));
+        assert_eq!(p.block(BlockId(0)).last(), Pc::new(1));
+    }
+
+    #[test]
+    fn disassembly_lists_every_uop() {
+        let p = loop_program();
+        let text = p.disassemble();
+        assert_eq!(text.matches("pc").count() >= p.len(), true);
+        for (_, uop) in p.iter() {
+            assert!(text.contains(&uop.to_string()), "{uop}");
+        }
+        assert!(text.contains("ends in branch"));
+    }
+
+    #[test]
+    fn iter_matches_indexing() {
+        let p = loop_program();
+        for (pc, u) in p.iter() {
+            assert_eq!(p.uop(pc), u);
+            assert_eq!(p.get(pc), Some(u));
+        }
+        assert!(p.get(Pc::new(p.len() as u32)).is_none());
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Architectural registers and register bit-vectors.
+
+use std::fmt;
+
+/// Number of architectural integer registers in the uop ISA.
+///
+/// Thirty-two registers fit comfortably in the 64-bit read/write bit-vectors
+/// that each Fill Buffer entry carries (paper §3.2, Fig. 6).
+pub const NUM_ARCH_REGS: usize = 32;
+
+macro_rules! arch_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        /// An architectural register (`R0`–`R31`).
+        ///
+        /// `R0` is an ordinary register, not a hard-wired zero; workloads that
+        /// want a zero register simply never write to one.
+        ///
+        /// ```
+        /// use cdf_isa::ArchReg;
+        /// let r = ArchReg::new(3).unwrap();
+        /// assert_eq!(r, ArchReg::R3);
+        /// assert_eq!(r.index(), 3);
+        /// assert!(ArchReg::new(32).is_none());
+        /// ```
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        pub enum ArchReg {
+            $(
+                #[doc = concat!("Register ", stringify!($name), ".")]
+                $name = $idx,
+            )*
+        }
+
+        impl ArchReg {
+            const ALL: [ArchReg; NUM_ARCH_REGS] = [$(ArchReg::$name),*];
+        }
+    };
+}
+
+arch_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+}
+
+impl ArchReg {
+    /// Creates a register from an index, returning `None` if the index is out
+    /// of range (`>= NUM_ARCH_REGS`).
+    pub fn new(index: usize) -> Option<ArchReg> {
+        ArchReg::ALL.get(index).copied()
+    }
+
+    /// The register's index in `0..NUM_ARCH_REGS`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Iterates over every architectural register in index order.
+    ///
+    /// ```
+    /// use cdf_isa::ArchReg;
+    /// assert_eq!(ArchReg::all().count(), cdf_isa::NUM_ARCH_REGS);
+    /// ```
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        ArchReg::ALL.into_iter()
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", *self as u8)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", *self as u8)
+    }
+}
+
+/// A set of architectural registers, stored as a 64-bit mask.
+///
+/// This is the "bit vector for the registers written to and read by the uop"
+/// that each Fill Buffer entry records (paper §3.2), and the working set the
+/// backwards dataflow walk maintains while marking dependence chains.
+///
+/// ```
+/// use cdf_isa::{ArchReg, RegSet};
+/// let mut s = RegSet::EMPTY;
+/// s.insert(ArchReg::R1);
+/// s.insert(ArchReg::R5);
+/// assert!(s.contains(ArchReg::R1));
+/// assert!(!s.contains(ArchReg::R2));
+/// assert_eq!(s.len(), 2);
+/// let t = RegSet::from_iter([ArchReg::R5, ArchReg::R9]);
+/// assert!(s.intersects(t));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(u64);
+
+impl RegSet {
+    /// The empty register set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Creates an empty set (same as [`RegSet::EMPTY`]).
+    pub fn new() -> RegSet {
+        RegSet::EMPTY
+    }
+
+    /// Adds a register to the set.
+    pub fn insert(&mut self, r: ArchReg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Removes a register from the set.
+    pub fn remove(&mut self, r: ArchReg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Whether the set contains `r`.
+    pub fn contains(self, r: ArchReg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the two sets share any register.
+    pub fn intersects(self, other: RegSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    #[must_use]
+    pub fn difference(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Iterates over the registers in the set in index order.
+    pub fn iter(self) -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS as u8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(|i| ArchReg::new(i as usize).unwrap())
+    }
+
+    /// The raw 64-bit mask (the Fill Buffer storage format).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+}
+
+impl FromIterator<ArchReg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = ArchReg>>(iter: I) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<ArchReg> for RegSet {
+    fn extend<I: IntoIterator<Item = ArchReg>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_bounds() {
+        assert_eq!(ArchReg::new(0), Some(ArchReg::R0));
+        assert_eq!(ArchReg::new(31), Some(ArchReg::R31));
+        assert_eq!(ArchReg::new(32), None);
+        assert_eq!(ArchReg::new(usize::MAX), None);
+    }
+
+    #[test]
+    fn arch_reg_display() {
+        assert_eq!(ArchReg::R17.to_string(), "R17");
+        assert_eq!(format!("{:?}", ArchReg::R4), "R4");
+    }
+
+    #[test]
+    fn regset_insert_remove() {
+        let mut s = RegSet::new();
+        assert!(s.is_empty());
+        s.insert(ArchReg::R7);
+        assert!(s.contains(ArchReg::R7));
+        assert_eq!(s.len(), 1);
+        s.insert(ArchReg::R7); // idempotent
+        assert_eq!(s.len(), 1);
+        s.remove(ArchReg::R7);
+        assert!(s.is_empty());
+        s.remove(ArchReg::R7); // removing absent reg is a no-op
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn regset_ops() {
+        let a = RegSet::from_iter([ArchReg::R1, ArchReg::R2]);
+        let b = RegSet::from_iter([ArchReg::R2, ArchReg::R3]);
+        assert!(a.intersects(b));
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.difference(b), RegSet::from_iter([ArchReg::R1]));
+        assert!(!a.difference(b).intersects(b));
+    }
+
+    #[test]
+    fn regset_iter_ordered() {
+        let s = RegSet::from_iter([ArchReg::R31, ArchReg::R0, ArchReg::R16]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![ArchReg::R0, ArchReg::R16, ArchReg::R31]);
+    }
+
+    #[test]
+    fn regset_all_regs_fit() {
+        let s: RegSet = ArchReg::all().collect();
+        assert_eq!(s.len(), NUM_ARCH_REGS);
+        assert_eq!(s.bits(), u64::MAX >> (64 - NUM_ARCH_REGS));
+    }
+
+    #[test]
+    fn regset_debug_nonempty() {
+        assert_eq!(format!("{:?}", RegSet::EMPTY), "{}");
+        let s = RegSet::from_iter([ArchReg::R2]);
+        assert_eq!(format!("{s:?}"), "{R2}");
+    }
+}

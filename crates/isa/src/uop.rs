@@ -1,0 +1,275 @@
+//! Static uops: the decoded-instruction records stored in a [`crate::Program`].
+
+use crate::op::{AluOp, Cond, Op};
+use crate::program::Pc;
+use crate::reg::{ArchReg, RegSet};
+use std::fmt;
+
+/// Memory addressing mode: `base + index * scale + disp`.
+///
+/// This mirrors the x86-style addressing the paper's examples use
+/// (e.g. `R4 <- [0x200 + R0]` in Fig. 5): a base register, an optional scaled
+/// index register, and a signed displacement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MemAddressing {
+    /// Base address register (`None` means base 0, i.e. absolute addressing).
+    pub base: Option<ArchReg>,
+    /// Optional index register.
+    pub index: Option<ArchReg>,
+    /// Scale applied to the index register's value (typically 1 or 8).
+    pub scale: u8,
+    /// Signed displacement added to the address.
+    pub disp: i64,
+}
+
+impl MemAddressing {
+    /// Computes the effective address given operand values.
+    ///
+    /// `base_val` / `index_val` must be the values of the respective registers
+    /// (ignored if the register is absent).
+    ///
+    /// ```
+    /// use cdf_isa::{MemAddressing, ArchReg};
+    /// let m = MemAddressing {
+    ///     base: Some(ArchReg::R1),
+    ///     index: Some(ArchReg::R2),
+    ///     scale: 8,
+    ///     disp: 0x200,
+    /// };
+    /// assert_eq!(m.effective(0x1000, 3), 0x1000 + 3 * 8 + 0x200);
+    /// ```
+    pub fn effective(&self, base_val: u64, index_val: u64) -> u64 {
+        let mut addr = if self.base.is_some() { base_val } else { 0 };
+        if self.index.is_some() {
+            addr = addr.wrapping_add(index_val.wrapping_mul(self.scale as u64));
+        }
+        addr.wrapping_add(self.disp as u64)
+    }
+
+    /// Registers read to form the address.
+    pub fn regs(&self) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        if let Some(b) = self.base {
+            s.insert(b);
+        }
+        if let Some(i) = self.index {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// A static (decoded) uop.
+///
+/// Fields are public in the C-struct spirit: a `StaticUop` is passive data
+/// validated by [`crate::ProgramBuilder::build`], after which it is immutable
+/// inside a [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StaticUop {
+    /// Operation class.
+    pub op: Op,
+    /// Destination register (ALU results, load data).
+    pub dst: Option<ArchReg>,
+    /// First source register (ALU operand, branch operand, store data).
+    pub src1: Option<ArchReg>,
+    /// Second source register (ALU/branch second operand when not immediate).
+    pub src2: Option<ArchReg>,
+    /// Immediate operand (second ALU/branch operand when `src2` is `None`).
+    pub imm: i64,
+    /// Addressing fields for loads and stores.
+    pub mem: MemAddressing,
+    /// Branch/jump target.
+    pub target: Option<Pc>,
+}
+
+impl StaticUop {
+    /// A uop that performs no work (useful as a default/placeholder).
+    pub fn nop() -> StaticUop {
+        StaticUop {
+            op: Op::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            mem: MemAddressing::default(),
+            target: None,
+        }
+    }
+
+    /// All architectural registers this uop reads.
+    ///
+    /// For loads this is the addressing registers; for stores the addressing
+    /// registers plus the data register (`src1`); for ALU ops and branches the
+    /// operand registers.
+    ///
+    /// ```
+    /// use cdf_isa::{ProgramBuilder, ArchReg, RegSet};
+    /// let mut b = ProgramBuilder::new();
+    /// b.store(ArchReg::R3, ArchReg::R1, 8); // mem[R1+8] = R3
+    /// b.halt();
+    /// let p = b.build().unwrap();
+    /// let srcs = p.uop(cdf_isa::Pc::new(0)).srcs();
+    /// assert!(srcs.contains(ArchReg::R1) && srcs.contains(ArchReg::R3));
+    /// ```
+    pub fn srcs(&self) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        match self.op {
+            Op::Load => s = self.mem.regs(),
+            Op::Store => {
+                s = self.mem.regs();
+                if let Some(d) = self.src1 {
+                    s.insert(d);
+                }
+            }
+            Op::Alu(_) | Op::Branch(_) => {
+                if let Some(a) = self.src1 {
+                    s.insert(a);
+                }
+                if let Some(b) = self.src2 {
+                    s.insert(b);
+                }
+            }
+            Op::Nop | Op::MovImm | Op::Jump | Op::Halt => {}
+        }
+        s
+    }
+
+    /// The architectural register this uop writes, if any.
+    pub fn dst_set(&self) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        if let Some(d) = self.dst {
+            s.insert(d);
+        }
+        s
+    }
+
+    /// Convenience constructor for an ALU uop (`dst = op(src1, src2)`).
+    pub fn alu(op: AluOp, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> StaticUop {
+        StaticUop {
+            op: Op::Alu(op),
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..StaticUop::nop()
+        }
+    }
+
+    /// Convenience constructor for an ALU-immediate uop (`dst = op(src1, imm)`).
+    pub fn alu_imm(op: AluOp, dst: ArchReg, src1: ArchReg, imm: i64) -> StaticUop {
+        StaticUop {
+            op: Op::Alu(op),
+            dst: Some(dst),
+            src1: Some(src1),
+            imm,
+            ..StaticUop::nop()
+        }
+    }
+
+    /// Convenience constructor for a conditional branch comparing `src1`
+    /// against an immediate.
+    pub fn branch_imm(cond: Cond, src1: ArchReg, imm: i64, target: Pc) -> StaticUop {
+        StaticUop {
+            op: Op::Branch(cond),
+            src1: Some(src1),
+            imm,
+            target: Some(target),
+            ..StaticUop::nop()
+        }
+    }
+}
+
+impl fmt::Display for StaticUop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(a) = self.src1 {
+            write!(f, " {a}")?;
+        }
+        if let Some(b) = self.src2 {
+            write!(f, " {b}")?;
+        } else if matches!(self.op, Op::Alu(_) | Op::Branch(_) | Op::MovImm) {
+            write!(f, " #{}", self.imm)?;
+        }
+        if self.op.is_mem() {
+            write!(f, " [")?;
+            if let Some(b) = self.mem.base {
+                write!(f, "{b}")?;
+            }
+            if let Some(i) = self.mem.index {
+                write!(f, "+{i}*{}", self.mem.scale)?;
+            }
+            write!(f, "{:+}]", self.mem.disp)?;
+        }
+        if let Some(t) = self.target {
+            write!(f, " -> {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_address_modes() {
+        let abs = MemAddressing {
+            base: None,
+            index: None,
+            scale: 0,
+            disp: 0x400,
+        };
+        assert_eq!(abs.effective(123, 456), 0x400);
+
+        let neg = MemAddressing {
+            base: Some(ArchReg::R1),
+            index: None,
+            scale: 0,
+            disp: -8,
+        };
+        assert_eq!(neg.effective(0x100, 0), 0xF8);
+
+        let wrap = MemAddressing {
+            base: Some(ArchReg::R1),
+            index: Some(ArchReg::R2),
+            scale: 8,
+            disp: 0,
+        };
+        assert_eq!(wrap.effective(u64::MAX, 1), 7); // wrapping add
+    }
+
+    #[test]
+    fn srcs_for_each_class() {
+        let u = StaticUop::alu(AluOp::Add, ArchReg::R1, ArchReg::R2, ArchReg::R3);
+        assert_eq!(u.srcs(), RegSet::from_iter([ArchReg::R2, ArchReg::R3]));
+        assert_eq!(u.dst_set(), RegSet::from_iter([ArchReg::R1]));
+
+        let u = StaticUop::alu_imm(AluOp::Shl, ArchReg::R1, ArchReg::R1, 3);
+        assert_eq!(u.srcs(), RegSet::from_iter([ArchReg::R1]));
+
+        let load = StaticUop {
+            op: Op::Load,
+            dst: Some(ArchReg::R4),
+            mem: MemAddressing {
+                base: Some(ArchReg::R5),
+                index: Some(ArchReg::R6),
+                scale: 8,
+                disp: 0,
+            },
+            ..StaticUop::nop()
+        };
+        assert_eq!(load.srcs(), RegSet::from_iter([ArchReg::R5, ArchReg::R6]));
+
+        let nop = StaticUop::nop();
+        assert!(nop.srcs().is_empty());
+        assert!(nop.dst_set().is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let u = StaticUop::alu_imm(AluOp::Add, ArchReg::R2, ArchReg::R2, -1);
+        assert_eq!(u.to_string(), "add R2 R2 #-1");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the ISA layer: data-structure models and structural
+//! invariants of built programs.
+
+use cdf_isa::{
+    AluOp, ArchReg, Cond, MemoryImage, Pc, ProgramBuilder, RegSet, NUM_ARCH_REGS,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn arch_reg() -> impl Strategy<Value = ArchReg> {
+    (0..NUM_ARCH_REGS).prop_map(|i| ArchReg::new(i).expect("in range"))
+}
+
+proptest! {
+    /// RegSet behaves exactly like a HashSet<ArchReg> under inserts/removes.
+    #[test]
+    fn regset_matches_hashset(ops in prop::collection::vec((arch_reg(), any::<bool>()), 0..64)) {
+        let mut set = RegSet::new();
+        let mut model: HashSet<ArchReg> = HashSet::new();
+        for (r, insert) in ops {
+            if insert {
+                set.insert(r);
+                model.insert(r);
+            } else {
+                set.remove(r);
+                model.remove(&r);
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.contains(r), model.contains(&r));
+        }
+        let collected: HashSet<ArchReg> = set.iter().collect();
+        prop_assert_eq!(collected, model);
+    }
+
+    /// Union/difference/intersects agree with the set-theoretic model.
+    #[test]
+    fn regset_algebra(a in prop::collection::vec(arch_reg(), 0..32),
+                      b in prop::collection::vec(arch_reg(), 0..32)) {
+        let sa: RegSet = a.iter().copied().collect();
+        let sb: RegSet = b.iter().copied().collect();
+        let ma: HashSet<ArchReg> = a.into_iter().collect();
+        let mb: HashSet<ArchReg> = b.into_iter().collect();
+        prop_assert_eq!(sa.union(sb).len(), ma.union(&mb).count());
+        prop_assert_eq!(sa.difference(sb).len(), ma.difference(&mb).count());
+        prop_assert_eq!(sa.intersects(sb), ma.intersection(&mb).next().is_some());
+    }
+
+    /// MemoryImage behaves like a word-granular HashMap.
+    #[test]
+    fn memory_image_matches_model(ops in prop::collection::vec((0u64..0x1_0000, any::<u64>(), any::<bool>()), 0..128)) {
+        let mut mem = MemoryImage::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (addr, value, is_store) in ops {
+            if is_store {
+                mem.store(addr, value);
+                model.insert(addr >> 3, value);
+            }
+            let expect = model.get(&(addr >> 3)).copied().unwrap_or(0);
+            prop_assert_eq!(mem.load(addr), expect);
+        }
+        prop_assert_eq!(mem.written_words(), model.len());
+    }
+
+    /// Any program built from random straight-line ops plus a loop has a
+    /// valid basic-block decomposition: contiguous cover, branch/jump only
+    /// at block ends, targets at block starts.
+    #[test]
+    fn block_decomposition_invariants(
+        body in prop::collection::vec((0u8..5, arch_reg(), arch_reg()), 1..30),
+        with_skip in any::<bool>(),
+    ) {
+        let mut b = ProgramBuilder::new();
+        b.movi(ArchReg::R1, 3);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        for (kind, x, y) in &body {
+            match kind {
+                0 => { b.add(*x, *x, *y); }
+                1 => { b.alu(AluOp::Xor, *x, *x, *y); }
+                2 => { b.load(*x, *y, 8); }
+                3 => { b.store(*x, *y, 16); }
+                _ => { b.alu_imm(AluOp::Shr, *x, *y, 1); }
+            }
+        }
+        if with_skip {
+            let skip = b.label("skip");
+            b.br_imm(Cond::Eq, ArchReg::R2, 0, skip);
+            b.addi(ArchReg::R3, ArchReg::R3, 1);
+            b.bind(skip).unwrap();
+        }
+        b.addi(ArchReg::R1, ArchReg::R1, -1);
+        b.brnz(ArchReg::R1, top);
+        b.halt();
+        let p = b.build().expect("assembles");
+
+        // Blocks tile the program contiguously.
+        let mut next = Pc::new(0);
+        for blk in p.blocks() {
+            prop_assert_eq!(blk.start, next);
+            prop_assert!(blk.len >= 1);
+            next = blk.end();
+        }
+        prop_assert_eq!(next.index(), p.len());
+
+        for (pc, uop) in p.iter() {
+            let blk = *p.block(p.block_of(pc));
+            // Control uops appear only as block terminators.
+            if uop.op.is_control() {
+                prop_assert_eq!(pc, blk.last());
+            }
+            // Branch targets are block leaders.
+            if let Some(t) = uop.target {
+                prop_assert!(p.block_starting_at(t).is_some(),
+                    "target {t} of {pc} must start a block");
+            }
+        }
+    }
+
+    /// The functional executor never wraps around the end of a well-formed
+    /// program and always halts within the loop budget.
+    #[test]
+    fn executor_halts_on_counted_loops(iters in 1u8..40, body_len in 1usize..12) {
+        let mut b = ProgramBuilder::new();
+        b.movi(ArchReg::R1, iters as i64);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        for i in 0..body_len {
+            b.addi(ArchReg::R2, ArchReg::R2, i as i64);
+        }
+        b.addi(ArchReg::R1, ArchReg::R1, -1);
+        b.brnz(ArchReg::R1, top);
+        b.halt();
+        let p = b.build().expect("assembles");
+        let mut e = cdf_isa::Executor::new(&p, MemoryImage::new());
+        let steps = e.run(1_000_000).expect("halts");
+        prop_assert_eq!(steps, 2 + (body_len as u64 + 2) * iters as u64);
+        let per_iter: i64 = (0..body_len as i64).sum();
+        prop_assert_eq!(e.state().reg(ArchReg::R2), (per_iter * iters as i64) as u64);
+    }
+}

@@ -1,0 +1,53 @@
+//! # cdf-mem — the memory system of the CDF simulator
+//!
+//! Rebuilds the paper's memory substrate (Table 1): a 32KB L1 I-cache and
+//! D-cache (2-cycle), a 1MB 16-way LLC (18-cycle), 64B lines, MSHRs, an
+//! always-on 64-stream prefetcher throttled by Feedback Directed Prefetching,
+//! and a DDR4-2400-style DRAM model (2 channels, 4 bank groups × 4 banks,
+//! tRP-tCL-tRCD 16-16-16) standing in for Ramulator.
+//!
+//! The hierarchy is synchronous-completion: an access computes, at issue
+//! time, the cycle at which its data will be ready, using per-bank and
+//! per-channel busy tracking for queueing effects. Outstanding-miss limits
+//! (the source of finite MLP) come from the MSHRs: when they are full the
+//! access is [`AccessResult::Rejected`] and the core must retry, exactly the
+//! backpressure that caps memory-level parallelism in a real machine.
+//!
+//! ```
+//! use cdf_mem::{MemoryHierarchy, MemConfig, AccessKind, AccessResult};
+//!
+//! let mut mem = MemoryHierarchy::new(MemConfig::default());
+//! // First touch misses everywhere and goes to DRAM.
+//! let r = mem.access(0x4000, AccessKind::Load, 0, false);
+//! let AccessResult::Done(out) = r else { panic!("MSHRs empty, never rejected") };
+//! assert!(out.ready_at > 100);
+//! // A later access to the same line hits in L1.
+//! let AccessResult::Done(hit) = mem.access(0x4000, AccessKind::Load, out.ready_at, false)
+//!     else { panic!() };
+//! assert_eq!(hit.ready_at, out.ready_at + mem.config().l1_latency);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod mshr;
+mod prefetch;
+
+pub use cache::{Cache, CacheConfig, Eviction};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use hierarchy::{
+    AccessKind, AccessOutcome, AccessResult, HitLevel, MemConfig, MemStats, MemoryHierarchy,
+};
+pub use mshr::{Mshr, MshrOutcome};
+pub use prefetch::{PrefetcherConfig, StreamPrefetcher};
+
+/// Cache line size in bytes used throughout the hierarchy (Table 1: 64B).
+pub const LINE_BYTES: u64 = 64;
+
+/// Rounds an address down to its cache-line address.
+pub fn line_addr(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}

@@ -1,0 +1,140 @@
+//! `cdf-sim` — command-line front end for the simulator.
+//!
+//! ```text
+//! cdf-sim list
+//! cdf-sim table1
+//! cdf-sim run <workload> [--mech base|cdf|pre|classify] [--rob N]
+//!             [--warmup N] [--measure N] [--scale F] [--seed N] [--fast]
+//! cdf-sim compare <workload> [sizing flags]
+//! ```
+
+use cdf_core::CoreConfig;
+use cdf_sim::{simulate, table1_text, EvalConfig, Mechanism};
+use cdf_workloads::registry;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
+         cdf-sim compare <workload> [options]\n\noptions:\n  --mech base|cdf|pre|classify   \
+         mechanism (run only; default cdf)\n  --rob N        scale the window to N ROB entries\n  \
+         --warmup N     warmup instructions\n  --measure N    measured instructions\n  \
+         --scale F      workload footprint scale\n  --seed N       workload seed\n  \
+         --fast         quick sizing preset"
+    );
+    exit(2)
+}
+
+fn parse_eval(args: &[String]) -> EvalConfig {
+    let mut cfg = if args.iter().any(|a| a == "--fast") {
+        EvalConfig::quick()
+    } else {
+        EvalConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--rob" => {
+                let rob: usize = val("--rob").parse().unwrap_or_else(|_| usage());
+                cfg.core = CoreConfig {
+                    mode: cfg.core.mode.clone(),
+                    ..cfg.core.clone().with_scaled_window(rob)
+                };
+            }
+            "--warmup" => cfg.warmup_instructions = val("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--measure" => cfg.measure_instructions = val("--measure").parse().unwrap_or_else(|_| usage()),
+            "--scale" => cfg.gen.scale = val("--scale").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.gen.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            _ => {}
+        }
+    }
+    cfg
+}
+
+fn print_measurement(m: &cdf_sim::Measurement) {
+    println!("workload      : {}", m.workload);
+    println!("mechanism     : {}", m.mechanism);
+    println!("instructions  : {}", m.instructions);
+    println!("cycles        : {}", m.cycles);
+    println!("IPC           : {:.4}", m.ipc);
+    println!("MLP           : {:.2}", m.mlp);
+    println!("branch MPKI   : {:.2}", m.branch_mpki);
+    println!("LLC MPKI      : {:.2}", m.llc_mpki);
+    println!("DRAM lines    : {}", m.dram_lines);
+    println!("energy (uJ)   : {:.2}", m.energy_nj / 1000.0);
+    println!("stall cycles  : {}", m.full_window_stall_cycles);
+    if m.critical_uops > 0 {
+        println!("critical uops : {}", m.critical_uops);
+        println!("CDF cycles    : {}", m.cdf_mode_cycles);
+        println!("dep violations: {}", m.dependence_violations);
+    }
+    if m.runahead_uops > 0 {
+        println!("runahead uops : {}", m.runahead_uops);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("list") => {
+            for name in registry::NAMES {
+                let w = registry::by_name(name, &cdf_workloads::GenConfig::test()).expect("known");
+                println!("{name:14} stands in for {:28} — {}", w.stands_in_for, w.description);
+            }
+        }
+        Some("table1") => {
+            print!("{}", table1_text(&parse_eval(&args[1..]).core));
+        }
+        Some("run") => {
+            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            let mech = match args
+                .iter()
+                .position(|a| a == "--mech")
+                .and_then(|i| args.get(i + 1))
+                .map(|s| s.as_str())
+            {
+                None | Some("cdf") => Mechanism::Cdf,
+                Some("base") => Mechanism::Baseline,
+                Some("pre") => Mechanism::Pre,
+                Some("classify") => Mechanism::BaselineClassify,
+                Some(other) => {
+                    eprintln!("unknown mechanism `{other}`");
+                    usage()
+                }
+            };
+            let cfg = parse_eval(&args[2..]);
+            print_measurement(&simulate(&name, mech, &cfg));
+        }
+        Some("compare") => {
+            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            let cfg = parse_eval(&args[2..]);
+            let base = simulate(&name, Mechanism::Baseline, &cfg);
+            let cdf = simulate(&name, Mechanism::Cdf, &cfg);
+            let pre = simulate(&name, Mechanism::Pre, &cfg);
+            println!(
+                "{:10} {:>8} {:>8} {:>8} {:>12} {:>12}",
+                "mech", "IPC", "speedup", "MLP", "DRAM lines", "energy (uJ)"
+            );
+            for m in [&base, &cdf, &pre] {
+                println!(
+                    "{:10} {:>8.3} {:>7.1}% {:>8.2} {:>12} {:>12.1}",
+                    m.mechanism,
+                    m.ipc,
+                    (m.ipc / base.ipc - 1.0) * 100.0,
+                    m.mlp,
+                    m.dram_lines,
+                    m.energy_nj / 1000.0
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,27 @@
+//! # cdf-sim — simulation runner and experiment harness
+//!
+//! Ties the whole stack together: builds a workload from `cdf-workloads`,
+//! runs it on a `cdf-core` configuration with warmup-then-measure windowing,
+//! and produces the [`Measurement`]s that the experiment drivers in
+//! [`experiments`] turn into the paper's tables and figures (each bench
+//! target in `crates/bench` calls one driver and prints its rows).
+//!
+//! ```no_run
+//! use cdf_sim::{simulate, EvalConfig, Mechanism};
+//!
+//! let cfg = EvalConfig::quick();
+//! let m = simulate("astar_like", Mechanism::Cdf, &cfg);
+//! println!("astar_like CDF IPC = {:.3}", m.ipc);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+
+mod run;
+mod table1;
+
+pub use run::{simulate, simulate_workload, EvalConfig, Measurement, Mechanism};
+pub use table1::table1_text;

@@ -1,0 +1,318 @@
+//! Running one workload on one mechanism with warmup/measure windowing.
+
+use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode, PreConfig};
+use cdf_workloads::{registry, GenConfig, Workload};
+
+/// Which mechanism to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mechanism {
+    /// Baseline OoO with prefetching.
+    Baseline,
+    /// Baseline with observe-only criticality classification (Fig. 1).
+    BaselineClassify,
+    /// Criticality Driven Fetch.
+    Cdf,
+    /// Precise Runahead.
+    Pre,
+    /// CDF without branch criticality (the §4.2 ablation).
+    CdfNoBranches,
+    /// CDF with static partitioning (design-choice ablation).
+    CdfStaticPartition,
+    /// CDF without the Mask Cache (design-choice ablation).
+    CdfNoMaskCache,
+}
+
+impl Mechanism {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Baseline => "base",
+            Mechanism::BaselineClassify => "base+classify",
+            Mechanism::Cdf => "CDF",
+            Mechanism::Pre => "PRE",
+            Mechanism::CdfNoBranches => "CDF-nobr",
+            Mechanism::CdfStaticPartition => "CDF-static",
+            Mechanism::CdfNoMaskCache => "CDF-nomask",
+        }
+    }
+
+    /// The core mode for this mechanism.
+    pub fn mode(self) -> CoreMode {
+        match self {
+            Mechanism::Baseline => CoreMode::Baseline,
+            Mechanism::BaselineClassify => CoreMode::BaselineClassify,
+            Mechanism::Cdf => CoreMode::Cdf(CdfConfig::default()),
+            Mechanism::Pre => CoreMode::Pre(PreConfig::default()),
+            Mechanism::CdfNoBranches => CoreMode::Cdf(CdfConfig {
+                mark_branches: false,
+                ..CdfConfig::default()
+            }),
+            Mechanism::CdfStaticPartition => CoreMode::Cdf(CdfConfig {
+                dynamic_partitioning: false,
+                ..CdfConfig::default()
+            }),
+            Mechanism::CdfNoMaskCache => CoreMode::Cdf(CdfConfig {
+                use_mask_cache: false,
+                ..CdfConfig::default()
+            }),
+        }
+    }
+}
+
+/// Evaluation sizing: workload generation parameters plus the simulation
+/// window.
+///
+/// The paper simulates 200M-instruction SimPoints after 200M of warmup;
+/// this harness defaults to a laptop-scale window with the same structure
+/// (warmup trains caches, predictor, CCTs and traces; measurement starts
+/// after).
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Workload generation parameters.
+    pub gen: GenConfig,
+    /// Instructions retired before measurement starts.
+    pub warmup_instructions: u64,
+    /// Instructions measured after warmup.
+    pub measure_instructions: u64,
+    /// Core configuration template (mode is overridden per mechanism).
+    pub core: CoreConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig {
+            gen: GenConfig {
+                seed: 0xC0FFEE,
+                scale: 0.25,
+                iters: u64::MAX / 4,
+            },
+            warmup_instructions: 100_000,
+            measure_instructions: 200_000,
+            core: CoreConfig::default(),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> EvalConfig {
+        EvalConfig {
+            gen: GenConfig {
+                seed: 0xC0FFEE,
+                scale: 1.0 / 16.0,
+                iters: u64::MAX / 4,
+            },
+            warmup_instructions: 30_000,
+            measure_instructions: 60_000,
+            ..EvalConfig::default()
+        }
+    }
+}
+
+/// The measured quantities of one (workload, mechanism) run over the
+/// measurement window.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// Instructions retired in the window.
+    pub instructions: u64,
+    /// Cycles in the window.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Average outstanding demand LLC misses while ≥ 1 outstanding (Fig. 14).
+    pub mlp: f64,
+    /// 64B lines moved to/from DRAM (reads + writebacks; Fig. 15).
+    pub dram_lines: u64,
+    /// Total energy in nanojoules (Fig. 16).
+    pub energy_nj: f64,
+    /// Energy of CDF-only structures in nanojoules (§4.3 overhead claim).
+    pub cdf_energy_nj: f64,
+    /// Branch MPKI.
+    pub branch_mpki: f64,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Fraction of ROB occupancy that was critical during full-window
+    /// stalls (Fig. 1).
+    pub rob_critical_fraction: f64,
+    /// Full-window stall cycles in the window.
+    pub full_window_stall_cycles: u64,
+    /// CDF-mode cycles in the window.
+    pub cdf_mode_cycles: u64,
+    /// Critical uops issued via the critical stream.
+    pub critical_uops: u64,
+    /// Runahead uops interpreted (PRE).
+    pub runahead_uops: u64,
+    /// CDF dependence-violation flushes.
+    pub dependence_violations: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Snapshot {
+    cycles: u64,
+    retired: u64,
+    mispredicts: u64,
+    mlp_sum: u64,
+    mlp_cycles: u64,
+    llc_miss_loads: u64,
+    dram_total: u64,
+    energy_nj: f64,
+    cdf_energy_nj: f64,
+    rob_critical: u64,
+    rob_non_critical: u64,
+    full_window_stall_cycles: u64,
+    cdf_mode_cycles: u64,
+    critical_uops: u64,
+    runahead_uops: u64,
+    dependence_violations: u64,
+}
+
+impl Snapshot {
+    fn take(core: &Core<'_>, cycles: u64, retired_override: Option<u64>) -> Snapshot {
+        let s = core.stats();
+        let d = core.hierarchy().dram_stats();
+        let e = core.energy_report();
+        Snapshot {
+            cycles,
+            retired: retired_override.unwrap_or(s.retired),
+            mispredicts: s.mispredicts,
+            mlp_sum: s.mlp_sum,
+            mlp_cycles: s.mlp_cycles,
+            llc_miss_loads: s.llc_miss_loads,
+            dram_total: d.total(),
+            energy_nj: e.total_nj(),
+            cdf_energy_nj: e.cdf_structures_nj(),
+            rob_critical: s.rob_mix.critical,
+            rob_non_critical: s.rob_mix.non_critical,
+            full_window_stall_cycles: s.full_window_stall_cycles,
+            cdf_mode_cycles: s.cdf_mode_cycles,
+            critical_uops: s.critical_uops_issued,
+            runahead_uops: s.runahead_uops,
+            dependence_violations: s.dependence_violations,
+        }
+    }
+}
+
+/// Simulates one named workload on one mechanism.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown (see
+/// [`cdf_workloads::registry::NAMES`]).
+pub fn simulate(name: &str, mechanism: Mechanism, cfg: &EvalConfig) -> Measurement {
+    let w = registry::by_name(name, &cfg.gen)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    simulate_workload(&w, mechanism, cfg)
+}
+
+/// Simulates an already-built workload on one mechanism.
+pub fn simulate_workload(w: &Workload, mechanism: Mechanism, cfg: &EvalConfig) -> Measurement {
+    let core_cfg = CoreConfig {
+        mode: mechanism.mode(),
+        ..cfg.core.clone()
+    };
+    let mut core = Core::new(&w.program, w.memory.clone(), core_cfg);
+
+    // Warmup window.
+    let warm = core.run(cfg.warmup_instructions);
+    let start = Snapshot::take(&core, warm.cycles, Some(warm.retired));
+
+    // Measurement window.
+    let end_stats = core.run(cfg.warmup_instructions + cfg.measure_instructions);
+    let end = Snapshot::take(&core, end_stats.cycles, Some(end_stats.retired));
+
+    let cycles = end.cycles - start.cycles;
+    let instructions = end.retired - start.retired;
+    let mlp_cycles = end.mlp_cycles - start.mlp_cycles;
+    let mlp_sum = end.mlp_sum - start.mlp_sum;
+    let rob_c = end.rob_critical - start.rob_critical;
+    let rob_n = end.rob_non_critical - start.rob_non_critical;
+    Measurement {
+        workload: w.name.to_string(),
+        mechanism: mechanism.label(),
+        instructions,
+        cycles,
+        ipc: if cycles == 0 {
+            0.0
+        } else {
+            instructions as f64 / cycles as f64
+        },
+        mlp: if mlp_cycles == 0 {
+            0.0
+        } else {
+            mlp_sum as f64 / mlp_cycles as f64
+        },
+        dram_lines: end.dram_total - start.dram_total,
+        energy_nj: end.energy_nj - start.energy_nj,
+        cdf_energy_nj: end.cdf_energy_nj - start.cdf_energy_nj,
+        branch_mpki: if instructions == 0 {
+            0.0
+        } else {
+            (end.mispredicts - start.mispredicts) as f64 * 1000.0 / instructions as f64
+        },
+        llc_mpki: if instructions == 0 {
+            0.0
+        } else {
+            (end.llc_miss_loads - start.llc_miss_loads) as f64 * 1000.0 / instructions as f64
+        },
+        rob_critical_fraction: if rob_c + rob_n == 0 {
+            0.0
+        } else {
+            rob_c as f64 / (rob_c + rob_n) as f64
+        },
+        full_window_stall_cycles: end.full_window_stall_cycles - start.full_window_stall_cycles,
+        cdf_mode_cycles: end.cdf_mode_cycles - start.cdf_mode_cycles,
+        critical_uops: end.critical_uops - start.critical_uops,
+        runahead_uops: end.runahead_uops - start.runahead_uops,
+        dependence_violations: end.dependence_violations - start.dependence_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_baseline_measurement_is_sane() {
+        let cfg = EvalConfig::quick();
+        let m = simulate("libq_like", Mechanism::Baseline, &cfg);
+        assert_eq!(m.mechanism, "base");
+        assert!(m.instructions >= cfg.measure_instructions);
+        assert!(m.ipc > 0.1 && m.ipc < 6.0, "ipc {}", m.ipc);
+        assert!(m.cycles > 0);
+    }
+
+    #[test]
+    fn cdf_mechanism_reports_cdf_activity() {
+        let cfg = EvalConfig::quick();
+        let m = simulate("astar_like", Mechanism::Cdf, &cfg);
+        assert!(m.critical_uops > 0, "CDF must engage: {m:?}");
+        assert!(m.cdf_mode_cycles > 0);
+        assert!(m.cdf_energy_nj > 0.0);
+    }
+
+    #[test]
+    fn pre_mechanism_reports_runahead() {
+        let cfg = EvalConfig::quick();
+        let m = simulate("astar_like", Mechanism::Pre, &cfg);
+        assert!(m.runahead_uops > 0, "PRE must engage: {m:?}");
+    }
+
+    #[test]
+    fn deterministic_measurements() {
+        let cfg = EvalConfig::quick();
+        let a = simulate("mcf_like", Mechanism::Cdf, &cfg);
+        let b = simulate("mcf_like", Mechanism::Cdf, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dram_lines, b.dram_lines);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        simulate("nope", Mechanism::Baseline, &EvalConfig::quick());
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 1: the resolved simulation parameters, printed as text.
+
+use cdf_core::{CdfConfig, CoreConfig};
+
+/// Renders the paper's Table 1 ("Simulation Parameters") from a resolved
+/// configuration, so the bench target prints exactly what the simulator will
+/// use rather than a hand-maintained copy.
+pub fn table1_text(cfg: &CoreConfig) -> String {
+    let cdf = CdfConfig::default();
+    let m = &cfg.mem;
+    let d = &m.dram;
+    let pf = &m.prefetcher;
+    let mut out = String::new();
+    let mut line = |text: String| {
+        out.push_str(&text);
+        out.push('\n');
+    };
+    line("Table 1: Simulation Parameters".to_string());
+    line("==============================".to_string());
+    line(format!(
+        "Core       3.2 GHz, {}-wide issue, TAGE-SC-L predictor",
+        cfg.fetch_width
+    ));
+    line(format!(
+        "           {} Entry ROB, {} Entry Reservation Station",
+        cfg.rob, cfg.rs
+    ));
+    line(format!(
+        "           {} Entry Load & {} Entry Store Queues",
+        cfg.lq, cfg.sq
+    ));
+    line(format!(
+        "           {} physical registers, retire width {}",
+        cfg.phys_regs, cfg.retire_width
+    ));
+    line(format!(
+        "Caches     {}KB {}-way L1 I-cache & D-cache, {}-cycle access",
+        m.l1d.capacity_bytes / 1024,
+        m.l1d.ways,
+        m.l1_latency
+    ));
+    line(format!(
+        "           {}MB {}-way LLC cache, {}-cycle access, 64B lines",
+        m.llc.capacity_bytes / (1024 * 1024),
+        m.llc.ways,
+        m.llc_latency
+    ));
+    line(format!(
+        "Prefetcher Stream Prefetcher, {} Streams (always on),",
+        pf.streams
+    ));
+    line("           Feedback Directed Prefetching to throttle prefetcher".to_string());
+    line(format!(
+        "Memory     DDR4_2400R-class: 1 rank, {} channels",
+        d.channels
+    ));
+    line(format!(
+        "           {} bank groups and {} banks per channel",
+        d.bank_groups, d.banks_per_group
+    ));
+    line(format!(
+        "           tRP-tCL-tRCD: 16-16-16 (= {}-{}-{} core cycles)",
+        d.t_rp, d.t_cl, d.t_rcd
+    ));
+    line("CDF        64-entry 2-way Critical Count Tables, 1-cycle access".to_string());
+    line(format!(
+        "Caches     {}x{} (4KB-class) Mask Cache, 1-cycle access",
+        cdf.mask_sets, cdf.mask_ways
+    ));
+    line(format!(
+        "           {} sets x {} lines (18KB-class) Critical Uop Cache,",
+        cdf.uop_cache_sets, cdf.uop_cache_lines_per_set
+    ));
+    line("           1-cycle access, 8 uops per line".to_string());
+    line(format!(
+        "CDF        {}-entry Fill Buffer (walk every {} instrs, ~{} cycles)",
+        cdf.fill_buffer, cdf.walk_period, cdf.walk_latency
+    ));
+    line(format!("FIFOs      {}-entry Delayed Branch Queue", cdf.dbq));
+    line(format!("           {}-entry Critical Map Queue", cdf.cmq));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reflects_config() {
+        let text = table1_text(&CoreConfig::default());
+        assert!(text.contains("352 Entry ROB"));
+        assert!(text.contains("160 Entry Reservation Station"));
+        assert!(text.contains("128 Entry Load & 72 Entry Store Queues"));
+        assert!(text.contains("1MB 16-way LLC"));
+        assert!(text.contains("64 Streams"));
+        assert!(text.contains("1024-entry Fill Buffer"));
+        assert!(text.contains("256-entry Delayed Branch Queue"));
+    }
+
+    #[test]
+    fn table1_tracks_scaled_windows() {
+        let cfg = CoreConfig::default().with_scaled_window(704);
+        let text = table1_text(&cfg);
+        assert!(text.contains("704 Entry ROB"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic data-memory generation helpers.
+
+use cdf_isa::MemoryImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters shared by every kernel.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GenConfig {
+    /// RNG seed; everything about a workload is a pure function of this.
+    pub seed: u64,
+    /// Scales the data footprints (1.0 = LLC-exceeding paper-like arrays).
+    pub scale: f64,
+    /// Outer-loop iteration bound. Timing runs use a large bound and stop on
+    /// an instruction budget; correctness tests use a small bound so the
+    /// functional executor terminates quickly.
+    pub iters: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            seed: 0xC0FFEE,
+            scale: 1.0,
+            iters: 1_000_000_000,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A small configuration for unit/integration tests: tiny footprints and
+    /// bounded loops (hundreds of thousands of dynamic uops at most).
+    pub fn test() -> GenConfig {
+        GenConfig {
+            seed: 0xC0FFEE,
+            scale: 1.0 / 64.0,
+            iters: 500,
+        }
+    }
+
+    /// Scales a nominal element count, keeping at least `min` and rounding to
+    /// a power of two (so kernels can use AND-masking for cheap modulo).
+    pub fn scaled_pow2(&self, nominal: u64, min: u64) -> u64 {
+        let n = ((nominal as f64 * self.scale) as u64).max(min);
+        n.next_power_of_two()
+    }
+
+    /// A seeded RNG, offset by `stream` so different arrays of the same
+    /// workload get independent data.
+    pub fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// Fills `count` words starting at `base` with uniform random values.
+pub fn fill_random_words(mem: &mut MemoryImage, base: u64, count: u64, rng: &mut StdRng) {
+    for i in 0..count {
+        mem.store(base + 8 * i, rng.gen::<u64>());
+    }
+}
+
+/// Builds a random single-cycle pointer chain over `nodes` nodes of
+/// `stride` bytes starting at `base`: `mem[node] = next_node_address`, where
+/// following the chain visits every node exactly once before returning to
+/// `base`. This is the mcf/omnetpp-style dependent-miss generator.
+///
+/// Returns the address of the first node (`base`).
+pub fn chain_permutation(
+    mem: &mut MemoryImage,
+    base: u64,
+    nodes: u64,
+    stride: u64,
+    rng: &mut StdRng,
+) -> u64 {
+    assert!(nodes >= 2, "a chain needs at least two nodes");
+    // Sattolo's algorithm: a uniform random cyclic permutation.
+    let mut order: Vec<u64> = (0..nodes).collect();
+    let mut i = nodes as usize - 1;
+    while i > 0 {
+        let j = rng.gen_range(0..i);
+        order.swap(i, j);
+        i -= 1;
+    }
+    // order encodes a permutation; build next-pointers following the cycle
+    // produced by visiting order[0], order[1], ...
+    for k in 0..nodes as usize {
+        let from = base + order[k] * stride;
+        let to = base + order[(k + 1) % nodes as usize] * stride;
+        mem.store(from, to);
+    }
+    base + order[0] * stride
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_pow2_bounds() {
+        let cfg = GenConfig {
+            scale: 0.1,
+            ..GenConfig::default()
+        };
+        assert_eq!(cfg.scaled_pow2(1000, 16), 128);
+        assert_eq!(cfg.scaled_pow2(10, 16), 16);
+        assert!(cfg.scaled_pow2(1 << 20, 1).is_power_of_two());
+    }
+
+    #[test]
+    fn rng_streams_independent() {
+        let cfg = GenConfig::default();
+        let a: u64 = cfg.rng(0).gen();
+        let b: u64 = cfg.rng(1).gen();
+        assert_ne!(a, b);
+        let a2: u64 = cfg.rng(0).gen();
+        assert_eq!(a, a2, "same stream must reproduce");
+    }
+
+    #[test]
+    fn chain_visits_every_node_once() {
+        let mut mem = MemoryImage::new();
+        let mut rng = GenConfig::default().rng(7);
+        let nodes = 64u64;
+        let stride = 64u64;
+        let start = chain_permutation(&mut mem, 0x1000, nodes, stride, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        let mut p = start;
+        for _ in 0..nodes {
+            assert!(seen.insert(p), "revisited {p:#x} early");
+            assert_eq!((p - 0x1000) % stride, 0);
+            p = mem.load(p);
+        }
+        assert_eq!(p, start, "chain must close into a single cycle");
+    }
+
+    #[test]
+    fn fill_random_words_covers_range() {
+        let mut mem = MemoryImage::new();
+        let mut rng = GenConfig::default().rng(3);
+        fill_random_words(&mut mem, 0x2000, 16, &mut rng);
+        assert_eq!(mem.written_words(), 16);
+    }
+}

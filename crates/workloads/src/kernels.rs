@@ -1,0 +1,898 @@
+//! The fourteen SPEC-like kernels.
+//!
+//! Each builder documents the paper benchmark it stands in for and the
+//! behavioural property it engineers (see DESIGN.md's substitution table).
+//! Memory layout: data arrays live at fixed bases spaced far apart; loop
+//! indices are AND-masked so any iteration count is safe.
+
+use crate::gen::{chain_permutation, fill_random_words, GenConfig};
+use crate::Workload;
+use cdf_isa::{AluOp, ArchReg::*, Cond, MemoryImage, ProgramBuilder};
+
+const A_BASE: i64 = 0x1000_0000;
+const B_BASE: i64 = 0x2000_0000;
+const C_BASE: i64 = 0x3000_0000;
+const D_BASE: i64 = 0x4000_0000;
+
+/// Emits the canonical loop epilogue: `i += 1; if i < bound goto top`.
+/// `i` in R1, `bound` in R2.
+fn loop_epilogue(b: &mut ProgramBuilder, top: cdf_isa::Label) {
+    b.addi(R1, R1, 1);
+    b.br(Cond::Ltu, R1, R2, top);
+    b.halt();
+}
+
+/// Emits `count` filler ALU ops on accumulator registers R20–R25 that do not
+/// feed any load address or branch — the "non-critical" work CDF skips over.
+fn filler(b: &mut ProgramBuilder, count: usize) {
+    let ops = [
+        (AluOp::Add, R20, R21),
+        (AluOp::Xor, R21, R22),
+        (AluOp::Add, R22, R23),
+        (AluOp::Shl, R23, R24),
+        (AluOp::Or, R24, R25),
+        (AluOp::Sub, R25, R20),
+    ];
+    for k in 0..count {
+        let (op, d, s) = ops[k % ops.len()];
+        if op == AluOp::Shl {
+            b.alu_imm(op, d, s, 1);
+        } else {
+            b.alu(op, d, s, d);
+        }
+    }
+}
+
+/// astar: a prefetchable sequential load feeding a *random-index* load over
+/// an LLC-exceeding array (the paper's Fig. 2 code), plus one hard
+/// data-dependent branch per iteration. Sparse criticality → CDF's best case.
+pub(crate) fn astar_like(cfg: &GenConfig) -> Workload {
+    let a_words = cfg.scaled_pow2(1 << 20, 256); // 8MB at scale 1
+    let b_words = cfg.scaled_pow2(1 << 20, 256);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, a_words, &mut cfg.rng(0));
+    fill_random_words(&mut mem, B_BASE as u64, b_words, &mut cfg.rng(1));
+
+    let mut b = ProgramBuilder::named("astar_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, A_BASE);
+    b.movi(R9, (b_words - 1) as i64); // B index mask
+    b.movi(R10, (a_words - 1) as i64); // A index mask
+    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    b.movi(R26, C_BASE);
+    let top = b.label("top");
+    let odd = b.label("odd");
+    let join = b.label("join");
+    b.bind(top).unwrap();
+    b.alu(AluOp::And, R11, R1, R10); // i & amask
+    b.load_idx(R5, R3, R11, 8, 0); // a = A[i]  (sequential, prefetchable)
+    b.alu(AluOp::And, R6, R5, R9); // idx = a & bmask  (random)
+    b.load_abs(R7, R6, 8, B_BASE); // bval = B[idx]   ← the critical LLC miss
+    b.andi(R8, R7, 1);
+    b.brnz(R8, odd); // hard branch: random loaded bit
+    b.addi(R20, R20, 3);
+    b.jmp(join);
+    b.bind(odd).unwrap();
+    b.addi(R20, R20, 5);
+    b.bind(join).unwrap();
+    filler(&mut b, 8);
+    b.andi(R27, R1, 255);
+    b.store_idx(R25, R26, R27, 8, 0); // C[i & 255] = filler result
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "astar_like",
+        stands_in_for: "astar (SPEC CPU2006)",
+        description: "sequential load feeding a random-index LLC-missing load; hard data-dependent branch; sparse criticality",
+        program: b.build().expect("astar_like assembles"),
+        memory: mem,
+    }
+}
+
+/// mcf: pointer chasing — fully dependent LLC misses CDF cannot overlap but
+/// can *initiate earlier*, plus a hard branch per node (early resolution).
+pub(crate) fn mcf_like(cfg: &GenConfig) -> Workload {
+    let nodes = cfg.scaled_pow2(1 << 17, 64); // 8MB of 64B nodes at scale 1
+    let mut mem = MemoryImage::new();
+    let mut rng = cfg.rng(0);
+    let start = chain_permutation(&mut mem, A_BASE as u64, nodes, 64, &mut rng);
+    // Random per-node values at +8.
+    for i in 0..nodes {
+        mem.store(A_BASE as u64 + i * 64 + 8, rng.gen_rand());
+    }
+
+    let mut b = ProgramBuilder::named("mcf_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, start as i64); // p
+    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    let top = b.label("top");
+    let odd = b.label("odd");
+    let join = b.label("join");
+    b.bind(top).unwrap();
+    b.load(R4, R3, 8); // node value
+    b.andi(R5, R4, 1);
+    b.brnz(R5, odd); // hard branch on random node data
+    b.addi(R20, R20, 1);
+    b.jmp(join);
+    b.bind(odd).unwrap();
+    b.addi(R21, R21, 1);
+    b.bind(join).unwrap();
+    filler(&mut b, 10);
+    b.load(R3, R3, 0); // p = p->next   ← dependent critical miss
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "mcf_like",
+        stands_in_for: "mcf (SPEC CPU2006/2017)",
+        description: "pointer chase with dependent LLC misses and a hard branch per node",
+        program: b.build().expect("mcf_like assembles"),
+        memory: mem,
+    }
+}
+
+/// lbm: streaming loads/stores with FP work; the prefetcher covers most
+/// misses so full-window stalls are short and rare — runahead gets no window,
+/// CDF is unaffected (paper §4.2: "on benchmarks such as lbm, the full window
+/// stall duration is too short to enable any useful Runahead prefetches").
+pub(crate) fn lbm_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 21, 512); // 16MB per array at scale 1
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 16), &mut cfg.rng(0));
+
+    let mut b = ProgramBuilder::named("lbm_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, A_BASE);
+    b.movi(R4, B_BASE);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R7, 0x3FF);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.alu(AluOp::And, R10, R1, R9);
+    b.load_idx(R5, R3, R10, 8, 0); // stream in
+    b.alu_imm(AluOp::FAdd, R6, R5, 17);
+    b.alu(AluOp::FMul, R6, R6, R7);
+    b.alu_imm(AluOp::FAdd, R8, R6, 3);
+    b.alu(AluOp::FMul, R8, R8, R6);
+    b.store_idx(R8, R4, R10, 8, 0); // stream out
+    filler(&mut b, 4);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "lbm_like",
+        stands_in_for: "lbm (SPEC CPU2006/2017)",
+        description: "streaming FP kernel; prefetcher-covered, short and few full-window stalls",
+        program: b.build().expect("lbm_like assembles"),
+        memory: mem,
+    }
+}
+
+/// bzip2: hard-to-predict data-dependent branches dominate; moderate misses.
+/// CDF wins by resolving branches early (the §4.2 branch-criticality claim).
+pub(crate) fn bzip_like(cfg: &GenConfig) -> Workload {
+    let a_words = cfg.scaled_pow2(1 << 19, 256); // 4MB at scale 1: ~misses
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, a_words, &mut cfg.rng(0));
+
+    let mut b = ProgramBuilder::named("bzip_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (a_words - 1) as i64);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    let top = b.label("top");
+    let (l1, l2, j1, j2) = (
+        b.label("b1"),
+        b.label("b2"),
+        b.label("j1"),
+        b.label("j2"),
+    );
+    b.bind(top).unwrap();
+    // Pseudo-random index: i * golden-ratio, masked — defeats the stream
+    // prefetcher like bzip2's data-dependent access pattern.
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R5, R10, 8, A_BASE); // random load, moderate miss rate
+    b.andi(R6, R5, 1);
+    b.brnz(R6, l1); // hard branch 1
+    b.addi(R20, R20, 1);
+    b.bind(l1).unwrap();
+    b.andi(R7, R5, 2);
+    b.brnz(R7, l2); // hard branch 2
+    b.addi(R21, R21, 1);
+    b.bind(l2).unwrap();
+    b.andi(R8, R5, 4);
+    b.brz(R8, j1); // hard branch 3
+    b.addi(R22, R22, 2);
+    b.jmp(j2);
+    b.bind(j1).unwrap();
+    b.addi(R22, R22, 3);
+    b.bind(j2).unwrap();
+    filler(&mut b, 6);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "bzip_like",
+        stands_in_for: "bzip2 (SPEC CPU2006)",
+        description: "three hard data-dependent branches per iteration; moderate random misses",
+        program: b.build().expect("bzip_like assembles"),
+        memory: mem,
+    }
+}
+
+/// soplex: sparse-matrix gather — sequential index/value loads feeding a
+/// random gather into an LLC-exceeding vector, plus a hard branch.
+pub(crate) fn soplex_like(cfg: &GenConfig) -> Workload {
+    let nnz_words = cfg.scaled_pow2(1 << 19, 256);
+    let x_words = cfg.scaled_pow2(1 << 20, 256); // 8MB vector
+    let mut mem = MemoryImage::new();
+    let mut rng = cfg.rng(0);
+    // IDX[i]: random column indices; VAL[i]: random values.
+    for i in 0..nnz_words {
+        mem.store(A_BASE as u64 + 8 * i, rng.gen_rand() & (x_words - 1));
+    }
+    fill_random_words(&mut mem, B_BASE as u64, nnz_words, &mut cfg.rng(1));
+    fill_random_words(&mut mem, C_BASE as u64, x_words.min(1 << 16), &mut cfg.rng(2));
+
+    let mut b = ProgramBuilder::named("soplex_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (nnz_words - 1) as i64);
+    b.movi(R13, 0); // accumulator
+    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    let top = b.label("top");
+    let skip = b.label("skip");
+    b.bind(top).unwrap();
+    b.alu(AluOp::And, R10, R1, R9);
+    b.load_abs(R5, R10, 8, A_BASE); // col = IDX[i]   (sequential)
+    b.load_abs(R6, R10, 8, B_BASE); // v = VAL[i]     (sequential)
+    b.load_abs(R7, R5, 8, C_BASE); // x = X[col]     ← critical gather miss
+    b.alu(AluOp::FMul, R8, R6, R7);
+    b.alu(AluOp::FAdd, R13, R13, R8); // acc += v * x
+    b.andi(R11, R7, 3);
+    b.brnz(R11, skip); // hard branch on gathered data
+    b.addi(R20, R20, 1);
+    b.bind(skip).unwrap();
+    filler(&mut b, 5);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "soplex_like",
+        stands_in_for: "soplex (SPEC CPU2006)",
+        description: "sparse gather: sequential index/value loads feeding a random vector access",
+        program: b.build().expect("soplex_like assembles"),
+        memory: mem,
+    }
+}
+
+/// libquantum: a pure sequential sweep the stream prefetcher fully covers —
+/// CDF and PRE should both be ≈ neutral.
+pub(crate) fn libq_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 21, 512);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 16), &mut cfg.rng(0));
+
+    let mut b = ProgramBuilder::named("libq_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, A_BASE);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 0x55);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.alu(AluOp::And, R10, R1, R9);
+    b.load_idx(R5, R3, R10, 8, 0);
+    b.alu(AluOp::Xor, R6, R5, R12);
+    b.andi(R7, R6, 0xFF);
+    b.add(R8, R7, R6);
+    b.store_idx(R8, R3, R10, 8, 0); // toggle in place (libquantum gate loop)
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "libq_like",
+        stands_in_for: "libquantum (SPEC CPU2006)",
+        description: "sequential read-modify-write sweep; fully prefetchable",
+        program: b.build().expect("libq_like assembles"),
+        memory: mem,
+    }
+}
+
+/// omnetpp: dense critical chains — nearly every uop feeds the next pointer
+/// dereference, so criticality density is high and CDF cannot skip much
+/// (paper §4.2: neither CDF nor PRE helps).
+pub(crate) fn omnetpp_like(cfg: &GenConfig) -> Workload {
+    let nodes = cfg.scaled_pow2(1 << 17, 64);
+    let mut mem = MemoryImage::new();
+    let mut rng = cfg.rng(0);
+    let start = chain_permutation(&mut mem, A_BASE as u64, nodes, 64, &mut rng);
+    for i in 0..nodes {
+        mem.store(A_BASE as u64 + i * 64 + 8, rng.gen_rand());
+        mem.store(A_BASE as u64 + i * 64 + 16, rng.gen_rand());
+    }
+
+    let mut b = ProgramBuilder::named("omnetpp_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, start as i64);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    // Everything below feeds the chase: dense criticality.
+    b.load(R4, R3, 8); // key
+    b.load(R5, R3, 16); // aux
+    b.alu(AluOp::Xor, R6, R4, R5);
+    b.alu(AluOp::And, R6, R6, R6); // keep chain long
+    b.andi(R7, R6, 0); // always 0 — but data-dependent in the dataflow graph
+    b.add(R8, R3, R7); // p + 0
+    b.load(R3, R8, 0); // p = p->next (address depends on everything above)
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "omnetpp_like",
+        stands_in_for: "omnetpp (SPEC CPU2006/2017)",
+        description: "pointer chase where every uop feeds the next dereference: dense criticality",
+        program: b.build().expect("omnetpp_like assembles"),
+        memory: mem,
+    }
+}
+
+/// GemsFDTD: dense regular misses over several big arrays with a stride the
+/// prefetcher only partially covers. PRE's prefetch distance is not
+/// ROB-limited, so it competes well here (paper §4.2).
+pub(crate) fn gems_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 20, 512);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 14), &mut cfg.rng(0));
+    fill_random_words(&mut mem, B_BASE as u64, words.min(1 << 14), &mut cfg.rng(1));
+    fill_random_words(&mut mem, C_BASE as u64, words.min(1 << 14), &mut cfg.rng(2));
+
+    let mut b = ProgramBuilder::named("gems_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 24); // stride in words: 192B — skips 2 lines between touches
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R4, R10, 8, A_BASE); // stencil reads from three planes
+    b.load_abs(R5, R10, 8, B_BASE);
+    b.load_abs(R6, R10, 8, C_BASE);
+    b.alu(AluOp::FAdd, R7, R4, R5);
+    b.alu(AluOp::FMul, R7, R7, R6);
+    b.alu(AluOp::FAdd, R8, R7, R4);
+    b.store_abs(R8, R10, 8, D_BASE);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "gems_like",
+        stands_in_for: "GemsFDTD (SPEC CPU2006)",
+        description: "strided stencil over three planes; dense misses partially prefetchable",
+        program: b.build().expect("gems_like assembles"),
+        memory: mem,
+    }
+}
+
+/// zeusmp: dense stencil misses, criticality not sparse enough for CDF.
+pub(crate) fn zeusmp_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 20, 512);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 14), &mut cfg.rng(0));
+    fill_random_words(&mut mem, B_BASE as u64, words.min(1 << 14), &mut cfg.rng(1));
+
+    let mut b = ProgramBuilder::named("zeusmp_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 40); // 320B stride
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R4, R10, 8, A_BASE);
+    b.load_abs(R5, R10, 8, B_BASE);
+    b.alu(AluOp::FMul, R6, R4, R5);
+    b.alu(AluOp::FAdd, R7, R6, R4);
+    b.alu(AluOp::FDiv, R8, R7, R5);
+    b.store_abs(R8, R10, 8, C_BASE);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "zeusmp_like",
+        stands_in_for: "zeusmp (SPEC CPU2006)",
+        description: "strided two-plane stencil with FP divide; dense misses",
+        program: b.build().expect("zeusmp_like assembles"),
+        memory: mem,
+    }
+}
+
+/// fotonik3d: many concurrent sequential streams — bandwidth bound; a larger
+/// window (or CDF on a larger baseline) overlaps more (paper §4.4).
+pub(crate) fn fotonik_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 20, 512);
+    let mut mem = MemoryImage::new();
+    for s in 0..4u64 {
+        fill_random_words(
+            &mut mem,
+            A_BASE as u64 + s * 0x0800_0000,
+            words.min(1 << 13),
+            &mut cfg.rng(s),
+        );
+    }
+
+    let mut b = ProgramBuilder::named("fotonik_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 16); // 128B stride: half the lines prefetcher-covered
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R4, R10, 8, A_BASE);
+    b.load_abs(R5, R10, 8, A_BASE + 0x0800_0000);
+    b.load_abs(R6, R10, 8, A_BASE + 0x1000_0000);
+    b.load_abs(R7, R10, 8, A_BASE + 0x1800_0000);
+    b.alu(AluOp::FAdd, R8, R4, R5);
+    b.alu(AluOp::FAdd, R11, R6, R7);
+    b.alu(AluOp::FMul, R8, R8, R11);
+    b.store_abs(R8, R10, 8, D_BASE);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "fotonik_like",
+        stands_in_for: "fotonik3d (SPEC CPU2017)",
+        description: "four concurrent strided streams; bandwidth-bound, window-scaling sensitive",
+        program: b.build().expect("fotonik_like assembles"),
+        memory: mem,
+    }
+}
+
+/// roms: streaming with stores and FP chains; like fotonik with more
+/// per-element work.
+pub(crate) fn roms_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 20, 512);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 14), &mut cfg.rng(0));
+    fill_random_words(&mut mem, B_BASE as u64, words.min(1 << 14), &mut cfg.rng(1));
+
+    let mut b = ProgramBuilder::named("roms_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 16);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R4, R10, 8, A_BASE);
+    b.load_abs(R5, R10, 8, B_BASE);
+    b.alu(AluOp::FMul, R6, R4, R5);
+    b.alu(AluOp::FAdd, R6, R6, R4);
+    b.alu(AluOp::FMul, R7, R6, R6);
+    b.alu(AluOp::FAdd, R7, R7, R5);
+    b.store_abs(R7, R10, 8, C_BASE);
+    b.store_abs(R6, R10, 8, D_BASE);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "roms_like",
+        stands_in_for: "roms (SPEC CPU2017)",
+        description: "two strided input streams, two output streams, FP chain",
+        program: b.build().expect("roms_like assembles"),
+        memory: mem,
+    }
+}
+
+/// nab: LLC misses more than 1000 instructions apart. No MLP to extract; the
+/// benefit is *initiating the next critical load earlier* (paper §2.3 —
+/// "bzip and nab ... perform better due to faster initiation of critical
+/// loads").
+pub(crate) fn nab_like(cfg: &GenConfig) -> Workload {
+    let big_words = cfg.scaled_pow2(1 << 21, 256); // 16MB at scale 1: stays missing
+    let small_words = 256u64; // fits L1
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, big_words, &mut cfg.rng(0));
+    fill_random_words(&mut mem, B_BASE as u64, small_words, &mut cfg.rng(1));
+
+    let mut b = ProgramBuilder::named("nab_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (big_words - 1) as i64);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R14, (small_words - 1) as i64);
+    b.movi(R20, 1);
+    let top = b.label("top");
+    let inner = b.label("inner");
+    b.bind(top).unwrap();
+    // One far-apart critical miss per outer iteration; its value gates every
+    // inner-loop iteration (the solvation-energy term nab folds into each
+    // pairwise interaction), so the exposed miss latency is what an early
+    // initiation recovers.
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R5, R10, 8, A_BASE); // ← isolated LLC miss
+    b.alu(AluOp::Or, R20, R5, R5); // broadcast of the missed value
+    // ~96 inner iterations of cheap, cache-resident, per-iteration
+    // independent work (~1150 uops between misses).
+    b.movi(R15, 96);
+    b.bind(inner).unwrap();
+    b.alu(AluOp::And, R16, R15, R14);
+    b.load_abs(R17, R16, 8, B_BASE);
+    b.alu(AluOp::FMul, R18, R17, R20); // gated on the miss
+    b.alu(AluOp::FAdd, R19, R18, R17);
+    b.alu(AluOp::Xor, R22, R19, R18);
+    b.shri(R23, R22, 2);
+    b.add(R24, R23, R19);
+    b.alu(AluOp::FMul, R25, R24, R17);
+    b.alu(AluOp::FAdd, R26, R25, R24);
+    b.store_abs(R26, R16, 8, B_BASE);
+    b.addi(R15, R15, -1);
+    b.brnz(R15, inner); // predictable loop branch
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "nab_like",
+        stands_in_for: "nab (SPEC CPU2017)",
+        description: "isolated LLC misses >1000 instructions apart; benefit is early initiation, not MLP",
+        program: b.build().expect("nab_like assembles"),
+        memory: mem,
+    }
+}
+
+/// sphinx: intermediate criticality density — the case §4.2 says fits neither
+/// of CDF's two counter thresholds well; CDF and PRE are both ≈ neutral.
+pub(crate) fn sphinx_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 19, 256);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words, &mut cfg.rng(0));
+
+    let mut b = ProgramBuilder::named("sphinx_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    let top = b.label("top");
+    let skip = b.label("skip");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R5, R10, 8, A_BASE); // random load, sometimes-missing
+    // Medium dependent chain (half the iteration) hanging off the load.
+    b.alu(AluOp::FMul, R6, R5, R5);
+    b.alu(AluOp::FAdd, R6, R6, R5);
+    b.alu(AluOp::Xor, R7, R6, R5);
+    b.alu(AluOp::Shr, R7, R7, R6);
+    b.andi(R8, R7, 7);
+    b.brz(R8, skip); // mildly hard branch
+    b.addi(R20, R20, 1);
+    b.bind(skip).unwrap();
+    filler(&mut b, 6);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "sphinx_like",
+        stands_in_for: "sphinx3 / leslie3d / wrf / parest",
+        description: "intermediate criticality density; neither CDF nor PRE helps much",
+        program: b.build().expect("sphinx_like assembles"),
+        memory: mem,
+    }
+}
+
+/// xalancbmk/CactuBSSN: branchy pointer code where wrong-path runahead loads
+/// pollute the cache and add traffic (the paper's note on PRE SimPoints with
+/// "corruption of the cache state and excess memory traffic").
+pub(crate) fn xalanc_like(cfg: &GenConfig) -> Workload {
+    let nodes = cfg.scaled_pow2(1 << 16, 64); // 4MB per chain: exceeds the LLC
+    let mut mem = MemoryImage::new();
+    let mut rng = cfg.rng(0);
+    let start = chain_permutation(&mut mem, A_BASE as u64, nodes, 64, &mut rng);
+    let start2 = chain_permutation(&mut mem, B_BASE as u64, nodes, 64, &mut rng);
+    for i in 0..nodes {
+        mem.store(A_BASE as u64 + i * 64 + 8, rng.gen_rand());
+        mem.store(B_BASE as u64 + i * 64 + 8, rng.gen_rand());
+    }
+
+    let mut b = ProgramBuilder::named("xalanc_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, start as i64);
+    b.movi(R4, start2 as i64);
+    b.movi(R20, 1).movi(R21, 7);
+    let top = b.label("top");
+    let other = b.label("other");
+    let join = b.label("join");
+    b.bind(top).unwrap();
+    b.load(R5, R3, 8); // tag of current node (random)
+    b.andi(R6, R5, 1);
+    b.brnz(R6, other); // hard branch chooses which chain advances
+    b.load(R3, R3, 0); // advance chain A
+    b.addi(R20, R20, 1);
+    b.jmp(join);
+    b.bind(other).unwrap();
+    b.load(R4, R4, 0); // advance chain B
+    b.addi(R21, R21, 1);
+    b.bind(join).unwrap();
+    filler(&mut b, 4);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "xalanc_like",
+        stands_in_for: "xalancbmk / CactuBSSN",
+        description: "hard branch selecting between two pointer chains; wrong-path loads pollute",
+        program: b.build().expect("xalanc_like assembles"),
+        memory: mem,
+    }
+}
+
+trait RngExt {
+    fn gen_rand(&mut self) -> u64;
+}
+
+impl RngExt for rand::rngs::StdRng {
+    fn gen_rand(&mut self) -> u64 {
+        rand::Rng::gen(self)
+    }
+}
+
+trait BuilderExt {
+    fn store_abs(&mut self, data: cdf_isa::ArchReg, index: cdf_isa::ArchReg, scale: u8, disp: i64)
+        -> &mut Self;
+}
+
+impl BuilderExt for ProgramBuilder {
+    /// `mem[index*scale + disp] = data` (absolute-base store).
+    fn store_abs(
+        &mut self,
+        data: cdf_isa::ArchReg,
+        index: cdf_isa::ArchReg,
+        scale: u8,
+        disp: i64,
+    ) -> &mut Self {
+        self.push(cdf_isa::StaticUop {
+            op: cdf_isa::Op::Store,
+            src1: Some(data),
+            mem: cdf_isa::MemAddressing {
+                base: None,
+                index: Some(index),
+                scale,
+                disp,
+            },
+            ..cdf_isa::StaticUop::nop()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdf_isa::Executor;
+
+    fn run(w: &Workload, fuel: u64) -> cdf_isa::ArchState {
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        e.run(fuel).unwrap_or_else(|err| panic!("{}: {err}", w.name));
+        e.into_state()
+    }
+
+    #[test]
+    fn astar_touches_b_randomly() {
+        let cfg = GenConfig { iters: 64, ..GenConfig::test() };
+        let w = astar_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let mut b_addrs = std::collections::HashSet::new();
+        while !e.is_halted() {
+            let ev = e.step().unwrap();
+            if let Some((addr, _)) = ev.load {
+                if (B_BASE as u64..C_BASE as u64).contains(&addr) {
+                    b_addrs.insert(addr / 64); // distinct lines
+                }
+            }
+        }
+        assert!(
+            b_addrs.len() > 32,
+            "random index must spread across lines: {}",
+            b_addrs.len()
+        );
+    }
+
+    #[test]
+    fn mcf_chases_distinct_nodes() {
+        let cfg = GenConfig { iters: 32, ..GenConfig::test() };
+        let w = mcf_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let mut ptrs = std::collections::HashSet::new();
+        while !e.is_halted() {
+            let ev = e.step().unwrap();
+            if let Some((addr, _)) = ev.load {
+                if addr % 64 == 0 {
+                    ptrs.insert(addr);
+                }
+            }
+        }
+        assert_eq!(ptrs.len(), 32, "each iteration visits a fresh node");
+    }
+
+    #[test]
+    fn nab_iteration_is_long() {
+        let cfg = GenConfig { iters: 4, ..GenConfig::test() };
+        let w = nab_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let steps = e.run(10_000_000).unwrap();
+        assert!(
+            steps / 4 > 1000,
+            "inner loop must exceed 1000 uops between misses: {} per outer",
+            steps / 4
+        );
+    }
+
+    #[test]
+    fn branch_bias_is_hard_in_bzip() {
+        let cfg = GenConfig { iters: 400, ..GenConfig::test() };
+        let w = bzip_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let (mut taken, mut total) = (0u64, 0u64);
+        while !e.is_halted() {
+            let ev = e.step().unwrap();
+            // The three hard branches live before the loop-closing branch.
+            if let Some(t) = ev.branch_taken {
+                if ev.pc.index() < w.program.len() - 2 {
+                    total += 1;
+                    taken += t as u64;
+                }
+            }
+        }
+        let ratio = taken as f64 / total as f64;
+        assert!(
+            (0.3..=0.7).contains(&ratio),
+            "hard branches should be near 50/50: {ratio}"
+        );
+    }
+
+    #[test]
+    fn libq_stores_modify_memory() {
+        let cfg = GenConfig { iters: 100, ..GenConfig::test() };
+        let w = libq_like(&cfg);
+        let st = run(&w, 10_000_000);
+        let mut changed = 0;
+        for i in 0..100u64 {
+            if st.mem().load(A_BASE as u64 + 8 * i) != w.memory.load(A_BASE as u64 + 8 * i) {
+                changed += 1;
+            }
+        }
+        assert!(changed > 90, "in-place update must land: {changed}");
+    }
+
+    #[test]
+    fn xalanc_advances_both_chains() {
+        let cfg = GenConfig { iters: 200, ..GenConfig::test() };
+        let w = xalanc_like(&cfg);
+        let st = run(&w, 10_000_000);
+        assert!(st.reg(R20) > 1, "chain A must advance sometimes");
+        assert!(st.reg(R21) > 7, "chain B must advance sometimes");
+    }
+}
+
+/// leslie3d: line-crossing stencil with a short dependent FP chain — misses
+/// are moderately dense and half-covered by the prefetcher; intermediate
+/// criticality density (one of the paper's "fits neither category" cases).
+pub(crate) fn leslie_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 20, 512);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 14), &mut cfg.rng(0));
+    fill_random_words(&mut mem, B_BASE as u64, words.min(1 << 14), &mut cfg.rng(1));
+
+    let mut b = ProgramBuilder::named("leslie_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 10); // 80B stride: line-crossing but prefetch-friendly
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R4, R10, 8, A_BASE);
+    b.load_abs(R5, R10, 8, B_BASE);
+    b.alu(AluOp::FMul, R6, R4, R5);
+    b.alu(AluOp::FAdd, R6, R6, R4); // short dependent chain on the loads
+    b.alu(AluOp::FMul, R7, R6, R5);
+    b.store_abs(R7, R10, 8, C_BASE);
+    filler(&mut b, 4);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "leslie_like",
+        stands_in_for: "leslie3d (SPEC CPU2006)",
+        description: "line-crossing stencil, half prefetch-covered; intermediate criticality",
+        program: b.build().expect("leslie_like assembles"),
+        memory: mem,
+    }
+}
+
+/// wrf: mixed phases — a prefetchable sweep interleaved with an occasional
+/// indirect access; criticality density drifts across "phases", defeating a
+/// single CCT threshold (the paper's other "fits neither category" case).
+pub(crate) fn wrf_like(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 20, 512);
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 14), &mut cfg.rng(0));
+    fill_random_words(&mut mem, B_BASE as u64, words.min(1 << 14), &mut cfg.rng(1));
+
+    let mut b = ProgramBuilder::named("wrf_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (words - 1) as i64);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    let top = b.label("top");
+    let indirect = b.label("indirect");
+    let join = b.label("join");
+    b.bind(top).unwrap();
+    // Sequential phase work (prefetchable).
+    b.alu(AluOp::And, R10, R1, R9);
+    b.load_abs(R4, R10, 8, A_BASE);
+    b.alu(AluOp::FAdd, R5, R4, R4);
+    // Every 8th iteration: an indirect gather (the "physics step").
+    b.andi(R6, R1, 7);
+    b.brnz(R6, join); // predictable 7/8 taken
+    b.bind(indirect).unwrap();
+    b.mul(R7, R1, R12);
+    b.alu(AluOp::And, R7, R7, R9);
+    b.load_abs(R8, R7, 8, B_BASE); // occasional random miss
+    b.alu(AluOp::FAdd, R5, R5, R8);
+    b.bind(join).unwrap();
+    b.store_abs(R5, R10, 8, C_BASE);
+    filler(&mut b, 5);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "wrf_like",
+        stands_in_for: "wrf (SPEC CPU2006/2017)",
+        description: "prefetchable sweep with an every-8th-iteration indirect gather; phase-drifting criticality",
+        program: b.build().expect("wrf_like assembles"),
+        memory: mem,
+    }
+}
+
+/// parest: sparse solver inner product — indexed gathers whose indices are
+/// *locally clustered* (partially cache-resident), so misses are irregular
+/// but not uniformly random; neither CDF's sparse nor dense regime.
+pub(crate) fn parest_like(cfg: &GenConfig) -> Workload {
+    let x_words = cfg.scaled_pow2(1 << 20, 512);
+    let idx_words = cfg.scaled_pow2(1 << 18, 256);
+    let mut mem = MemoryImage::new();
+    let mut rng = cfg.rng(0);
+    // Clustered indices: base cluster + small offset.
+    for i in 0..idx_words {
+        let cluster = (rng.gen_rand() % 64) * (x_words / 64);
+        let off = rng.gen_rand() % (x_words / 256).max(1);
+        mem.store(A_BASE as u64 + 8 * i, (cluster + off) & (x_words - 1));
+    }
+    fill_random_words(&mut mem, B_BASE as u64, idx_words.min(1 << 14), &mut cfg.rng(1));
+    fill_random_words(&mut mem, C_BASE as u64, x_words.min(1 << 14), &mut cfg.rng(2));
+
+    let mut b = ProgramBuilder::named("parest_like");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R9, (idx_words - 1) as i64);
+    b.movi(R13, 0);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.alu(AluOp::And, R10, R1, R9);
+    b.load_abs(R5, R10, 8, A_BASE); // col index (sequential)
+    b.load_abs(R6, R10, 8, B_BASE); // value (sequential)
+    b.load_abs(R7, R5, 8, C_BASE); // clustered gather
+    b.alu(AluOp::FMul, R8, R6, R7);
+    b.alu(AluOp::FAdd, R13, R13, R8);
+    filler(&mut b, 3);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "parest_like",
+        stands_in_for: "parest (SPEC CPU2017)",
+        description: "sparse inner product with locally clustered gather indices",
+        program: b.build().expect("parest_like assembles"),
+        memory: mem,
+    }
+}

@@ -1,0 +1,110 @@
+//! # cdf-workloads — SPEC-like synthetic kernels
+//!
+//! The paper evaluates on the memory-intensive subset of SPEC CPU2006/2017
+//! via SimPoints. Those binaries and traces are not redistributable, so this
+//! crate provides **seventeen synthetic kernels** (fourteen in the default
+//! figure suite plus three finer-grained extras), each engineered to the
+//! behavioural property the paper's §4.2 analysis attributes to the
+//! benchmark it stands in for (random-index LLC misses for astar, pointer
+//! chasing for mcf, streaming with short stalls for lbm, far-apart misses for
+//! nab, …). DESIGN.md carries the full substitution table.
+//!
+//! Every workload is a [`Workload`]: a [`Program`] in the `cdf-isa` uop ISA
+//! plus a pre-initialized [`MemoryImage`], generated deterministically from
+//! the seed in [`GenConfig`].
+//!
+//! ```
+//! use cdf_workloads::{GenConfig, registry};
+//!
+//! let cfg = GenConfig::test(); // small arrays + bounded loops for tests
+//! let w = registry::by_name("astar_like", &cfg).expect("known workload");
+//! assert_eq!(w.name, "astar_like");
+//! assert!(w.program.len() > 5);
+//!
+//! // Workloads halt, so they can be validated on the functional executor.
+//! let mut exec = cdf_isa::Executor::new(&w.program, w.memory.clone());
+//! exec.run(10_000_000).expect("halts");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod gen;
+mod kernels;
+
+pub mod profile;
+pub mod registry;
+
+pub use gen::{chain_permutation, fill_random_words, GenConfig};
+
+use cdf_isa::{MemoryImage, Program};
+
+/// A runnable synthetic workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short kernel name (e.g. `"astar_like"`).
+    pub name: &'static str,
+    /// The SPEC benchmark(s) this kernel stands in for.
+    pub stands_in_for: &'static str,
+    /// One-line description of the engineered behaviour.
+    pub description: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Initial data memory.
+    pub memory: MemoryImage,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdf_isa::Executor;
+
+    #[test]
+    fn all_workloads_build_and_halt() {
+        let cfg = GenConfig::test();
+        let all = registry::all(&cfg);
+        assert_eq!(all.len(), 14);
+        for w in &all {
+            let mut exec = Executor::new(&w.program, w.memory.clone());
+            let steps = exec
+                .run(50_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            assert!(steps > 100, "{} too short: {steps}", w.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = GenConfig::test();
+        let a = registry::by_name("mcf_like", &cfg).unwrap();
+        let b = registry::by_name("mcf_like", &cfg).unwrap();
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.memory, b.memory);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = registry::by_name("astar_like", &GenConfig { seed: 1, ..GenConfig::test() }).unwrap();
+        let b = registry::by_name("astar_like", &GenConfig { seed: 2, ..GenConfig::test() }).unwrap();
+        assert_ne!(a.memory, b.memory);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(registry::by_name("nope", &GenConfig::test()).is_none());
+    }
+
+    #[test]
+    fn names_unique_and_documented() {
+        let cfg = GenConfig::test();
+        let all = registry::all(&cfg);
+        let mut names: Vec<_> = all.iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 14, "duplicate workload names");
+        for w in &all {
+            assert!(!w.description.is_empty());
+            assert!(!w.stands_in_for.is_empty());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Miss profiling: the "profile pass" a compiler would run to find
+//! delinquent loads (the seeds for the §6 compiler-assisted CDF
+//! augmentation, and the classic input to static criticality work the paper
+//! cites, e.g. Panait et al.).
+
+use crate::Workload;
+use cdf_isa::{Executor, Pc};
+use cdf_mem::{Cache, CacheConfig};
+use std::collections::HashMap;
+
+/// Functionally executes up to `max_steps` uops of the workload against an
+/// LLC-sized cache model and returns the static loads whose miss rate
+/// exceeds `min_miss_rate` (with at least 16 misses) — the delinquent loads.
+///
+/// ```
+/// use cdf_workloads::{profile, registry, GenConfig};
+/// let w = registry::by_name("astar_like", &GenConfig::test()).unwrap();
+/// let hot = profile::delinquent_loads(&w, 200_000, 0.10);
+/// assert!(!hot.is_empty(), "astar's gather load must show up");
+/// ```
+pub fn delinquent_loads(w: &Workload, max_steps: u64, min_miss_rate: f64) -> Vec<Pc> {
+    let mut exec = Executor::new(&w.program, w.memory.clone());
+    // LLC-sized filter (1MB, 16-way): an L1 model would flag cache-resident
+    // loads that CDF gains nothing from.
+    let mut llc = Cache::new(CacheConfig {
+        capacity_bytes: 1024 * 1024,
+        ways: 16,
+    });
+    let mut counts: HashMap<Pc, (u64, u64)> = HashMap::new(); // (misses, total)
+    for _ in 0..max_steps {
+        if exec.is_halted() {
+            break;
+        }
+        let Ok(ev) = exec.step() else { break };
+        if let Some((addr, _)) = ev.load {
+            let e = counts.entry(ev.pc).or_insert((0, 0));
+            e.1 += 1;
+            if !llc.probe(addr) {
+                e.0 += 1;
+                llc.fill(addr, false);
+            }
+        }
+    }
+    let mut out: Vec<Pc> = counts
+        .into_iter()
+        .filter(|(_, (miss, total))| {
+            *miss >= 16 && *miss as f64 / (*total).max(1) as f64 >= min_miss_rate
+        })
+        .map(|(pc, _)| pc)
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{registry, GenConfig};
+
+    fn cfg() -> GenConfig {
+        GenConfig {
+            seed: 0xC0FFEE,
+            scale: 0.25,
+            iters: u64::MAX / 4,
+        }
+    }
+
+    #[test]
+    fn astar_flags_the_gather_not_the_stream() {
+        let w = registry::by_name("astar_like", &cfg()).unwrap();
+        let hot = delinquent_loads(&w, 300_000, 0.20);
+        assert!(!hot.is_empty());
+        // At a 20% threshold only the absolute-indexed gather (B) survives;
+        // the sequential A-load misses once per line (12.5%).
+        for pc in &hot {
+            let u = w.program.uop(*pc);
+            assert!(u.op.is_load() && u.mem.base.is_none(), "{pc}: {u}");
+        }
+    }
+
+    #[test]
+    fn nab_flags_only_the_far_apart_miss() {
+        let w = registry::by_name("nab_like", &cfg()).unwrap();
+        let hot = delinquent_loads(&w, 400_000, 0.10);
+        assert_eq!(hot.len(), 1, "only the outer gather misses: {hot:?}");
+        let u = w.program.uop(hot[0]);
+        assert!(u.op.is_load() && u.mem.base.is_none());
+    }
+
+    #[test]
+    fn sequential_sweeps_fall_below_a_gather_threshold() {
+        // libq's sweep misses only once per 8-word line (12.5%): a 20%
+        // delinquency threshold excludes prefetchable streams while keeping
+        // random gathers (~50%+).
+        let w = registry::by_name("libq_like", &GenConfig::test()).unwrap();
+        let hot = delinquent_loads(&w, 200_000, 0.20);
+        assert!(hot.is_empty(), "{hot:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The workload registry: build kernels by name or all at once.
+
+use crate::gen::GenConfig;
+use crate::kernels;
+use crate::Workload;
+
+/// The names of all fourteen kernels, in the order the paper-style figures
+/// report them.
+pub const NAMES: &[&str] = &[
+    "astar_like",
+    "bzip_like",
+    "mcf_like",
+    "soplex_like",
+    "lbm_like",
+    "libq_like",
+    "nab_like",
+    "xalanc_like",
+    "gems_like",
+    "zeusmp_like",
+    "fotonik_like",
+    "roms_like",
+    "sphinx_like",
+    "omnetpp_like",
+];
+
+/// Additional finer-grained kernels, usable by name but not part of the
+/// default figure suite (the paper groups their originals with sphinx as
+/// "does not do well with either CDF or PRE"; the default suite keeps one
+/// representative to match the figure layout).
+pub const EXTRA_NAMES: &[&str] = &["leslie_like", "wrf_like", "parest_like"];
+
+/// Builds one workload by name.
+///
+/// Returns `None` for unknown names; see [`NAMES`] and [`EXTRA_NAMES`].
+///
+/// ```
+/// use cdf_workloads::{registry, GenConfig};
+/// let w = registry::by_name("lbm_like", &GenConfig::test()).unwrap();
+/// assert_eq!(w.stands_in_for, "lbm (SPEC CPU2006/2017)");
+/// ```
+pub fn by_name(name: &str, cfg: &GenConfig) -> Option<Workload> {
+    let w = match name {
+        "astar_like" => kernels::astar_like(cfg),
+        "bzip_like" => kernels::bzip_like(cfg),
+        "mcf_like" => kernels::mcf_like(cfg),
+        "soplex_like" => kernels::soplex_like(cfg),
+        "lbm_like" => kernels::lbm_like(cfg),
+        "libq_like" => kernels::libq_like(cfg),
+        "nab_like" => kernels::nab_like(cfg),
+        "xalanc_like" => kernels::xalanc_like(cfg),
+        "gems_like" => kernels::gems_like(cfg),
+        "zeusmp_like" => kernels::zeusmp_like(cfg),
+        "fotonik_like" => kernels::fotonik_like(cfg),
+        "roms_like" => kernels::roms_like(cfg),
+        "sphinx_like" => kernels::sphinx_like(cfg),
+        "omnetpp_like" => kernels::omnetpp_like(cfg),
+        "leslie_like" => kernels::leslie_like(cfg),
+        "wrf_like" => kernels::wrf_like(cfg),
+        "parest_like" => kernels::parest_like(cfg),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Builds every kernel in [`NAMES`] order.
+pub fn all(cfg: &GenConfig) -> Vec<Workload> {
+    NAMES
+        .iter()
+        .map(|n| by_name(n, cfg).expect("registry names are exhaustive"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdf_isa::Executor;
+
+    #[test]
+    fn names_match_all() {
+        let cfg = GenConfig::test();
+        let all = all(&cfg);
+        for (n, w) in NAMES.iter().zip(&all) {
+            assert_eq!(*n, w.name);
+        }
+    }
+
+    #[test]
+    fn extra_kernels_build_and_halt() {
+        let cfg = GenConfig::test();
+        for name in EXTRA_NAMES {
+            let w = by_name(name, &cfg).expect("extra kernel known");
+            assert_eq!(w.name, *name);
+            let mut e = Executor::new(&w.program, w.memory.clone());
+            e.run(50_000_000).unwrap_or_else(|err| panic!("{name}: {err}"));
+        }
+    }
+
+    #[test]
+    fn extra_names_disjoint_from_default_suite() {
+        for n in EXTRA_NAMES {
+            assert!(!NAMES.contains(n));
+        }
+    }
+}

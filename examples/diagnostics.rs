@@ -1,0 +1,34 @@
+//! Per-workload engagement diagnostics: one row per kernel with the baseline
+//! characteristics (IPC, miss and misprediction rates, stall fraction, MLP)
+//! and what each mechanism did with it (CDF-mode residency, critical uops,
+//! dependence violations; runahead volume). Useful when adding a kernel or
+//! re-calibrating a mechanism.
+//!
+//! ```text
+//! cargo run --release --example diagnostics [--fast]
+//! ```
+
+use cdf::sim::{simulate, EvalConfig, Mechanism};
+use cdf::workloads::registry::NAMES;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        EvalConfig::quick()
+    } else {
+        EvalConfig::default()
+    };
+    println!("workload      base_ipc llc_mpki br_mpki stall% mlp   | cdf_ipc c_mlp mode% crit_uops viol | pre_ipc p_mlp ra_uops");
+    for name in NAMES {
+        let b = simulate(name, Mechanism::Baseline, &cfg);
+        let c = simulate(name, Mechanism::Cdf, &cfg);
+        let p = simulate(name, Mechanism::Pre, &cfg);
+        println!(
+            "{:13} {:8.3} {:8.2} {:7.2} {:5.1} {:5.2} | {:7.3} {:5.2} {:5.1} {:9} {:4} | {:7.3} {:5.2} {:7}",
+            name, b.ipc, b.llc_mpki, b.branch_mpki,
+            b.full_window_stall_cycles as f64 / b.cycles as f64 * 100.0, b.mlp,
+            c.ipc, c.mlp, c.cdf_mode_cycles as f64 / c.cycles as f64 * 100.0,
+            c.critical_uops, c.dependence_violations,
+            p.ipc, p.mlp, p.runahead_uops,
+        );
+    }
+}

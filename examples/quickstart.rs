@@ -1,0 +1,44 @@
+//! Quickstart: run one kernel on the baseline core and on CDF, and print
+//! the headline comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use cdf::sim::{simulate, EvalConfig, Mechanism};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "astar_like".to_string());
+    let cfg = EvalConfig::quick();
+
+    println!("workload: {workload}  (quick sizing: {}k warmup + {}k measured instructions)",
+        cfg.warmup_instructions / 1000,
+        cfg.measure_instructions / 1000);
+    println!();
+
+    let base = simulate(&workload, Mechanism::Baseline, &cfg);
+    let cdf = simulate(&workload, Mechanism::Cdf, &cfg);
+    let pre = simulate(&workload, Mechanism::Pre, &cfg);
+
+    println!("{:12} {:>8} {:>8} {:>10} {:>12}", "mechanism", "IPC", "MLP", "DRAM lines", "energy (uJ)");
+    for m in [&base, &cdf, &pre] {
+        println!(
+            "{:12} {:>8.3} {:>8.2} {:>10} {:>12.1}",
+            m.mechanism,
+            m.ipc,
+            m.mlp,
+            m.dram_lines,
+            m.energy_nj / 1000.0
+        );
+    }
+    println!();
+    println!(
+        "CDF speedup: {:+.1}%   PRE speedup: {:+.1}%",
+        (cdf.ipc / base.ipc - 1.0) * 100.0,
+        (pre.ipc / base.ipc - 1.0) * 100.0
+    );
+    println!(
+        "CDF issued {} critical uops over {} measured instructions ({} CDF-mode cycles).",
+        cdf.critical_uops, cdf.instructions, cdf.cdf_mode_cycles
+    );
+}

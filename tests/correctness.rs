@@ -1,0 +1,126 @@
+//! Whole-stack architectural correctness: every workload, under every
+//! mechanism, must retire exactly the state the functional executor
+//! produces. This is the strongest invariant in the repository — CDF's dual
+//! fetch streams, replayed renames, poison recovery and partitioned
+//! retirement must be *invisible* architecturally.
+
+use cdf::core::{Core, CoreConfig};
+use cdf::isa::Executor;
+use cdf::sim::Mechanism;
+use cdf::workloads::{registry, GenConfig};
+
+fn check(name: &str, mechanism: Mechanism, iters: u64) {
+    let gen = GenConfig {
+        seed: 0xC0FFEE,
+        scale: 1.0 / 8.0,
+        iters,
+    };
+    let w = registry::by_name(name, &gen).expect("known workload");
+
+    let mut exec = Executor::new(&w.program, w.memory.clone());
+    exec.run(500_000_000).expect("functional run halts");
+
+    let cfg = CoreConfig {
+        mode: mechanism.mode(),
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(&w.program, w.memory.clone(), cfg);
+    let stats = core.run(u64::MAX / 2);
+    assert!(stats.halted, "{name}/{:?} must halt", mechanism.label());
+    assert_eq!(stats.retired, exec.retired(), "{name}: retired count");
+
+    let st = core.arch_state();
+    assert_eq!(st.regs(), exec.state().regs(), "{name}: registers");
+    for (addr, val) in exec.state().mem().iter() {
+        assert_eq!(st.mem().load(addr), val, "{name}: memory at {addr:#x}");
+    }
+}
+
+macro_rules! correctness_tests {
+    ($($test_name:ident: $workload:expr, $mech:expr, $iters:expr;)*) => {
+        $(
+            #[test]
+            fn $test_name() {
+                check($workload, $mech, $iters);
+            }
+        )*
+    };
+}
+
+correctness_tests! {
+    base_astar: "astar_like", Mechanism::Baseline, 1500;
+    base_soplex: "soplex_like", Mechanism::Baseline, 1500;
+    base_gems: "gems_like", Mechanism::Baseline, 1500;
+    base_nab: "nab_like", Mechanism::Baseline, 40;
+    base_omnetpp: "omnetpp_like", Mechanism::Baseline, 1500;
+    cdf_astar: "astar_like", Mechanism::Cdf, 3000;
+    cdf_bzip: "bzip_like", Mechanism::Cdf, 3000;
+    cdf_mcf: "mcf_like", Mechanism::Cdf, 2000;
+    cdf_soplex: "soplex_like", Mechanism::Cdf, 2000;
+    cdf_xalanc: "xalanc_like", Mechanism::Cdf, 2000;
+    cdf_nab: "nab_like", Mechanism::Cdf, 50;
+    cdf_sphinx: "sphinx_like", Mechanism::Cdf, 2000;
+    cdf_zeusmp: "zeusmp_like", Mechanism::Cdf, 2000;
+    cdf_roms: "roms_like", Mechanism::Cdf, 2000;
+    cdf_libq: "libq_like", Mechanism::Cdf, 2000;
+    cdf_nobranch_astar: "astar_like", Mechanism::CdfNoBranches, 2000;
+    cdf_static_astar: "astar_like", Mechanism::CdfStaticPartition, 2000;
+    cdf_nomask_bzip: "bzip_like", Mechanism::CdfNoMaskCache, 2000;
+    pre_astar: "astar_like", Mechanism::Pre, 2000;
+    pre_gems: "gems_like", Mechanism::Pre, 2000;
+    pre_fotonik: "fotonik_like", Mechanism::Pre, 2000;
+    classify_mcf: "mcf_like", Mechanism::BaselineClassify, 1500;
+}
+
+/// All fourteen kernels under CDF with a different seed — catches
+/// seed-dependent recovery corner cases.
+#[test]
+fn cdf_all_kernels_alternate_seed() {
+    for name in registry::NAMES {
+        let gen = GenConfig {
+            seed: 0xDEADBEEF,
+            scale: 1.0 / 16.0,
+            iters: if *name == "nab_like" { 30 } else { 800 },
+        };
+        let w = registry::by_name(name, &gen).expect("known");
+        let mut exec = Executor::new(&w.program, w.memory.clone());
+        exec.run(500_000_000).expect("halts");
+        let cfg = CoreConfig {
+            mode: Mechanism::Cdf.mode(),
+            ..CoreConfig::default()
+        };
+        let mut core = Core::new(&w.program, w.memory.clone(), cfg);
+        let stats = core.run(u64::MAX / 2);
+        assert!(stats.halted, "{name} must halt");
+        let st = core.arch_state();
+        assert_eq!(st.regs(), exec.state().regs(), "{name}: registers");
+    }
+}
+
+/// Small scaled windows (the Fig. 17 sweep) must preserve correctness too.
+#[test]
+fn cdf_correct_on_scaled_windows() {
+    for rob in [192usize, 512] {
+        let gen = GenConfig {
+            seed: 0xC0FFEE,
+            scale: 1.0 / 16.0,
+            iters: 1000,
+        };
+        let w = registry::by_name("astar_like", &gen).expect("known");
+        let mut exec = Executor::new(&w.program, w.memory.clone());
+        exec.run(500_000_000).expect("halts");
+        let cfg = CoreConfig {
+            mode: Mechanism::Cdf.mode(),
+            ..CoreConfig::default()
+        }
+        .with_scaled_window(rob);
+        let mut core = Core::new(&w.program, w.memory.clone(), cfg);
+        let stats = core.run(u64::MAX / 2);
+        assert!(stats.halted, "rob {rob} must halt");
+        assert_eq!(
+            core.arch_state().regs(),
+            exec.state().regs(),
+            "rob {rob}: registers"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the whole stack: randomly generated programs
+//! must retire the same architectural state on the OoO core (any mechanism)
+//! as on the functional executor, and core data structures must uphold their
+//! invariants under arbitrary operation sequences.
+
+use cdf::core::{Core, CoreConfig};
+use cdf::isa::{AluOp, ArchReg, Cond, Executor, MemoryImage, Program, ProgramBuilder};
+use cdf::sim::Mechanism;
+use proptest::prelude::*;
+
+/// Operation in the random-program generator.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Alu(u8, u8, u8, u8),   // op, dst, a, b
+    AluImm(u8, u8, u8, i8),
+    Load(u8, u8, i8),
+    Store(u8, u8, i8),
+    SkipIf(u8, u8), // data-dependent forward branch over the next op
+}
+
+fn reg(i: u8) -> ArchReg {
+    ArchReg::new((i % 12) as usize).expect("in range")
+}
+
+fn alu_op(i: u8) -> AluOp {
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Mul,
+        AluOp::Shr,
+        AluOp::FAdd,
+    ][(i % 8) as usize]
+}
+
+/// Builds a halting program: a loop whose body is the generated ops, so the
+/// same code reruns enough times for CDF's trainers to engage.
+fn build_program(ops: &[GenOp], loop_iters: u16) -> Program {
+    let mut b = ProgramBuilder::named("proptest");
+    // Seed registers with nonzero values and a memory base in R12.
+    for i in 0..12u8 {
+        b.movi(reg(i), (i as i64 + 1) * 17);
+    }
+    b.movi(ArchReg::R12, 0x5000); // memory base (word-aligned region)
+    b.movi(ArchReg::R13, loop_iters as i64 + 1);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    for op in ops {
+        match *op {
+            GenOp::Alu(o, d, x, y) => {
+                b.alu(alu_op(o), reg(d), reg(x), reg(y));
+            }
+            GenOp::AluImm(o, d, x, imm) => {
+                b.alu_imm(alu_op(o), reg(d), reg(x), imm as i64);
+            }
+            GenOp::Load(d, x, disp) => {
+                // Address: base + (reg & 0xF8) + small disp → a 64-word arena.
+                b.alu_imm(AluOp::And, ArchReg::R14, reg(x), 0xF8);
+                b.add(ArchReg::R14, ArchReg::R14, ArchReg::R12);
+                b.load(reg(d), ArchReg::R14, (disp as i64 & 0x38).abs());
+            }
+            GenOp::Store(v, x, disp) => {
+                b.alu_imm(AluOp::And, ArchReg::R14, reg(x), 0xF8);
+                b.add(ArchReg::R14, ArchReg::R14, ArchReg::R12);
+                b.store(reg(v), ArchReg::R14, (disp as i64 & 0x38).abs());
+            }
+            GenOp::SkipIf(x, parity) => {
+                let skip = b.label("skip");
+                b.alu_imm(AluOp::And, ArchReg::R15, reg(x), 1);
+                b.br_imm(Cond::Eq, ArchReg::R15, (parity & 1) as i64, skip);
+                b.addi(reg(x), reg(x), 3);
+                b.bind(skip).unwrap();
+            }
+        }
+    }
+    b.addi(ArchReg::R13, ArchReg::R13, -1);
+    b.brnz(ArchReg::R13, top);
+    b.halt();
+    b.build().expect("generated program assembles")
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(o, d, x, y)| GenOp::Alu(o, d, x, y)),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
+            .prop_map(|(o, d, x, i)| GenOp::AluImm(o, d, x, i)),
+        (any::<u8>(), any::<u8>(), any::<i8>()).prop_map(|(d, x, i)| GenOp::Load(d, x, i)),
+        (any::<u8>(), any::<u8>(), any::<i8>()).prop_map(|(v, x, i)| GenOp::Store(v, x, i)),
+        (any::<u8>(), any::<u8>()).prop_map(|(x, p)| GenOp::SkipIf(x, p)),
+    ]
+}
+
+fn check_equivalence(program: &Program, mechanism: Mechanism) {
+    let mut exec = Executor::new(program, MemoryImage::new());
+    exec.run(50_000_000).expect("halts");
+
+    let cfg = CoreConfig {
+        mode: mechanism.mode(),
+        ..CoreConfig::default()
+    };
+    let mut core = Core::new(program, MemoryImage::new(), cfg);
+    let stats = core.run(u64::MAX / 2);
+    assert!(stats.halted);
+    assert_eq!(stats.retired, exec.retired(), "retired count");
+    let st = core.arch_state();
+    assert_eq!(st.regs(), exec.state().regs(), "registers");
+    for (addr, val) in exec.state().mem().iter() {
+        assert_eq!(st.mem().load(addr), val, "memory at {addr:#x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs retire identically on the baseline core.
+    #[test]
+    fn baseline_matches_functional(ops in prop::collection::vec(gen_op(), 1..24), iters in 1u16..40) {
+        let program = build_program(&ops, iters);
+        check_equivalence(&program, Mechanism::Baseline);
+    }
+
+    /// Random programs retire identically with CDF enabled — dual-stream
+    /// fetch, replayed renames, and poison recovery included.
+    #[test]
+    fn cdf_matches_functional(ops in prop::collection::vec(gen_op(), 1..24), iters in 20u16..60) {
+        let program = build_program(&ops, iters);
+        check_equivalence(&program, Mechanism::Cdf);
+    }
+
+    /// Random programs retire identically with PRE enabled — runahead never
+    /// commits anything.
+    #[test]
+    fn pre_matches_functional(ops in prop::collection::vec(gen_op(), 1..16), iters in 10u16..40) {
+        let program = build_program(&ops, iters);
+        check_equivalence(&program, Mechanism::Pre);
+    }
+
+    /// Simulation is a pure function of (program, config): two runs agree
+    /// cycle-for-cycle.
+    #[test]
+    fn simulation_is_deterministic(ops in prop::collection::vec(gen_op(), 1..12), iters in 5u16..25) {
+        let program = build_program(&ops, iters);
+        let run = || {
+            let cfg = CoreConfig { mode: Mechanism::Cdf.mode(), ..CoreConfig::default() };
+            let mut core = Core::new(&program, MemoryImage::new(), cfg);
+            let s = core.run(u64::MAX / 2);
+            (s.cycles, s.retired, s.mispredicts)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
