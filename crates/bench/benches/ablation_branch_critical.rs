@@ -5,5 +5,6 @@ use cdf_sim::experiments::{AblationBranches, BRANCHY_KERNELS};
 fn main() {
     let cfg = cdf_bench::eval_config();
     let a = AblationBranches::run(&cfg, BRANCHY_KERNELS);
+    cdf_bench::maybe_emit_sweep("ablation_branch_critical", &a.sweep);
     println!("{}", a.render());
 }

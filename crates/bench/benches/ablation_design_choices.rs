@@ -4,7 +4,14 @@ use cdf_sim::experiments::AblationDesign;
 
 fn main() {
     let cfg = cdf_bench::eval_config();
-    let kernels = ["astar_like", "bzip_like", "soplex_like", "mcf_like", "xalanc_like"];
+    let kernels = [
+        "astar_like",
+        "bzip_like",
+        "soplex_like",
+        "mcf_like",
+        "xalanc_like",
+    ];
     let a = AblationDesign::run(&cfg, &kernels);
+    cdf_bench::maybe_emit_sweep("ablation_design_choices", &a.sweep);
     println!("{}", a.render());
 }

@@ -6,5 +6,6 @@ use cdf_workloads::registry::NAMES;
 fn main() {
     let cfg = cdf_bench::eval_config();
     let fig = Fig01::run(&cfg, NAMES);
+    cdf_bench::maybe_emit_sweep("fig01_rob_distribution", &fig.sweep);
     println!("{}", fig.render());
 }

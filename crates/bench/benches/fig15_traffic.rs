@@ -6,5 +6,6 @@ use cdf_workloads::registry::NAMES;
 fn main() {
     let cfg = cdf_bench::eval_config();
     let m = MatrixFigures::run(&cfg, NAMES);
+    cdf_bench::maybe_emit_sweep("fig15_traffic", &m.sweep);
     println!("{}", m.render_fig15());
 }

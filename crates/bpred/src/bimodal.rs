@@ -60,7 +60,11 @@ impl DirectionPredictor for Bimodal {
     fn update(&mut self, pc: u64, taken: bool, _pred: &Prediction) {
         let idx = self.index(pc);
         let c = &mut self.counters[idx];
-        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+        *c = if taken {
+            (*c + 1).min(1)
+        } else {
+            (*c - 1).max(-2)
+        };
     }
 
     fn recover(&mut self, pred: &Prediction, actual_taken: bool) {
@@ -104,7 +108,10 @@ mod tests {
             p.update(0x20, taken, &pred);
         }
         // Bimodal oscillates on alternating patterns; ~50% at best.
-        assert!(correct <= 60, "bimodal should not learn alternation: {correct}");
+        assert!(
+            correct <= 60,
+            "bimodal should not learn alternation: {correct}"
+        );
     }
 
     #[test]

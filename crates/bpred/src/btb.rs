@@ -11,10 +11,7 @@ pub struct BtbConfig {
 
 impl Default for BtbConfig {
     fn default() -> BtbConfig {
-        BtbConfig {
-            sets: 512,
-            ways: 4,
-        }
+        BtbConfig { sets: 512, ways: 4 }
     }
 }
 

@@ -68,7 +68,11 @@ impl DirectionPredictor for Gshare {
 
     fn update(&mut self, _pc: u64, taken: bool, pred: &Prediction) {
         let c = &mut self.counters[pred.base_index as usize];
-        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+        *c = if taken {
+            (*c + 1).min(1)
+        } else {
+            (*c - 1).max(-2)
+        };
     }
 
     fn recover(&mut self, pred: &Prediction, actual_taken: bool) {
@@ -149,7 +153,11 @@ impl DirectionPredictor for Tournament {
             };
         }
         let b = &mut self.bimodal[pidx];
-        *b = if taken { (*b + 1).min(1) } else { (*b - 1).max(-2) };
+        *b = if taken {
+            (*b + 1).min(1)
+        } else {
+            (*b - 1).max(-2)
+        };
         self.gshare.update(pc, taken, pred);
     }
 

@@ -45,10 +45,10 @@ impl StatisticalCorrector {
     pub fn sum(&self, pc: u64, hist: &History, tage_taken: bool) -> (i32, [u32; 4]) {
         let mut indices = [0u32; 4];
         let mut sum: i32 = 0;
-        for t in 0..NUM_SC_TABLES {
+        for (t, table) in self.tables.iter().enumerate() {
             let idx = self.index(pc, hist, t);
             indices[t] = idx;
-            sum += (2 * self.tables[t][idx as usize] as i32) + 1;
+            sum += (2 * table[idx as usize] as i32) + 1;
         }
         let bi = self.bias_index(pc, tage_taken);
         indices[3] = bi;
@@ -70,8 +70,8 @@ impl StatisticalCorrector {
             return;
         }
         let step = if taken { 1 } else { -1 };
-        for t in 0..NUM_SC_TABLES {
-            let w = &mut self.tables[t][indices[t] as usize];
+        for (table, &idx) in self.tables.iter_mut().zip(indices.iter()) {
+            let w = &mut table[idx as usize];
             *w = (*w + step).clamp(WEIGHT_MIN, WEIGHT_MAX);
         }
         let b = &mut self.bias[indices[3] as usize];

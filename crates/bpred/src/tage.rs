@@ -331,24 +331,23 @@ impl DirectionPredictor for TageScL {
         let nt = self.cfg.hist_lengths.len();
 
         if self.cfg.use_loop {
-            self.loop_pred.update(pc, taken, pred.loop_valid && pred.loop_taken == taken);
+            self.loop_pred
+                .update(pc, taken, pred.loop_valid && pred.loop_taken == taken);
         }
         if self.cfg.use_sc {
             self.sc.update(taken, pred.sc_sum, &pred.sc_indices);
         }
 
         // use_alt_on_na bookkeeping for weak providers.
-        if pred.provider_table.is_some() && pred.provider_weak && pred.tage_taken != pred.alt_taken
-        {
-            let provider_correct = {
-                let t = pred.provider_table.unwrap() as usize;
+        if let Some(pt) = pred.provider_table {
+            if pred.provider_weak && pred.tage_taken != pred.alt_taken {
+                let t = pt as usize;
                 let e = self.entry(t, pred.indices[t]);
-                (e.ctr >= 0) == taken
-            };
-            if provider_correct {
-                self.use_alt_on_na = (self.use_alt_on_na - 1).max(-8);
-            } else {
-                self.use_alt_on_na = (self.use_alt_on_na + 1).min(7);
+                if (e.ctr >= 0) == taken {
+                    self.use_alt_on_na = (self.use_alt_on_na - 1).max(-8);
+                } else {
+                    self.use_alt_on_na = (self.use_alt_on_na + 1).min(7);
+                }
             }
         }
 
@@ -373,12 +372,20 @@ impl DirectionPredictor for TageScL {
                 // Also train base if provider was weak (helps convergence).
                 if pred.provider_weak {
                     let b = &mut self.base[pred.base_index as usize];
-                    *b = if taken { (*b + 1).min(1) } else { (*b - 1).max(-2) };
+                    *b = if taken {
+                        (*b + 1).min(1)
+                    } else {
+                        (*b - 1).max(-2)
+                    };
                 }
             }
             None => {
                 let b = &mut self.base[pred.base_index as usize];
-                *b = if taken { (*b + 1).min(1) } else { (*b - 1).max(-2) };
+                *b = if taken {
+                    (*b + 1).min(1)
+                } else {
+                    (*b - 1).max(-2)
+                };
             }
         }
 
@@ -421,7 +428,7 @@ impl DirectionPredictor for TageScL {
         }
 
         // Periodic aging of useful counters.
-        if self.updates % self.cfg.useful_reset_period == 0 {
+        if self.updates.is_multiple_of(self.cfg.useful_reset_period) {
             for table in &mut self.tables {
                 for e in table {
                     e.useful >>= 1;
@@ -510,7 +517,9 @@ mod tests {
         let mut x = 0x1234_5678u64;
         let seq: Vec<_> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (0x400u64, (x >> 40) & 1 == 1)
             })
             .collect();
@@ -553,7 +562,10 @@ mod tests {
         assert!(correct * 10 >= total * 9);
         // Provider is never Loop or Sc.
         let pred = p.predict(0x600);
-        assert!(matches!(pred.provider, Provider::Base | Provider::Tagged(_)));
+        assert!(matches!(
+            pred.provider,
+            Provider::Base | Provider::Tagged(_)
+        ));
     }
 
     #[test]

@@ -70,11 +70,15 @@ pub(crate) struct CdfEngine {
     last_mask_reset: u64,
     /// Walk output awaiting installation (completes when the walk latency
     /// elapses).
-    pending_install: Option<(u64, Vec<(Pc, u32, u64)>)>,
+    pending_install: Option<PendingInstall>,
     pub walks: u64,
     pub walks_dropped: u64,
     pub traces_installed: u64,
 }
+
+/// A finished walk waiting out the trace-construction latency:
+/// (install-at cycle, trace rows as `(pc, uop index, weight)`).
+type PendingInstall = (u64, Vec<(Pc, u32, u64)>);
 
 impl CdfEngine {
     pub fn new(cfg: CdfConfig) -> CdfEngine {
@@ -316,6 +320,9 @@ mod tests {
         for i in 0..128 {
             e.on_retire(seed_entry(i % 8, i == 0), (i + 1) as u64, 0);
         }
-        assert!(e.cct_loads.is_permissive(), "sparse marking flips to permissive");
+        assert!(
+            e.cct_loads.is_permissive(),
+            "sparse marking flips to permissive"
+        );
     }
 }

@@ -283,7 +283,10 @@ mod tests {
             mode: CoreMode::Pre(PreConfig::default()),
             ..CoreConfig::default()
         };
-        assert!(!p.cdf_config().unwrap().mark_branches, "PRE marks only loads");
+        assert!(
+            !p.cdf_config().unwrap().mark_branches,
+            "PRE marks only loads"
+        );
     }
 
     #[test]

@@ -336,7 +336,10 @@ impl<'p> Core<'p> {
                 Activity::FillBufferOp,
                 cdf.activity.fill_pushes + cdf.activity.walk_steps,
             );
-            model.record(Activity::MaskCacheOp, cdf.activity.mask_ops + cdf.masks.merges());
+            model.record(
+                Activity::MaskCacheOp,
+                cdf.activity.mask_ops + cdf.masks.merges(),
+            );
             model.record(Activity::CriticalUopCacheOp, cdf.activity.uop_cache_ops);
         }
         model.report(self.now)
@@ -350,7 +353,20 @@ impl<'p> Core<'p> {
     /// Panics if the pipeline makes no forward progress for 200k cycles —
     /// that is a simulator bug, never a program property.
     pub fn run(&mut self, max_instructions: u64) -> CoreStats {
-        while !self.halted && self.stats.retired < max_instructions {
+        self.run_bounded(max_instructions, u64::MAX)
+    }
+
+    /// Like [`run`](Self::run), but additionally stops once the core clock
+    /// reaches `cycle_budget` — the fuel for a sweep watchdog. The caller
+    /// can tell the budget ran out because the returned stats have
+    /// `halted == false` and `retired < max_instructions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same 200k-cycle no-retirement condition as
+    /// [`run`](Self::run).
+    pub fn run_bounded(&mut self, max_instructions: u64, cycle_budget: u64) -> CoreStats {
+        while !self.halted && self.stats.retired < max_instructions && self.now < cycle_budget {
             self.cycle();
             assert!(
                 self.now - self.last_retire_cycle < 200_000,
@@ -478,14 +494,19 @@ impl<'p> Core<'p> {
             }
         }
         if op.is_store() {
-            let e = self.lsq.sq.pop_head(critical).expect("retiring store in SQ");
+            let e = self
+                .lsq
+                .sq
+                .pop_head(critical)
+                .expect("retiring store in SQ");
             debug_assert_eq!(e.seq, uop.seq);
             let addr = uop.mem_addr.expect("store retired with address");
             let data = uop.result.expect("store retired with data");
             self.mem_image.store(addr, data);
             // Commit the write into the hierarchy (traffic + dirty state);
             // retirement does not wait for it.
-            self.hierarchy.access(addr, AccessKind::Store, self.now, false);
+            self.hierarchy
+                .access(addr, AccessKind::Store, self.now, false);
         }
         let mispredicted = if let Op::Branch(_) = op {
             self.stats.branches += 1;
@@ -633,7 +654,9 @@ impl<'p> Core<'p> {
             .collect();
         ordered.sort();
         for (_, seq) in ordered {
-            let Some(uop) = self.pool.get(seq.0) else { continue };
+            let Some(uop) = self.pool.get(seq.0) else {
+                continue;
+            };
             if uop.state != UopState::Waiting || !self.srcs_ready(uop) {
                 continue;
             }
@@ -660,7 +683,11 @@ impl<'p> Core<'p> {
             Op::MovImm => result = Some(imm as u64),
             Op::Alu(a) => {
                 self.energy.record(
-                    if a.is_fp() { Activity::FpOp } else { Activity::IntAluOp },
+                    if a.is_fp() {
+                        Activity::FpOp
+                    } else {
+                        Activity::IntAluOp
+                    },
                     1,
                 );
                 let u = self.pool.get(seq.0).expect("present");
@@ -699,8 +726,16 @@ impl<'p> Core<'p> {
             Op::Load => {
                 self.energy.record(Activity::LsqOp, 1);
                 let u = self.pool.get(seq.0).expect("present");
-                let base = if static_uop.mem.base.is_some() { self.src_val(u, 0) } else { 0 };
-                let index = if static_uop.mem.index.is_some() { self.src_val(u, 1) } else { 0 };
+                let base = if static_uop.mem.base.is_some() {
+                    self.src_val(u, 0)
+                } else {
+                    0
+                };
+                let index = if static_uop.mem.index.is_some() {
+                    self.src_val(u, 1)
+                } else {
+                    0
+                };
                 let addr = static_uop.mem.effective(base, index);
                 // Memory-dependence prediction: a load that has violated
                 // before waits for older store addresses to resolve.
@@ -730,8 +765,11 @@ impl<'p> Core<'p> {
                         self.lsq.set_load_state(seq, addr, true);
                     }
                     ForwardResult::Miss => {
-                        match self.hierarchy.access(addr, AccessKind::Load, self.now, false) {
-                            AccessResult::Rejected => return, // MSHRs full: retry
+                        match self
+                            .hierarchy
+                            .access(addr, AccessKind::Load, self.now, false)
+                        {
+                            AccessResult::Rejected(_) => return, // MSHRs full: retry
                             AccessResult::Done(out) => {
                                 let v = self.mem_image.load(addr);
                                 let u = self.pool.get_mut(seq.0).expect("present");
@@ -748,8 +786,16 @@ impl<'p> Core<'p> {
             Op::Store => {
                 self.energy.record(Activity::LsqOp, 1);
                 let u = self.pool.get(seq.0).expect("present");
-                let base = if static_uop.mem.base.is_some() { self.src_val(u, 0) } else { 0 };
-                let index = if static_uop.mem.index.is_some() { self.src_val(u, 1) } else { 0 };
+                let base = if static_uop.mem.base.is_some() {
+                    self.src_val(u, 0)
+                } else {
+                    0
+                };
+                let index = if static_uop.mem.index.is_some() {
+                    self.src_val(u, 1)
+                } else {
+                    0
+                };
                 let data = self.src_val(u, 2);
                 let addr = static_uop.mem.effective(base, index);
                 {
@@ -792,7 +838,8 @@ impl<'p> Core<'p> {
             u.state = UopState::Executing { done_at };
             u.uid
         };
-        self.completions.push(std::cmp::Reverse((done_at, seq.0, uid)));
+        self.completions
+            .push(std::cmp::Reverse((done_at, seq.0, uid)));
         self.rs.remove(seq);
     }
 
@@ -839,7 +886,9 @@ impl<'p> Core<'p> {
             }
         }
         while *budget > 0 {
-            let Some((ready, fu)) = self.crit_buffer.front() else { break };
+            let Some((ready, fu)) = self.crit_buffer.front() else {
+                break;
+            };
             if *ready > self.now {
                 break;
             }
@@ -894,8 +943,10 @@ impl<'p> Core<'p> {
                 // register executed incorrectly (Fig. 11).
                 if front_srcs.iter().any(|r| self.rat.poisoned(r)) {
                     if std::env::var_os("CDF_DEBUG_POISON").is_some() {
-                        let regs: Vec<_> =
-                            front_srcs.iter().filter(|r| self.rat.poisoned(*r)).collect();
+                        let regs: Vec<_> = front_srcs
+                            .iter()
+                            .filter(|r| self.rat.poisoned(*r))
+                            .collect();
                         eprintln!(
                             "poison violation at {} (pc {:?}): regs {:?}",
                             seq, front_pc, regs
@@ -944,11 +995,7 @@ impl<'p> Core<'p> {
                     eprintln!("desync violation: cmq head {} vs regular {}", head.seq, seq);
                 }
                 self.stats.dependence_violations += 1;
-                let redirect = self
-                    .pool
-                    .get(head.seq.0)
-                    .map(|u| u.pc)
-                    .unwrap_or(front_pc);
+                let redirect = self.pool.get(head.seq.0).map(|u| u.pc).unwrap_or(front_pc);
                 self.raise_flush(Flush {
                     target: Seq(head.seq.0 - 1),
                     redirect,
@@ -961,7 +1008,11 @@ impl<'p> Core<'p> {
         // --- Duplicate awaiting its CMQ entry? ---
         if is_dup {
             let could_come = self.crit_seq_cursor <= seq.0
-                || self.crit_pending.front().map(|f| f.seq <= seq).unwrap_or(false)
+                || self
+                    .crit_pending
+                    .front()
+                    .map(|f| f.seq <= seq)
+                    .unwrap_or(false)
                 || self
                     .crit_buffer
                     .front()
@@ -1009,7 +1060,11 @@ impl<'p> Core<'p> {
             seq,
             fu.pc,
             uop,
-            if critical { Stream::Critical } else { Stream::Regular },
+            if critical {
+                Stream::Critical
+            } else {
+                Stream::Regular
+            },
         );
         d.uid = self.next_uid;
         self.next_uid += 1;
@@ -1055,7 +1110,11 @@ impl<'p> Core<'p> {
             d.prev_pdst = if critical { None } else { Some(prev) };
             self.rlog.push(RenameLogEntry {
                 seq,
-                kind: if critical { RatKind::Critical } else { RatKind::Regular },
+                kind: if critical {
+                    RatKind::Critical
+                } else {
+                    RatKind::Regular
+                },
                 areg: Some(dst),
                 prev_preg: prev,
                 prev_poison,
@@ -1086,14 +1145,22 @@ impl<'p> Core<'p> {
         match uop.op {
             Op::Load => {
                 self.lsq.lq.push(
-                    LqEntry { seq, addr: None, done: false },
+                    LqEntry {
+                        seq,
+                        addr: None,
+                        done: false,
+                    },
                     critical,
                 );
                 self.energy.record(Activity::LsqOp, 1);
             }
             Op::Store => {
                 self.lsq.sq.push(
-                    SqEntry { seq, addr: None, data: None },
+                    SqEntry {
+                        seq,
+                        addr: None,
+                        data: None,
+                    },
                     critical,
                 );
                 self.energy.record(Activity::LsqOp, 1);
@@ -1169,11 +1236,7 @@ impl<'p> Core<'p> {
         if !self.is_cdf_mode() || !self.cdf_fetch_mode {
             return;
         }
-        let crit_buffer_cap = self
-            .cfg
-            .cdf_config()
-            .map(|c| c.crit_buffer)
-            .unwrap_or(32);
+        let crit_buffer_cap = self.cfg.cdf_config().map(|c| c.crit_buffer).unwrap_or(32);
         let mut budget = self.cfg.fetch_width;
         while budget > 0 {
             if self.crit_buffer.len() >= crit_buffer_cap {
@@ -1267,7 +1330,9 @@ impl<'p> Core<'p> {
                 self.crit_fetch_pc = next_pc;
             }
             while budget > 0 && self.crit_buffer.len() < crit_buffer_cap {
-                let Some(fu) = self.crit_pending.pop_front() else { break };
+                let Some(fu) = self.crit_pending.pop_front() else {
+                    break;
+                };
                 if let Some(t) = &mut self.pipe_trace {
                     if let Some(r) = t.row(fu.seq, fu.pc) {
                         r.fetch = Some(self.now);
@@ -1353,11 +1418,13 @@ impl<'p> Core<'p> {
             // I-cache.
             let line = self.byte_addr(pc) / 64;
             if Some(line) != self.last_fetch_line {
-                match self
-                    .hierarchy
-                    .access(self.byte_addr(pc), AccessKind::InstFetch, self.now, false)
-                {
-                    AccessResult::Rejected => break,
+                match self.hierarchy.access(
+                    self.byte_addr(pc),
+                    AccessKind::InstFetch,
+                    self.now,
+                    false,
+                ) {
+                    AccessResult::Rejected(_) => break,
                     AccessResult::Done(out) => {
                         self.last_fetch_line = Some(line);
                         if out.ready_at > self.now + self.cfg.mem.l1_latency {
@@ -1561,7 +1628,7 @@ impl<'p> Core<'p> {
 
         // CDF mode transitions (§3.6).
         if self.is_cdf_mode() {
-            if target.0 + 1 <= self.cdf_entry_seq {
+            if target.0 < self.cdf_entry_seq {
                 // Everything CDF was flushed: hard exit.
                 self.cdf_fetch_mode = false;
                 self.cdf_end_seq = None;
@@ -1629,7 +1696,7 @@ impl<'p> Core<'p> {
         // Memory-dependence predictor aging: rare (e.g. wrong-path) aliases
         // must not permanently serialize a load behind all older stores —
         // real store-set predictors clear periodically for the same reason.
-        if self.now % 65_536 == 0 {
+        if self.now.is_multiple_of(65_536) {
             for e in &mut self.mdp {
                 *e >>= 1;
             }
@@ -1861,7 +1928,9 @@ impl<'p> Core<'p> {
         let mut critical = 0u64;
         let mut non_critical = 0u64;
         for seq in self.rob.iter() {
-            let Some(u) = self.pool.get(seq.0) else { continue };
+            let Some(u) = self.pool.get(seq.0) else {
+                continue;
+            };
             let is_crit = if u.critical {
                 true
             } else {
@@ -1912,6 +1981,32 @@ mod tests {
     }
 
     #[test]
+    fn run_bounded_stops_at_cycle_budget() {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 1_000_000);
+        let top = b.label("top");
+        b.bind(top).unwrap();
+        b.addi(R2, R2, 3);
+        b.addi(R1, R1, -1);
+        b.brnz(R1, top);
+        b.halt();
+        let program = b.build().expect("assembles");
+        let mut core = Core::new(&program, MemoryImage::new(), CoreConfig::default());
+        let stats = core.run_bounded(u64::MAX, 500);
+        assert!(!stats.halted, "budget expires long before the loop ends");
+        assert!(
+            stats.cycles >= 500 && stats.cycles < 600,
+            "cycles {}",
+            stats.cycles
+        );
+        // Resuming with an unbounded budget finishes the program exactly as
+        // an unbounded run would.
+        let resumed = core.run(u64::MAX);
+        assert!(resumed.halted);
+        assert_eq!(core.arch_state().reg(R2), 3_000_000);
+    }
+
+    #[test]
     fn loop_with_predictable_branch() {
         let mut b = ProgramBuilder::new();
         b.movi(R1, 2000);
@@ -1925,7 +2020,11 @@ mod tests {
         assert!(stats.halted);
         assert_eq!(st.reg(R2), 6000);
         assert!(stats.ipc() > 2.0, "ipc {}", stats.ipc());
-        assert!(stats.mispredicts <= 5, "loop exit only: {}", stats.mispredicts);
+        assert!(
+            stats.mispredicts <= 5,
+            "loop exit only: {}",
+            stats.mispredicts
+        );
     }
 
     #[test]

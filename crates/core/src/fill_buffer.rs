@@ -251,9 +251,18 @@ mod tests {
         use ArchReg::*;
         let mut fb = FillBuffer::new(16);
         // I0: R0 <- R0 - 1
-        fb.push(FbEntry { srcs: rs(&[R0]), dsts: rs(&[R0]), offset: 0, ..entry(0) });
+        fb.push(FbEntry {
+            srcs: rs(&[R0]),
+            dsts: rs(&[R0]),
+            offset: 0,
+            ..entry(0)
+        });
         // I1: BRZ (reads R0)
-        fb.push(FbEntry { srcs: rs(&[R0]), offset: 1, ..entry(1) });
+        fb.push(FbEntry {
+            srcs: rs(&[R0]),
+            offset: 1,
+            ..entry(1)
+        });
         // I3: R1 <- [R3 + R0]
         fb.push(FbEntry {
             srcs: rs(&[R3, R0]),
@@ -271,7 +280,12 @@ mod tests {
             ..entry(3)
         });
         // I5: R5 <- R4 >> 2
-        fb.push(FbEntry { srcs: rs(&[R4]), dsts: rs(&[R5]), offset: 4, ..entry(4) });
+        fb.push(FbEntry {
+            srcs: rs(&[R4]),
+            dsts: rs(&[R5]),
+            offset: 4,
+            ..entry(4)
+        });
         // I6: R2 <- [R1]   ← critical seed
         fb.push(FbEntry {
             srcs: rs(&[R1]),
@@ -289,7 +303,11 @@ mod tests {
             ..entry(6)
         });
         // I8: BRNZ
-        fb.push(FbEntry { srcs: rs(&[R0]), offset: 7, ..entry(7) });
+        fb.push(FbEntry {
+            srcs: rs(&[R0]),
+            offset: 7,
+            ..entry(7)
+        });
 
         let w = fb.walk(&MaskCache::new(4, 2));
         // Marked: I6 (seed), I3 (writes R1), I0 (writes R0 read by I3).
@@ -324,7 +342,11 @@ mod tests {
             ..entry(1)
         });
         let w = fb.walk(&MaskCache::new(4, 2));
-        assert_eq!(w.marks, vec![true, true], "store feeding a critical load is critical");
+        assert_eq!(
+            w.marks,
+            vec![true, true],
+            "store feeding a critical load is critical"
+        );
     }
 
     #[test]
@@ -334,8 +356,16 @@ mod tests {
         // A previous walk marked offset 2 of block 0 (another path).
         mc.merge(Pc::new(0), 0b100);
         let mut fb = FillBuffer::new(8);
-        fb.push(FbEntry { dsts: rs(&[R9]), offset: 1, ..entry(1) }); // feeds offset 2's src
-        fb.push(FbEntry { srcs: rs(&[R9]), offset: 2, ..entry(2) });
+        fb.push(FbEntry {
+            dsts: rs(&[R9]),
+            offset: 1,
+            ..entry(1)
+        }); // feeds offset 2's src
+        fb.push(FbEntry {
+            srcs: rs(&[R9]),
+            offset: 2,
+            ..entry(2)
+        });
         let w = fb.walk(&mc);
         assert_eq!(w.marks, vec![true, true], "premark pulls in its producers");
     }
@@ -368,8 +398,18 @@ mod tests {
         use ArchReg::*;
         // R1 written twice: only the younger write feeds the critical load.
         let mut fb = FillBuffer::new(8);
-        fb.push(FbEntry { srcs: rs(&[R3]), dsts: rs(&[R1]), offset: 0, ..entry(0) }); // old write
-        fb.push(FbEntry { srcs: rs(&[R4]), dsts: rs(&[R1]), offset: 1, ..entry(1) }); // young write
+        fb.push(FbEntry {
+            srcs: rs(&[R3]),
+            dsts: rs(&[R1]),
+            offset: 0,
+            ..entry(0)
+        }); // old write
+        fb.push(FbEntry {
+            srcs: rs(&[R4]),
+            dsts: rs(&[R1]),
+            offset: 1,
+            ..entry(1)
+        }); // young write
         fb.push(FbEntry {
             srcs: rs(&[R1]),
             dsts: rs(&[R2]),

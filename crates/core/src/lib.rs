@@ -67,9 +67,9 @@ pub mod static_chains;
 pub mod trace;
 pub mod uop_cache;
 
+mod cdf_engine;
 mod config;
 mod core_impl;
-mod cdf_engine;
 mod frontend;
 mod lsq;
 mod regfile;

@@ -65,7 +65,13 @@ fn word(addr: u64) -> u64 {
 }
 
 impl Lsq {
-    pub fn new(lq_total: usize, lq_crit: usize, sq_total: usize, sq_crit: usize, min: usize) -> Lsq {
+    pub fn new(
+        lq_total: usize,
+        lq_crit: usize,
+        sq_total: usize,
+        sq_crit: usize,
+        min: usize,
+    ) -> Lsq {
         Lsq {
             lq: PartitionedQueue::new(lq_total, lq_crit, min),
             sq: PartitionedQueue::new(sq_total, sq_crit, min),
@@ -120,10 +126,9 @@ impl Lsq {
         let w = word(addr);
         let mut best: Option<&SqEntry> = None;
         for e in self.sq.iter() {
-            if e.seq < load_seq && e.addr == Some(w) {
-                if best.map(|b| e.seq > b.seq).unwrap_or(true) {
-                    best = Some(e);
-                }
+            if e.seq < load_seq && e.addr == Some(w) && best.map(|b| e.seq > b.seq).unwrap_or(true)
+            {
+                best = Some(e);
             }
         }
         match best {
@@ -139,9 +144,7 @@ impl Lsq {
     /// address (used by the memory-dependence predictor: a load predicted to
     /// conflict waits for these instead of speculating past them).
     pub fn older_store_addr_unknown(&self, load_seq: Seq) -> bool {
-        self.sq
-            .iter()
-            .any(|e| e.seq < load_seq && e.addr.is_none())
+        self.sq.iter().any(|e| e.seq < load_seq && e.addr.is_none())
     }
 
     /// Memory-ordering violation check when the store at `store_seq`
@@ -151,10 +154,12 @@ impl Lsq {
         let w = word(addr);
         let mut oldest: Option<Seq> = None;
         for e in self.lq.iter() {
-            if e.seq > store_seq && e.done && e.addr == Some(w) {
-                if oldest.map(|o| e.seq < o).unwrap_or(true) {
-                    oldest = Some(e.seq);
-                }
+            if e.seq > store_seq
+                && e.done
+                && e.addr == Some(w)
+                && oldest.map(|o| e.seq < o).unwrap_or(true)
+            {
+                oldest = Some(e.seq);
             }
         }
         oldest
@@ -172,9 +177,30 @@ mod tests {
     #[test]
     fn forward_from_youngest_older_store() {
         let mut l = lsq();
-        l.sq.push(SqEntry { seq: Seq(1), addr: Some(word(0x100)), data: Some(11) }, false);
-        l.sq.push(SqEntry { seq: Seq(3), addr: Some(word(0x100)), data: Some(33) }, true);
-        l.sq.push(SqEntry { seq: Seq(5), addr: Some(word(0x100)), data: Some(55) }, false);
+        l.sq.push(
+            SqEntry {
+                seq: Seq(1),
+                addr: Some(word(0x100)),
+                data: Some(11),
+            },
+            false,
+        );
+        l.sq.push(
+            SqEntry {
+                seq: Seq(3),
+                addr: Some(word(0x100)),
+                data: Some(33),
+            },
+            true,
+        );
+        l.sq.push(
+            SqEntry {
+                seq: Seq(5),
+                addr: Some(word(0x100)),
+                data: Some(55),
+            },
+            false,
+        );
         // Load at seq 4 must see the store at seq 3, not 1 or 5.
         assert_eq!(l.forward(Seq(4), 0x100), ForwardResult::Forward(33));
         // Different word: miss.
@@ -184,23 +210,58 @@ mod tests {
     #[test]
     fn forward_stalls_on_data_not_ready() {
         let mut l = lsq();
-        l.sq.push(SqEntry { seq: Seq(2), addr: Some(word(0x80)), data: None }, false);
+        l.sq.push(
+            SqEntry {
+                seq: Seq(2),
+                addr: Some(word(0x80)),
+                data: None,
+            },
+            false,
+        );
         assert_eq!(l.forward(Seq(5), 0x80), ForwardResult::Stall);
     }
 
     #[test]
     fn unresolved_older_store_is_speculatively_ignored() {
         let mut l = lsq();
-        l.sq.push(SqEntry { seq: Seq(2), addr: None, data: None }, false);
+        l.sq.push(
+            SqEntry {
+                seq: Seq(2),
+                addr: None,
+                data: None,
+            },
+            false,
+        );
         assert_eq!(l.forward(Seq(5), 0x80), ForwardResult::Miss);
     }
 
     #[test]
     fn violation_finds_oldest_younger_done_load() {
         let mut l = lsq();
-        l.lq.push(LqEntry { seq: Seq(4), addr: Some(word(0x40)), done: true }, true);
-        l.lq.push(LqEntry { seq: Seq(6), addr: Some(word(0x40)), done: true }, true);
-        l.lq.push(LqEntry { seq: Seq(5), addr: Some(word(0x40)), done: false }, false);
+        l.lq.push(
+            LqEntry {
+                seq: Seq(4),
+                addr: Some(word(0x40)),
+                done: true,
+            },
+            true,
+        );
+        l.lq.push(
+            LqEntry {
+                seq: Seq(6),
+                addr: Some(word(0x40)),
+                done: true,
+            },
+            true,
+        );
+        l.lq.push(
+            LqEntry {
+                seq: Seq(5),
+                addr: Some(word(0x40)),
+                done: false,
+            },
+            false,
+        );
         assert_eq!(l.check_violation(Seq(3), 0x40), Some(Seq(4)));
         // Store younger than all loads: no violation.
         assert_eq!(l.check_violation(Seq(9), 0x40), None);
@@ -211,9 +272,19 @@ mod tests {
     #[test]
     fn older_unknown_store_addresses_are_visible() {
         let mut l = lsq();
-        l.sq.push(SqEntry { seq: Seq(3), addr: None, data: None }, false);
+        l.sq.push(
+            SqEntry {
+                seq: Seq(3),
+                addr: None,
+                data: None,
+            },
+            false,
+        );
         assert!(l.older_store_addr_unknown(Seq(5)));
-        assert!(!l.older_store_addr_unknown(Seq(2)), "younger stores don't count");
+        assert!(
+            !l.older_store_addr_unknown(Seq(2)),
+            "younger stores don't count"
+        );
         l.set_store_addr(Seq(3), 0x40);
         assert!(!l.older_store_addr_unknown(Seq(5)));
     }
@@ -221,22 +292,50 @@ mod tests {
     #[test]
     fn not_done_loads_do_not_violate() {
         let mut l = lsq();
-        l.lq.push(LqEntry { seq: Seq(4), addr: Some(word(0x40)), done: false }, false);
+        l.lq.push(
+            LqEntry {
+                seq: Seq(4),
+                addr: Some(word(0x40)),
+                done: false,
+            },
+            false,
+        );
         assert_eq!(l.check_violation(Seq(3), 0x40), None);
     }
 
     #[test]
     fn same_word_different_byte_addresses_conflict() {
         let mut l = lsq();
-        l.sq.push(SqEntry { seq: Seq(1), addr: Some(word(0x100)), data: Some(7) }, false);
+        l.sq.push(
+            SqEntry {
+                seq: Seq(1),
+                addr: Some(word(0x100)),
+                data: Some(7),
+            },
+            false,
+        );
         assert_eq!(l.forward(Seq(2), 0x104), ForwardResult::Forward(7));
     }
 
     #[test]
     fn set_state_updates_entries_across_sections() {
         let mut l = lsq();
-        l.lq.push(LqEntry { seq: Seq(2), addr: None, done: false }, true);
-        l.sq.push(SqEntry { seq: Seq(3), addr: None, data: None }, false);
+        l.lq.push(
+            LqEntry {
+                seq: Seq(2),
+                addr: None,
+                done: false,
+            },
+            true,
+        );
+        l.sq.push(
+            SqEntry {
+                seq: Seq(3),
+                addr: None,
+                data: None,
+            },
+            false,
+        );
         l.set_load_state(Seq(2), 0x60, true);
         l.set_store_addr(Seq(3), 0x60);
         l.set_store_data(Seq(3), 99);

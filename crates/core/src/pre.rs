@@ -245,7 +245,13 @@ mod tests {
             },
             ..StaticUop::nop()
         };
-        assert_eq!(ra.eval(&u, |addr| { assert_eq!(addr, 0x1008); Some(77) }), RunaheadEffect::IssueLoad(0x1008));
+        assert_eq!(
+            ra.eval(&u, |addr| {
+                assert_eq!(addr, 0x1008);
+                Some(77)
+            }),
+            RunaheadEffect::IssueLoad(0x1008)
+        );
         assert_eq!(ra.value(ArchReg::R2), Some(77));
         assert_eq!(ra.loads_issued, 1);
     }

@@ -82,7 +82,11 @@ impl<T: HasSeq> PartitionedQueue<T> {
     /// its section (callers gate on [`has_space`](Self::has_space)).
     pub fn push(&mut self, item: T, critical: bool) {
         assert!(self.has_space(critical), "section full");
-        let q = if critical { &mut self.crit } else { &mut self.noncrit };
+        let q = if critical {
+            &mut self.crit
+        } else {
+            &mut self.noncrit
+        };
         if let Some(back) = q.back() {
             assert!(back.seq() < item.seq(), "out of order push");
         }

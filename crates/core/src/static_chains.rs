@@ -163,7 +163,11 @@ mod tests {
             .iter()
             .find(|(b, _, _)| b.index() == 0)
             .expect("preamble present");
-        assert_eq!(pre_mask & 0b101, 0b101, "movi R1 and movi R3 are in the slice");
+        assert_eq!(
+            pre_mask & 0b101,
+            0b101,
+            "movi R1 and movi R3 are in the slice"
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl PipeTrace {
             .min()
             .unwrap_or(0);
         let mut out = String::new();
-        let _ = writeln!(out, "{:>6} {:>6} c{:<6} timeline (cycles from {base})", "seq", "pc", "rit");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} c{:<6} timeline (cycles from {base})",
+            "seq", "pc", "rit"
+        );
         for (seq, row) in &self.rows {
             let marks: [(Option<u64>, char); 5] = [
                 (row.fetch, 'F'),
@@ -125,7 +129,10 @@ impl PipeTrace {
                     }
                 }
             }
-            let lane: String = String::from_utf8(lane).expect("ascii").trim_end().to_string();
+            let lane: String = String::from_utf8(lane)
+                .expect("ascii")
+                .trim_end()
+                .to_string();
             let _ = writeln!(
                 out,
                 "{:>6} {:>6} {:^7} {}",

@@ -254,7 +254,10 @@ mod pool_tests {
         p.insert(5, uop(5));
         assert!(p.contains_key(5));
         assert_eq!(p.get(5).unwrap().seq, Seq(5));
-        assert!(p.get(5 + POOL_SLOTS as u64).is_none(), "aliased slot rejects");
+        assert!(
+            p.get(5 + POOL_SLOTS as u64).is_none(),
+            "aliased slot rejects"
+        );
         assert_eq!(p.len(), 1);
         assert_eq!(p.remove(5).unwrap().seq, Seq(5));
         assert!(p.remove(5).is_none());

@@ -31,9 +31,7 @@ impl Trace {
     /// caller).
     pub fn from_mask(block_start: Pc, block_len: u32, mask: u64) -> Trace {
         assert!(block_len > 0);
-        let crit_offsets: Vec<u8> = (0..64u8)
-            .filter(|&i| mask & (1 << i) != 0)
-            .collect();
+        let crit_offsets: Vec<u8> = (0..64u8).filter(|&i| mask & (1 << i) != 0).collect();
         assert!(
             crit_offsets.iter().all(|&o| (o as u32) < block_len),
             "mask bit beyond block length"
@@ -110,7 +108,13 @@ impl CriticalUopCache {
             Some(s) => {
                 s.lru = clock;
                 self.hits += 1;
-                Some(&slots.iter().find(|s| s.trace.block_start == pc).expect("just found").trace)
+                Some(
+                    &slots
+                        .iter()
+                        .find(|s| s.trace.block_start == pc)
+                        .expect("just found")
+                        .trace,
+                )
             }
             None => {
                 self.misses += 1;

@@ -79,7 +79,10 @@ fn cdf_correct_and_engages_on_astar() {
     assert!(s.walks > 0, "fill-buffer walks must happen: {s:?}");
     assert!(s.traces_installed > 0, "traces must be installed");
     assert!(s.cdf_entries > 0, "CDF mode must engage");
-    assert!(s.critical_uops_issued > 0, "critical stream must issue uops");
+    assert!(
+        s.critical_uops_issued > 0,
+        "critical stream must issue uops"
+    );
 }
 
 #[test]
@@ -210,7 +213,11 @@ fn compiler_seeding_accelerates_cold_start() {
         cold.ipc()
     );
     // And the seeded chains must be clean (no recurring violations).
-    assert!(seeded.dependence_violations < 20, "{}", seeded.dependence_violations);
+    assert!(
+        seeded.dependence_violations < 20,
+        "{}",
+        seeded.dependence_violations
+    );
 }
 
 #[test]
@@ -243,7 +250,10 @@ fn trace_shows_critical_uops_running_ahead() {
             leads.push(lead);
         }
     }
-    assert!(!leads.is_empty(), "critical uops present in the trace window");
+    assert!(
+        !leads.is_empty(),
+        "critical uops present in the trace window"
+    );
     let avg = leads.iter().sum::<i64>() as f64 / leads.len() as f64;
     assert!(
         avg > 10.0,

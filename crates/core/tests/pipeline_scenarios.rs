@@ -37,7 +37,12 @@ fn alu_port_pressure_limits_ipc() {
 
     let wide = run(&p, CoreConfig::default(), 200_000);
     let narrow_cfg = CoreConfig {
-        ports: ExecPorts { int: 1, fp: 2, load: 2, store: 1 },
+        ports: ExecPorts {
+            int: 1,
+            fp: 2,
+            load: 2,
+            store: 1,
+        },
         ..CoreConfig::default()
     };
     let narrow = run(&p, narrow_cfg, 200_000);
@@ -47,7 +52,11 @@ fn alu_port_pressure_limits_ipc() {
         wide.ipc(),
         narrow.ipc()
     );
-    assert!(narrow.ipc() < 1.3, "1 int port caps the loop: {:.2}", narrow.ipc());
+    assert!(
+        narrow.ipc() < 1.3,
+        "1 int port caps the loop: {:.2}",
+        narrow.ipc()
+    );
 }
 
 /// Independent random misses: measured MLP must grow with the ROB and be
@@ -136,9 +145,29 @@ fn decode_depth_raises_misprediction_cost() {
     b.halt();
     let p = b.build().unwrap();
 
-    let shallow = run_mem(&p, mem.clone(), CoreConfig { decode_latency: 1, ..CoreConfig::default() }, 100_000);
-    let deep = run_mem(&p, mem, CoreConfig { decode_latency: 12, ..CoreConfig::default() }, 100_000);
-    assert!(shallow.mispredicts > 300, "branch must actually be hard: {}", shallow.mispredicts);
+    let shallow = run_mem(
+        &p,
+        mem.clone(),
+        CoreConfig {
+            decode_latency: 1,
+            ..CoreConfig::default()
+        },
+        100_000,
+    );
+    let deep = run_mem(
+        &p,
+        mem,
+        CoreConfig {
+            decode_latency: 12,
+            ..CoreConfig::default()
+        },
+        100_000,
+    );
+    assert!(
+        shallow.mispredicts > 300,
+        "branch must actually be hard: {}",
+        shallow.mispredicts
+    );
     assert!(
         deep.cycles > shallow.cycles,
         "deeper decode must cost cycles on mispredicts: {} vs {}",
@@ -228,9 +257,27 @@ fn retire_width_caps_ipc() {
     b.brnz(R1, top);
     b.halt();
     let p = b.build().unwrap();
-    let narrow = run(&p, CoreConfig { retire_width: 2, ..CoreConfig::default() }, 200_000);
-    let wide = run(&p, CoreConfig { retire_width: 8, ..CoreConfig::default() }, 200_000);
-    assert!(narrow.ipc() <= 2.05, "retire width 2 caps IPC: {:.2}", narrow.ipc());
+    let narrow = run(
+        &p,
+        CoreConfig {
+            retire_width: 2,
+            ..CoreConfig::default()
+        },
+        200_000,
+    );
+    let wide = run(
+        &p,
+        CoreConfig {
+            retire_width: 8,
+            ..CoreConfig::default()
+        },
+        200_000,
+    );
+    assert!(
+        narrow.ipc() <= 2.05,
+        "retire width 2 caps IPC: {:.2}",
+        narrow.ipc()
+    );
     assert!(wide.ipc() > narrow.ipc() * 1.5);
 }
 
@@ -292,6 +339,10 @@ fn mshr_depth_bounds_mlp() {
     let small = run(&p, small_cfg, 100_000);
     let large = run(&p, CoreConfig::default(), 100_000);
     assert!(small.mlp() <= 2.05, "2 MSHRs bound MLP: {:.2}", small.mlp());
-    assert!(large.mlp() > 4.0, "deep MSHRs expose MLP: {:.2}", large.mlp());
+    assert!(
+        large.mlp() > 4.0,
+        "deep MSHRs expose MLP: {:.2}",
+        large.mlp()
+    );
     assert!(large.ipc() > small.ipc() * 1.5);
 }

@@ -155,3 +155,23 @@ proptest! {
         prop_assert!(fired, "controller failed to respond to sustained pressure");
     }
 }
+
+/// Pinned replay of the checked-in proptest regression for
+/// `controller_bounded_response` (`structure_properties.proptest-regressions`:
+/// `threshold = 5, votes = [false; 10]`). Ten non-critical votes leave the
+/// controller one vote from firing `ShrinkCritical`; the historical bug was
+/// counting the *reset* after that fire against the subsequent critical
+/// streak, pushing the response past the `2*threshold + 2` bound. Kept as an
+/// explicit unit test so the case runs even under proptest runners that do
+/// not read regression files.
+#[test]
+fn controller_bounded_response_regression_all_false_prefix() {
+    let threshold = 5u64;
+    let mut pc = PartitionController::new(threshold, 8);
+    for _ in 0..10 {
+        let _ = pc.on_stall_cycle(false);
+    }
+    let fired =
+        (0..=2 * threshold + 2).any(|_| pc.on_stall_cycle(true) == Some(Resize::GrowCritical));
+    assert!(fired, "controller failed to respond to sustained pressure");
+}

@@ -131,7 +131,10 @@ mod tests {
         assert!(Activity::MaskCacheOp.is_cdf_structure());
         assert!(!Activity::RobWrite.is_cdf_structure());
         assert!(!Activity::DramAccess.is_cdf_structure());
-        let n = Activity::ALL.iter().filter(|a| a.is_cdf_structure()).count();
+        let n = Activity::ALL
+            .iter()
+            .filter(|a| a.is_cdf_structure())
+            .count();
         assert_eq!(n, 7);
     }
 }

@@ -123,7 +123,10 @@ impl Default for AreaParams {
 impl AreaParams {
     /// Total area of the CDF additions, mm².
     pub fn cdf_total_mm2(&self) -> f64 {
-        self.critical_uop_cache_mm2 + self.mask_cache_mm2 + self.critical_rat_mm2 + self.cdf_fifos_mm2
+        self.critical_uop_cache_mm2
+            + self.mask_cache_mm2
+            + self.critical_rat_mm2
+            + self.cdf_fifos_mm2
     }
 
     /// CDF area overhead as a fraction of the baseline core.

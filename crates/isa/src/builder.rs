@@ -380,7 +380,10 @@ mod tests {
         let l = b.label("twice");
         b.bind(l).unwrap();
         b.nop();
-        assert_eq!(b.bind(l), Err(BuildError::LabelRebound("twice".to_string())));
+        assert_eq!(
+            b.bind(l),
+            Err(BuildError::LabelRebound("twice".to_string()))
+        );
     }
 
     #[test]

@@ -54,13 +54,7 @@ impl AluOp {
             AluOp::Add | AluOp::FAdd => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul | AluOp::FMul => a.wrapping_mul(b),
-            AluOp::Div | AluOp::FDiv => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Div | AluOp::FDiv => a.checked_div(b).unwrap_or(0),
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,

@@ -153,10 +153,7 @@ impl Program {
 
     /// Iterates over `(Pc, &StaticUop)` in program order.
     pub fn iter(&self) -> impl Iterator<Item = (Pc, &StaticUop)> {
-        self.uops
-            .iter()
-            .enumerate()
-            .map(|(i, u)| (Pc(i as u32), u))
+        self.uops.iter().enumerate().map(|(i, u)| (Pc(i as u32), u))
     }
 
     /// The basic blocks of the program in address order.
@@ -205,7 +202,12 @@ impl Program {
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
         if !self.name.is_empty() {
-            out.push_str(&format!("; program `{}`: {} uops, {} blocks\n", self.name, self.len(), self.blocks.len()));
+            out.push_str(&format!(
+                "; program `{}`: {} uops, {} blocks\n",
+                self.name,
+                self.len(),
+                self.blocks.len()
+            ));
         }
         for (i, block) in self.blocks.iter().enumerate() {
             let kind = if block.ends_in_cond_branch {
@@ -215,7 +217,10 @@ impl Program {
             } else {
                 "falls through"
             };
-            out.push_str(&format!("block b{i} @ {} (len {}, {kind}):\n", block.start, block.len));
+            out.push_str(&format!(
+                "block b{i} @ {} (len {}, {kind}):\n",
+                block.start, block.len
+            ));
             for o in 0..block.len {
                 let pc = Pc(block.start.0 + o);
                 out.push_str(&format!("  {pc:>6}  {}\n", self.uop(pc)));
@@ -340,7 +345,7 @@ mod tests {
     fn disassembly_lists_every_uop() {
         let p = loop_program();
         let text = p.disassemble();
-        assert_eq!(text.matches("pc").count() >= p.len(), true);
+        assert!(text.matches("pc").count() >= p.len());
         for (_, uop) in p.iter() {
             assert!(text.contains(&uop.to_string()), "{uop}");
         }

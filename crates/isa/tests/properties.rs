@@ -1,9 +1,7 @@
 //! Property tests for the ISA layer: data-structure models and structural
 //! invariants of built programs.
 
-use cdf_isa::{
-    AluOp, ArchReg, Cond, MemoryImage, Pc, ProgramBuilder, RegSet, NUM_ARCH_REGS,
-};
+use cdf_isa::{AluOp, ArchReg, Cond, MemoryImage, Pc, ProgramBuilder, RegSet, NUM_ARCH_REGS};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 

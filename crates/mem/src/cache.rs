@@ -27,7 +27,7 @@ impl CacheConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Default, Debug)]
 struct Line {
     tag: u64,
     dirty: bool,
@@ -35,17 +35,6 @@ struct Line {
     /// the accuracy signal for Feedback Directed Prefetching.
     prefetched: bool,
     valid: bool,
-}
-
-impl Default for Line {
-    fn default() -> Line {
-        Line {
-            tag: 0,
-            dirty: false,
-            prefetched: false,
-            valid: false,
-        }
-    }
 }
 
 /// What a fill evicted, if anything.

@@ -2,9 +2,9 @@
 
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig, DramStats};
+use crate::line_addr;
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::prefetch::{PrefetcherConfig, StreamPrefetcher};
-use crate::line_addr;
 
 /// Configuration of the whole hierarchy (defaults mirror Table 1).
 #[derive(Clone, PartialEq, Debug)]
@@ -86,14 +86,67 @@ pub struct AccessOutcome {
     pub level: HitLevel,
 }
 
+/// Which MSHR file ran out of capacity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrLevel {
+    /// The L1D miss-status holding registers.
+    L1d,
+    /// The LLC (DRAM-bound) miss-status holding registers.
+    Llc,
+}
+
+/// Typed MSHR-full backpressure: the structural limit on memory-level
+/// parallelism, reported as an error instead of an abort so callers can
+/// retry, reschedule, or surface it in run records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MshrFull {
+    /// The MSHR file that was full.
+    pub level: MshrLevel,
+    /// Earliest cycle at which an entry frees — callers that track time can
+    /// retry then instead of polling every cycle.
+    pub retry_at: u64,
+}
+
+impl std::fmt::Display for MshrFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let level = match self.level {
+            MshrLevel::L1d => "L1D",
+            MshrLevel::Llc => "LLC",
+        };
+        write!(
+            f,
+            "{level} MSHRs full; earliest entry frees at cycle {}",
+            self.retry_at
+        )
+    }
+}
+
+impl std::error::Error for MshrFull {}
+
 /// Result of [`MemoryHierarchy::access`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AccessResult {
     /// The access was accepted; data ready at `ready_at`.
     Done(AccessOutcome),
-    /// MSHRs were full; retry next cycle. This is the structural limit on
-    /// memory-level parallelism.
-    Rejected,
+    /// MSHRs were full; retry (the payload says which file and when a slot
+    /// frees). This is the structural limit on memory-level parallelism.
+    Rejected(MshrFull),
+}
+
+impl AccessResult {
+    /// Converts to a `Result`, surfacing backpressure as the typed
+    /// [`MshrFull`] error.
+    pub fn outcome(self) -> Result<AccessOutcome, MshrFull> {
+        match self {
+            AccessResult::Done(out) => Ok(out),
+            AccessResult::Rejected(full) => Err(full),
+        }
+    }
+
+    /// Whether the access was rejected by full MSHRs.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, AccessResult::Rejected(_))
+    }
 }
 
 /// Aggregate hierarchy statistics (beyond per-component counters).
@@ -162,7 +215,13 @@ impl MemoryHierarchy {
     /// Performs an access at cycle `now`. `wrong_path` attributes any DRAM
     /// read this access causes to wrong-path execution in the statistics
     /// (the paper's runahead-overhead accounting).
-    pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64, wrong_path: bool) -> AccessResult {
+    pub fn access(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+        wrong_path: bool,
+    ) -> AccessResult {
         match kind {
             AccessKind::Load => self.stats.demand_loads += 1,
             AccessKind::Store => self.stats.demand_stores += 1,
@@ -172,7 +231,11 @@ impl MemoryHierarchy {
         let is_inst = kind == AccessKind::InstFetch;
 
         // --- L1 ---
-        let l1 = if is_inst { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if is_inst {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         let l1_info = l1.access(addr, is_write);
         if l1_info.hit {
             return AccessResult::Done(AccessOutcome {
@@ -196,7 +259,10 @@ impl MemoryHierarchy {
                 None => {
                     if self.l1d_mshr.len(now) >= self.l1d_mshr.capacity() {
                         self.stats.rejections += 1;
-                        return AccessResult::Rejected;
+                        return AccessResult::Rejected(MshrFull {
+                            level: MshrLevel::L1d,
+                            retry_at: self.l1d_mshr.earliest_release(now).unwrap_or(now + 1),
+                        });
                     }
                 }
             }
@@ -230,7 +296,10 @@ impl MemoryHierarchy {
                 level = HitLevel::Dram;
             } else if self.llc_mshr.len(now) >= self.llc_mshr.capacity() {
                 self.stats.rejections += 1;
-                return AccessResult::Rejected;
+                return AccessResult::Rejected(MshrFull {
+                    level: MshrLevel::Llc,
+                    retry_at: self.llc_mshr.earliest_release(now).unwrap_or(now + 1),
+                });
             } else {
                 {
                     let done = self.dram.read(line, issue_at);
@@ -252,7 +321,11 @@ impl MemoryHierarchy {
         }
 
         // Fill L1 and track the outstanding miss in the L1D MSHRs.
-        let l1 = if is_inst { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if is_inst {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         if let Some(ev) = l1.fill(addr, is_write) {
             if ev.dirty {
                 // Inclusive-ish: push dirty L1 victims down into the LLC.
@@ -297,7 +370,9 @@ impl MemoryHierarchy {
         } else {
             self.stats.prefetch_reads += 1;
         }
-        if let Some(ev) = self.llc.fill_tagged(line, false, runahead || true) {
+        // Runahead fills are tagged `prefetched` too: both speculative fill
+        // kinds count as a prefetch hit on first demand use (FDP feedback).
+        if let Some(ev) = self.llc.fill_tagged(line, false, true) {
             self.evict_inclusive(ev.line_addr, ev.dirty, now);
         }
         true
@@ -373,10 +448,8 @@ mod tests {
     }
 
     fn done(r: AccessResult) -> AccessOutcome {
-        match r {
-            AccessResult::Done(o) => o,
-            AccessResult::Rejected => panic!("unexpected rejection"),
-        }
+        r.outcome()
+            .unwrap_or_else(|full| panic!("access unexpectedly backpressured: {full}"))
     }
 
     #[test]
@@ -425,8 +498,17 @@ mod tests {
             AccessResult::Done(_)
         ));
         let r = m.access(0x20000, AccessKind::Load, 0, false);
-        assert_eq!(r, AccessResult::Rejected);
+        let full = r.outcome().expect_err("third distinct line must reject");
+        // The L1D MSHR file sits in front of the LLC's, so it is the one
+        // that reports full here.
+        assert_eq!(full.level, MshrLevel::L1d);
+        assert!(full.retry_at > 0, "retry hint must point forward in time");
         assert_eq!(m.stats().rejections, 1);
+        // The hint is honest: retrying at `retry_at` succeeds.
+        assert!(matches!(
+            m.access(0x20000, AccessKind::Load, full.retry_at, false),
+            AccessResult::Done(_)
+        ));
         // After the misses complete, capacity frees up.
         assert!(matches!(
             m.access(0x20000, AccessKind::Load, 100_000, false),

@@ -10,20 +10,26 @@
 //! time, the cycle at which its data will be ready, using per-bank and
 //! per-channel busy tracking for queueing effects. Outstanding-miss limits
 //! (the source of finite MLP) come from the MSHRs: when they are full the
-//! access is [`AccessResult::Rejected`] and the core must retry, exactly the
-//! backpressure that caps memory-level parallelism in a real machine.
+//! access is [`AccessResult::Rejected`] carrying a typed [`MshrFull`] error
+//! (which file was full, and the earliest cycle a slot frees) and the core
+//! must retry — exactly the backpressure that caps memory-level parallelism
+//! in a real machine.
 //!
 //! ```
-//! use cdf_mem::{MemoryHierarchy, MemConfig, AccessKind, AccessResult};
+//! use cdf_mem::{MemoryHierarchy, MemConfig, AccessKind};
 //!
 //! let mut mem = MemoryHierarchy::new(MemConfig::default());
 //! // First touch misses everywhere and goes to DRAM.
-//! let r = mem.access(0x4000, AccessKind::Load, 0, false);
-//! let AccessResult::Done(out) = r else { panic!("MSHRs empty, never rejected") };
+//! let out = mem
+//!     .access(0x4000, AccessKind::Load, 0, false)
+//!     .outcome()
+//!     .expect("MSHRs empty, never rejected");
 //! assert!(out.ready_at > 100);
 //! // A later access to the same line hits in L1.
-//! let AccessResult::Done(hit) = mem.access(0x4000, AccessKind::Load, out.ready_at, false)
-//!     else { panic!() };
+//! let hit = mem
+//!     .access(0x4000, AccessKind::Load, out.ready_at, false)
+//!     .outcome()
+//!     .expect("hits are never backpressured");
 //! assert_eq!(hit.ready_at, out.ready_at + mem.config().l1_latency);
 //! ```
 
@@ -40,6 +46,7 @@ pub use cache::{Cache, CacheConfig, Eviction};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use hierarchy::{
     AccessKind, AccessOutcome, AccessResult, HitLevel, MemConfig, MemStats, MemoryHierarchy,
+    MshrFull, MshrLevel,
 };
 pub use mshr::{Mshr, MshrOutcome};
 pub use prefetch::{PrefetcherConfig, StreamPrefetcher};

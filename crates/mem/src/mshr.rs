@@ -88,6 +88,16 @@ impl Mshr {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// The soonest cycle at which an outstanding entry completes and frees
+    /// its register — the retry hint carried by MSHR-full backpressure.
+    pub fn earliest_release(&self, now: u64) -> Option<u64> {
+        self.entries
+            .values()
+            .copied()
+            .filter(|&done| done > now)
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -115,7 +125,11 @@ mod tests {
         m.try_alloc(0x0, 0, 10);
         m.try_alloc(0x40, 0, 20);
         assert_eq!(m.outstanding(0x0, 5), Some(10));
-        assert_eq!(m.outstanding(0x0, 10), None, "completion cycle itself counts as done");
+        assert_eq!(
+            m.outstanding(0x0, 10),
+            None,
+            "completion cycle itself counts as done"
+        );
         assert_eq!(m.len(5), 2);
         assert_eq!(m.len(15), 1);
         assert!(m.is_empty(25));
@@ -126,5 +140,16 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         Mshr::new(0);
+    }
+
+    #[test]
+    fn earliest_release_tracks_minimum() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.earliest_release(0), None);
+        m.try_alloc(0x0, 0, 30);
+        m.try_alloc(0x40, 0, 10);
+        assert_eq!(m.earliest_release(0), Some(10));
+        assert_eq!(m.earliest_release(10), Some(30), "expired entries ignored");
+        assert_eq!(m.earliest_release(30), None);
     }
 }

@@ -113,7 +113,7 @@ impl StreamPrefetcher {
         }
         self.accesses += 1;
         self.lru_clock += 1;
-        if self.accesses % self.cfg.fdp_interval == 0 {
+        if self.accesses.is_multiple_of(self.cfg.fdp_interval) {
             self.fdp_adjust();
         }
 
@@ -165,9 +165,9 @@ impl StreamPrefetcher {
         let degree = self.degree as i64;
         let dir = s.dir;
         let base = line as i64;
+        // Prefetches may cross page boundaries, so no page filter here.
         let out: Vec<u64> = (1..=degree)
             .map(|k| ((base + dir * k) as u64) * LINE_BYTES)
-            .filter(|&a| a >> 12 == page || true) // prefetch may cross pages
             .collect();
         self.issued_window += out.len() as u64;
         self.issued_total += out.len() as u64;
@@ -242,7 +242,7 @@ mod tests {
         p.on_demand_miss(0x1000); // page 1 tracker
         p.on_demand_miss(0x5000); // page 5 tracker
         p.on_demand_miss(0x9000); // evicts LRU (page 1)
-        // Page 1 must retrain from scratch.
+                                  // Page 1 must retrain from scratch.
         assert!(p.on_demand_miss(0x1040).is_empty());
     }
 

@@ -40,11 +40,14 @@ impl ModelCache {
             q.push_front(line);
             return None;
         }
-        let victim = if q.len() == self.ways { q.pop_back() } else { None };
+        let victim = if q.len() == self.ways {
+            q.pop_back()
+        } else {
+            None
+        };
         q.push_front(line);
         victim
     }
-
 }
 
 proptest! {

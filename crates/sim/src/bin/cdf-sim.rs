@@ -3,24 +3,33 @@
 //! ```text
 //! cdf-sim list
 //! cdf-sim table1
-//! cdf-sim run <workload> [--mech base|cdf|pre|classify] [--rob N]
+//! cdf-sim run <workload> [--mech base|cdf|pre|classify|...] [--rob N]
 //!             [--warmup N] [--measure N] [--scale F] [--seed N] [--fast]
 //! cdf-sim compare <workload> [sizing flags]
+//! cdf-sim sweep [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
+//!               [--max-cycles N] [--out results.json] [sizing flags]
 //! ```
 
 use cdf_core::CoreConfig;
-use cdf_sim::{simulate, table1_text, EvalConfig, Mechanism};
+use cdf_sim::{run_sweep, simulate, table1_text, EvalConfig, Mechanism, SweepConfig};
 use cdf_workloads::registry;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
-         cdf-sim compare <workload> [options]\n\noptions:\n  --mech base|cdf|pre|classify   \
-         mechanism (run only; default cdf)\n  --rob N        scale the window to N ROB entries\n  \
+         cdf-sim compare <workload> [options]\n  cdf-sim sweep [options]\n\noptions:\n  \
+         --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
+         mechanism (run only; default cdf)\n  \
+         --rob N        scale the window to N ROB entries\n  \
          --warmup N     warmup instructions\n  --measure N    measured instructions\n  \
          --scale F      workload footprint scale\n  --seed N       workload seed\n  \
-         --fast         quick sizing preset"
+         --fast         quick sizing preset\n\nsweep options:\n  \
+         --workloads a,b,c  comma-separated workloads (default: full registry)\n  \
+         --mechs a,b,c      comma-separated mechanisms (default: all)\n  \
+         --threads N        worker threads (default: all hardware threads)\n  \
+         --max-cycles N     per-run watchdog cycle budget (default: off)\n  \
+         --out FILE         write the stamped JSON records to FILE"
     );
     exit(2)
 }
@@ -49,14 +58,66 @@ fn parse_eval(args: &[String]) -> EvalConfig {
                     ..cfg.core.clone().with_scaled_window(rob)
                 };
             }
-            "--warmup" => cfg.warmup_instructions = val("--warmup").parse().unwrap_or_else(|_| usage()),
-            "--measure" => cfg.measure_instructions = val("--measure").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => {
+                cfg.warmup_instructions = val("--warmup").parse().unwrap_or_else(|_| usage())
+            }
+            "--measure" => {
+                cfg.measure_instructions = val("--measure").parse().unwrap_or_else(|_| usage())
+            }
             "--scale" => cfg.gen.scale = val("--scale").parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.gen.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-cycles" => {
+                cfg.max_cycles = Some(val("--max-cycles").parse().unwrap_or_else(|_| usage()))
+            }
             _ => {}
         }
     }
     cfg
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run_sweep_command(args: &[String]) {
+    let eval = parse_eval(args);
+    let mut cfg = SweepConfig::full_grid(eval);
+    if let Some(list) = flag_value(args, "--workloads") {
+        cfg.workloads = list.split(',').map(str::to_string).collect();
+    }
+    if let Some(list) = flag_value(args, "--mechs") {
+        cfg.mechanisms = list
+            .split(',')
+            .map(|s| {
+                Mechanism::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism `{s}`");
+                    usage()
+                })
+            })
+            .collect();
+    }
+    if let Some(t) = flag_value(args, "--threads") {
+        cfg.threads = t.parse().unwrap_or_else(|_| usage());
+    }
+    let sweep = run_sweep(&cfg);
+    print!("{}", sweep.render_summary());
+    if let Some(path) = flag_value(args, "--out") {
+        sweep
+            .write_json(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("writing {path}: {e}");
+                exit(1)
+            });
+        eprintln!("wrote {path}");
+    }
+    // Failed cells are recorded, not fatal — but reflect them in the exit
+    // status so scripts notice.
+    if sweep.counts().1 > 0 {
+        exit(3);
+    }
 }
 
 fn print_measurement(m: &cdf_sim::Measurement) {
@@ -87,7 +148,10 @@ fn main() {
         Some("list") => {
             for name in registry::NAMES {
                 let w = registry::by_name(name, &cdf_workloads::GenConfig::test()).expect("known");
-                println!("{name:14} stands in for {:28} — {}", w.stands_in_for, w.description);
+                println!(
+                    "{name:14} stands in for {:28} — {}",
+                    w.stands_in_for, w.description
+                );
             }
         }
         Some("table1") => {
@@ -95,28 +159,30 @@ fn main() {
         }
         Some("run") => {
             let name = args.get(1).cloned().unwrap_or_else(|| usage());
-            let mech = match args
-                .iter()
-                .position(|a| a == "--mech")
-                .and_then(|i| args.get(i + 1))
-                .map(|s| s.as_str())
-            {
-                None | Some("cdf") => Mechanism::Cdf,
-                Some("base") => Mechanism::Baseline,
-                Some("pre") => Mechanism::Pre,
-                Some("classify") => Mechanism::BaselineClassify,
-                Some(other) => {
-                    eprintln!("unknown mechanism `{other}`");
+            let mech = match flag_value(&args, "--mech") {
+                None => Mechanism::Cdf,
+                Some(s) => Mechanism::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism `{s}`");
                     usage()
-                }
+                }),
             };
             let cfg = parse_eval(&args[2..]);
-            print_measurement(&simulate(&name, mech, &cfg));
+            match cdf_sim::try_simulate(&name, mech, &cfg) {
+                Ok(m) => print_measurement(&m),
+                Err(e) => {
+                    eprintln!("{e}");
+                    exit(1)
+                }
+            }
         }
         Some("compare") => {
             let name = args.get(1).cloned().unwrap_or_else(|| usage());
             let cfg = parse_eval(&args[2..]);
-            let base = simulate(&name, Mechanism::Baseline, &cfg);
+            let base =
+                cdf_sim::try_simulate(&name, Mechanism::Baseline, &cfg).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1)
+                });
             let cdf = simulate(&name, Mechanism::Cdf, &cfg);
             let pre = simulate(&name, Mechanism::Pre, &cfg);
             println!(
@@ -135,6 +201,7 @@ fn main() {
                 );
             }
         }
+        Some("sweep") => run_sweep_command(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,11 +1,18 @@
 //! Experiment drivers: one function per paper table/figure.
 //!
-//! Each driver runs the necessary (workload × mechanism) matrix and returns
-//! typed rows plus a `render`ed paper-style text table. The bench targets in
-//! `crates/bench/benches/` are thin wrappers that call these and print.
+//! Each driver runs the necessary (workload × mechanism) grid through the
+//! [`sweep`](crate::sweep) harness — parallel, fault-isolated, deterministic
+//! — and returns typed rows plus a `render`ed paper-style text table. The
+//! drivers keep an all-or-nothing contract (a failed cell panics with its
+//! recorded error); callers that want to tolerate failures use
+//! [`run_sweep`] directly. Each driver also exposes its underlying
+//! [`Sweep`] so bench targets can emit the stamped JSON records.
 
 use crate::report::{geomean, pct_delta, Table};
-use crate::run::{simulate_workload, EvalConfig, Measurement, Mechanism};
+use crate::run::{
+    simulate_workload, try_simulate_workload_mode, EvalConfig, Measurement, Mechanism,
+};
+use crate::sweep::{parallel_map, run_sweep, Sweep, SweepConfig};
 use cdf_workloads::registry;
 
 /// Baseline, CDF and PRE measurements for one workload.
@@ -21,28 +28,35 @@ pub struct WorkloadRuns {
     pub pre: Measurement,
 }
 
-/// Runs the full (workload × {base, CDF, PRE}) matrix, one thread per
-/// workload. This single matrix feeds Figs. 13, 14, 15 and 16.
+/// Runs the (workload × {base, CDF, PRE}) sweep that feeds Figs. 13–16.
+pub fn matrix_sweep(cfg: &EvalConfig, names: &[&str]) -> Sweep {
+    run_sweep(&SweepConfig::new(
+        names.iter().copied(),
+        vec![Mechanism::Baseline, Mechanism::Cdf, Mechanism::Pre],
+        cfg.clone(),
+    ))
+}
+
+fn runs_from_sweep(sweep: &Sweep, names: &[&str]) -> Vec<WorkloadRuns> {
+    names
+        .iter()
+        .map(|&name| WorkloadRuns {
+            name: name.to_string(),
+            base: sweep.expect(name, Mechanism::Baseline).clone(),
+            cdf: sweep.expect(name, Mechanism::Cdf).clone(),
+            pre: sweep.expect(name, Mechanism::Pre).clone(),
+        })
+        .collect()
+}
+
+/// Runs the full (workload × {base, CDF, PRE}) matrix in parallel. This
+/// single matrix feeds Figs. 13, 14, 15 and 16.
+///
+/// # Panics
+///
+/// Panics with the recorded [`crate::SimError`] if any cell fails.
 pub fn run_matrix(cfg: &EvalConfig, names: &[&str]) -> Vec<WorkloadRuns> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = names
-            .iter()
-            .map(|&name| {
-                let cfg = cfg.clone();
-                scope.spawn(move || {
-                    let w = registry::by_name(name, &cfg.gen)
-                        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
-                    WorkloadRuns {
-                        name: name.to_string(),
-                        base: simulate_workload(&w, Mechanism::Baseline, &cfg),
-                        cdf: simulate_workload(&w, Mechanism::Cdf, &cfg),
-                        pre: simulate_workload(&w, Mechanism::Pre, &cfg),
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("run ok")).collect()
-    })
+    runs_from_sweep(&matrix_sweep(cfg, names), names)
 }
 
 /// Fig. 1: distribution of critical vs non-critical instructions in the ROB
@@ -51,26 +65,26 @@ pub fn run_matrix(cfg: &EvalConfig, names: &[&str]) -> Vec<WorkloadRuns> {
 pub struct Fig01 {
     /// `(workload, critical fraction)` rows.
     pub rows: Vec<(String, f64)>,
+    /// The underlying sweep (for JSON emission).
+    pub sweep: Sweep,
 }
 
 impl Fig01 {
     /// Runs the classify-mode sweep.
     pub fn run(cfg: &EvalConfig, names: &[&str]) -> Fig01 {
-        let rows = std::thread::scope(|scope| {
-            let handles: Vec<_> = names
-                .iter()
-                .map(|&name| {
-                    let cfg = cfg.clone();
-                    scope.spawn(move || {
-                        let w = registry::by_name(name, &cfg.gen).expect("known workload");
-                        let m = simulate_workload(&w, Mechanism::BaselineClassify, &cfg);
-                        (name.to_string(), m.rob_critical_fraction)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("ok")).collect()
-        });
-        Fig01 { rows }
+        let sweep = run_sweep(&SweepConfig::new(
+            names.iter().copied(),
+            vec![Mechanism::BaselineClassify],
+            cfg.clone(),
+        ));
+        let rows = names
+            .iter()
+            .map(|&name| {
+                let m = sweep.expect(name, Mechanism::BaselineClassify);
+                (name.to_string(), m.rob_critical_fraction)
+            })
+            .collect();
+        Fig01 { rows, sweep }
     }
 
     /// Paper-style text.
@@ -98,13 +112,17 @@ impl Fig01 {
 pub struct MatrixFigures {
     /// The underlying runs.
     pub runs: Vec<WorkloadRuns>,
+    /// The underlying sweep (for JSON emission).
+    pub sweep: Sweep,
 }
 
 impl MatrixFigures {
     /// Runs the matrix over `names`.
     pub fn run(cfg: &EvalConfig, names: &[&str]) -> MatrixFigures {
+        let sweep = matrix_sweep(cfg, names);
         MatrixFigures {
-            runs: run_matrix(cfg, names),
+            runs: runs_from_sweep(&sweep, names),
+            sweep,
         }
     }
 
@@ -220,7 +238,10 @@ impl MatrixFigures {
                 r.name.as_str(),
                 &pct_delta(c),
                 &pct_delta(p),
-                &format!("{:.1}%", r.cdf.cdf_energy_nj / r.cdf.energy_nj.max(1e-9) * 100.0),
+                &format!(
+                    "{:.1}%",
+                    r.cdf.cdf_energy_nj / r.cdf.energy_nj.max(1e-9) * 100.0
+                ),
             ]);
         }
         t.row(&[
@@ -316,32 +337,32 @@ impl Fig17 {
 pub struct AblationBranches {
     /// `(workload, full CDF speedup, no-branch CDF speedup)`.
     pub rows: Vec<(String, f64, f64)>,
+    /// The underlying sweep (for JSON emission).
+    pub sweep: Sweep,
 }
 
 impl AblationBranches {
     /// Runs the ablation.
     pub fn run(cfg: &EvalConfig, names: &[&str]) -> AblationBranches {
-        let rows = std::thread::scope(|scope| {
-            let handles: Vec<_> = names
-                .iter()
-                .map(|&name| {
-                    let cfg = cfg.clone();
-                    scope.spawn(move || {
-                        let w = registry::by_name(name, &cfg.gen).expect("known workload");
-                        let base = simulate_workload(&w, Mechanism::Baseline, &cfg);
-                        let full = simulate_workload(&w, Mechanism::Cdf, &cfg);
-                        let nobr = simulate_workload(&w, Mechanism::CdfNoBranches, &cfg);
-                        (
-                            name.to_string(),
-                            full.ipc / base.ipc,
-                            nobr.ipc / base.ipc,
-                        )
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("ok")).collect()
-        });
-        AblationBranches { rows }
+        let sweep = run_sweep(&SweepConfig::new(
+            names.iter().copied(),
+            vec![
+                Mechanism::Baseline,
+                Mechanism::Cdf,
+                Mechanism::CdfNoBranches,
+            ],
+            cfg.clone(),
+        ));
+        let rows = names
+            .iter()
+            .map(|&name| {
+                let base = sweep.expect(name, Mechanism::Baseline);
+                let full = sweep.expect(name, Mechanism::Cdf);
+                let nobr = sweep.expect(name, Mechanism::CdfNoBranches);
+                (name.to_string(), full.ipc / base.ipc, nobr.ipc / base.ipc)
+            })
+            .collect();
+        AblationBranches { rows, sweep }
     }
 
     /// `(geomean with branches, geomean without)`.
@@ -374,36 +395,41 @@ pub struct AblationDesign {
     /// `(workload, full, static-partition, no-mask-cache)` IPC speedups over
     /// baseline, plus dependence violations without the mask cache.
     pub rows: Vec<(String, f64, f64, f64, u64, u64)>,
+    /// The underlying sweep (for JSON emission).
+    pub sweep: Sweep,
 }
 
 impl AblationDesign {
     /// Runs both design-choice ablations.
     pub fn run(cfg: &EvalConfig, names: &[&str]) -> AblationDesign {
-        let rows = std::thread::scope(|scope| {
-            let handles: Vec<_> = names
-                .iter()
-                .map(|&name| {
-                    let cfg = cfg.clone();
-                    scope.spawn(move || {
-                        let w = registry::by_name(name, &cfg.gen).expect("known workload");
-                        let base = simulate_workload(&w, Mechanism::Baseline, &cfg);
-                        let full = simulate_workload(&w, Mechanism::Cdf, &cfg);
-                        let stat = simulate_workload(&w, Mechanism::CdfStaticPartition, &cfg);
-                        let nomask = simulate_workload(&w, Mechanism::CdfNoMaskCache, &cfg);
-                        (
-                            name.to_string(),
-                            full.ipc / base.ipc,
-                            stat.ipc / base.ipc,
-                            nomask.ipc / base.ipc,
-                            full.dependence_violations,
-                            nomask.dependence_violations,
-                        )
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("ok")).collect()
-        });
-        AblationDesign { rows }
+        let sweep = run_sweep(&SweepConfig::new(
+            names.iter().copied(),
+            vec![
+                Mechanism::Baseline,
+                Mechanism::Cdf,
+                Mechanism::CdfStaticPartition,
+                Mechanism::CdfNoMaskCache,
+            ],
+            cfg.clone(),
+        ));
+        let rows = names
+            .iter()
+            .map(|&name| {
+                let base = sweep.expect(name, Mechanism::Baseline);
+                let full = sweep.expect(name, Mechanism::Cdf);
+                let stat = sweep.expect(name, Mechanism::CdfStaticPartition);
+                let nomask = sweep.expect(name, Mechanism::CdfNoMaskCache);
+                (
+                    name.to_string(),
+                    full.ipc / base.ipc,
+                    stat.ipc / base.ipc,
+                    nomask.ipc / base.ipc,
+                    full.dependence_violations,
+                    nomask.dependence_violations,
+                )
+            })
+            .collect();
+        AblationDesign { rows, sweep }
     }
 
     /// Paper-style text.
@@ -449,7 +475,13 @@ impl AblationDesign {
 pub const SCALING_KERNELS: &[&str] = &["astar_like", "soplex_like", "fotonik_like", "roms_like"];
 
 /// Branch-heavy kernels for the branch-criticality ablation.
-pub const BRANCHY_KERNELS: &[&str] = &["astar_like", "bzip_like", "mcf_like", "soplex_like", "xalanc_like"];
+pub const BRANCHY_KERNELS: &[&str] = &[
+    "astar_like",
+    "bzip_like",
+    "mcf_like",
+    "soplex_like",
+    "xalanc_like",
+];
 
 #[cfg(test)]
 mod tests {
@@ -521,39 +553,25 @@ impl SensitivityCdfStructures {
         use cdf_core::{CdfConfig, CoreMode};
         let mut rows = Vec::new();
         let mut point = |label: String, cdf_cfg: CdfConfig| {
-            let speedups: Vec<f64> = std::thread::scope(|scope| {
-                let handles: Vec<_> = names
-                    .iter()
-                    .map(|&name| {
-                        let cfg = cfg.clone();
-                        let cdf_cfg = cdf_cfg.clone();
-                        scope.spawn(move || {
-                            let w = registry::by_name(name, &cfg.gen).expect("known");
-                            let base = simulate_workload(&w, Mechanism::Baseline, &cfg);
-                            // simulate_workload derives the mode from the
-                            // mechanism; this sweep needs a custom CdfConfig,
-                            // so drive the core directly with the same
-                            // warmup/measure windowing.
-                            let mut core_cfg = cfg.core.clone();
-                            core_cfg.mode = CoreMode::Cdf(cdf_cfg);
-                            let mut core =
-                                cdf_core::Core::new(&w.program, w.memory.clone(), core_cfg);
-                            core.run(cfg.warmup_instructions);
-                            let s0 = (core.stats().cycles, core.stats().retired);
-                            core.run(cfg.warmup_instructions + cfg.measure_instructions);
-                            let s1 = (core.stats().cycles, core.stats().retired);
-                            let ipc = (s1.1 - s0.1) as f64 / (s1.0 - s0.0).max(1) as f64;
-                            ipc / base.ipc
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("ok")).collect()
+            // Each point is a custom CdfConfig, not a named Mechanism, so it
+            // goes through the mode-level simulate with the sweep's worker
+            // pool rather than a full run_sweep grid.
+            let jobs: Vec<&str> = names.to_vec();
+            let speedups: Vec<f64> = parallel_map(&jobs, 0, |&name| {
+                let w = registry::lookup(name, &cfg.gen).unwrap_or_else(|e| panic!("{e}"));
+                let base = simulate_workload(&w, Mechanism::Baseline, cfg);
+                let m = try_simulate_workload_mode(&w, CoreMode::Cdf(cdf_cfg.clone()), &label, cfg)
+                    .unwrap_or_else(|e| panic!("sensitivity ({name}, {label}): {e}"));
+                m.ipc / base.ipc
             });
             rows.push((label, geomean(&speedups)));
         };
         for lines in [1usize, 2, 4, 8] {
             point(
-                format!("uop cache {lines} lines/set ({}KB-class)", lines * 64 * 64 / 1024),
+                format!(
+                    "uop cache {lines} lines/set ({}KB-class)",
+                    lines * 64 * 64 / 1024
+                ),
                 CdfConfig {
                     uop_cache_lines_per_set: lines,
                     ..CdfConfig::default()

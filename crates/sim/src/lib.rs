@@ -6,22 +6,40 @@
 //! [`experiments`] turn into the paper's tables and figures (each bench
 //! target in `crates/bench` calls one driver and prints its rows).
 //!
+//! The [`sweep`] module is the parallel experiment harness: it executes a
+//! (workload × mechanism) grid across worker threads with per-cell fault
+//! isolation (a failed cell is a recorded [`SimError`], never a process
+//! abort), a per-run cycle-fuel watchdog, and stamped JSON result emission.
+//! Sweep results are bit-identical to running the grid serially.
+//!
 //! ```no_run
-//! use cdf_sim::{simulate, EvalConfig, Mechanism};
+//! use cdf_sim::{run_sweep, simulate, EvalConfig, Mechanism, SweepConfig};
 //!
 //! let cfg = EvalConfig::quick();
 //! let m = simulate("astar_like", Mechanism::Cdf, &cfg);
 //! println!("astar_like CDF IPC = {:.3}", m.ipc);
+//!
+//! let sweep = run_sweep(&SweepConfig::full_grid(cfg));
+//! println!("{}", sweep.render_summary());
+//! println!("{}", sweep.to_json().render_pretty());
 //! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod json;
 pub mod report;
+pub mod sweep;
 
+mod error;
 mod run;
 mod table1;
 
-pub use run::{simulate, simulate_workload, EvalConfig, Measurement, Mechanism};
+pub use error::{SimError, WatchdogPhase};
+pub use run::{
+    simulate, simulate_workload, try_simulate, try_simulate_workload, try_simulate_workload_mode,
+    EvalConfig, Measurement, Mechanism,
+};
+pub use sweep::{run_sweep, Sweep, SweepCell, SweepConfig};
 pub use table1::table1_text;

@@ -1,5 +1,6 @@
 //! Running one workload on one mechanism with warmup/measure windowing.
 
+use crate::error::{SimError, WatchdogPhase};
 use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode, PreConfig};
 use cdf_workloads::{registry, GenConfig, Workload};
 
@@ -23,6 +24,34 @@ pub enum Mechanism {
 }
 
 impl Mechanism {
+    /// Every mechanism, in report order — the full axis of the default sweep
+    /// grid.
+    pub const ALL: [Mechanism; 7] = [
+        Mechanism::Baseline,
+        Mechanism::BaselineClassify,
+        Mechanism::Cdf,
+        Mechanism::Pre,
+        Mechanism::CdfNoBranches,
+        Mechanism::CdfStaticPartition,
+        Mechanism::CdfNoMaskCache,
+    ];
+
+    /// Parses a mechanism from its [`label`](Self::label) or a CLI alias
+    /// (case-insensitive): `base`/`baseline`, `classify`, `cdf`, `pre`,
+    /// `cdf-nobr`, `cdf-static`, `cdf-nomask`.
+    pub fn parse(s: &str) -> Option<Mechanism> {
+        match s.to_ascii_lowercase().as_str() {
+            "base" | "baseline" => Some(Mechanism::Baseline),
+            "classify" | "base+classify" => Some(Mechanism::BaselineClassify),
+            "cdf" => Some(Mechanism::Cdf),
+            "pre" => Some(Mechanism::Pre),
+            "cdf-nobr" | "nobr" => Some(Mechanism::CdfNoBranches),
+            "cdf-static" | "static" => Some(Mechanism::CdfStaticPartition),
+            "cdf-nomask" | "nomask" => Some(Mechanism::CdfNoMaskCache),
+            _ => None,
+        }
+    }
+
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -76,6 +105,12 @@ pub struct EvalConfig {
     pub measure_instructions: u64,
     /// Core configuration template (mode is overridden per mechanism).
     pub core: CoreConfig,
+    /// Watchdog fuel: total core-cycle budget for one run (warmup plus
+    /// measurement). When the budget runs out before the instruction window
+    /// retires, the run fails with [`SimError::Watchdog`] instead of
+    /// spinning. `None` disables the watchdog, which keeps the run loop
+    /// bit-identical to an unbounded run.
+    pub max_cycles: Option<u64>,
 }
 
 impl Default for EvalConfig {
@@ -89,6 +124,7 @@ impl Default for EvalConfig {
             warmup_instructions: 100_000,
             measure_instructions: 200_000,
             core: CoreConfig::default(),
+            max_cycles: None,
         }
     }
 }
@@ -111,12 +147,15 @@ impl EvalConfig {
 
 /// The measured quantities of one (workload, mechanism) run over the
 /// measurement window.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so sweep determinism can be asserted stat-for-stat.
+#[derive(Clone, PartialEq, Debug)]
 pub struct Measurement {
     /// Workload name.
     pub workload: String,
-    /// Mechanism label.
-    pub mechanism: &'static str,
+    /// Mechanism label (a custom label for non-standard configurations, see
+    /// [`try_simulate_workload_mode`]).
+    pub mechanism: String,
     /// Instructions retired in the window.
     pub instructions: u64,
     /// Cycles in the window.
@@ -196,32 +235,85 @@ impl Snapshot {
     }
 }
 
+/// Simulates one named workload on one mechanism, with typed errors for
+/// unknown names and watchdog expiry.
+pub fn try_simulate(
+    name: &str,
+    mechanism: Mechanism,
+    cfg: &EvalConfig,
+) -> Result<Measurement, SimError> {
+    let w = registry::lookup(name, &cfg.gen)?;
+    try_simulate_workload(&w, mechanism, cfg)
+}
+
 /// Simulates one named workload on one mechanism.
 ///
 /// # Panics
 ///
-/// Panics if the workload name is unknown (see
-/// [`cdf_workloads::registry::NAMES`]).
+/// Panics on any [`SimError`] — unknown workload name (see
+/// [`cdf_workloads::registry::NAMES`]) or watchdog expiry. Use
+/// [`try_simulate`] to handle failures.
 pub fn simulate(name: &str, mechanism: Mechanism, cfg: &EvalConfig) -> Measurement {
-    let w = registry::by_name(name, &cfg.gen)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
-    simulate_workload(&w, mechanism, cfg)
+    try_simulate(name, mechanism, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Simulates an already-built workload on one mechanism.
+///
+/// # Panics
+///
+/// Panics on watchdog expiry; use [`try_simulate_workload`] to handle it.
 pub fn simulate_workload(w: &Workload, mechanism: Mechanism, cfg: &EvalConfig) -> Measurement {
+    try_simulate_workload(w, mechanism, cfg)
+        .unwrap_or_else(|e| panic!("simulating {} on {}: {e}", w.name, mechanism.label()))
+}
+
+/// Simulates an already-built workload on one mechanism, reporting watchdog
+/// expiry as a typed error.
+pub fn try_simulate_workload(
+    w: &Workload,
+    mechanism: Mechanism,
+    cfg: &EvalConfig,
+) -> Result<Measurement, SimError> {
+    try_simulate_workload_mode(w, mechanism.mode(), mechanism.label(), cfg)
+}
+
+/// Simulates an already-built workload on an explicit [`CoreMode`] with a
+/// free-form mechanism label — the escape hatch for sensitivity sweeps whose
+/// configurations are not one of the named [`Mechanism`]s.
+pub fn try_simulate_workload_mode(
+    w: &Workload,
+    mode: CoreMode,
+    label: &str,
+    cfg: &EvalConfig,
+) -> Result<Measurement, SimError> {
     let core_cfg = CoreConfig {
-        mode: mechanism.mode(),
+        mode,
         ..cfg.core.clone()
     };
     let mut core = Core::new(&w.program, w.memory.clone(), core_cfg);
+    let budget = cfg.max_cycles.unwrap_or(u64::MAX);
 
     // Warmup window.
-    let warm = core.run(cfg.warmup_instructions);
+    let warm = core.run_bounded(cfg.warmup_instructions, budget);
+    if !warm.halted && warm.retired < cfg.warmup_instructions && warm.cycles >= budget {
+        return Err(SimError::Watchdog {
+            phase: WatchdogPhase::Warmup,
+            max_cycles: budget,
+            retired: warm.retired,
+        });
+    }
     let start = Snapshot::take(&core, warm.cycles, Some(warm.retired));
 
     // Measurement window.
-    let end_stats = core.run(cfg.warmup_instructions + cfg.measure_instructions);
+    let target = cfg.warmup_instructions + cfg.measure_instructions;
+    let end_stats = core.run_bounded(target, budget);
+    if !end_stats.halted && end_stats.retired < target && end_stats.cycles >= budget {
+        return Err(SimError::Watchdog {
+            phase: WatchdogPhase::Measure,
+            max_cycles: budget,
+            retired: end_stats.retired,
+        });
+    }
     let end = Snapshot::take(&core, end_stats.cycles, Some(end_stats.retired));
 
     let cycles = end.cycles - start.cycles;
@@ -230,9 +322,9 @@ pub fn simulate_workload(w: &Workload, mechanism: Mechanism, cfg: &EvalConfig) -
     let mlp_sum = end.mlp_sum - start.mlp_sum;
     let rob_c = end.rob_critical - start.rob_critical;
     let rob_n = end.rob_non_critical - start.rob_non_critical;
-    Measurement {
+    Ok(Measurement {
         workload: w.name.to_string(),
-        mechanism: mechanism.label(),
+        mechanism: label.to_string(),
         instructions,
         cycles,
         ipc: if cycles == 0 {
@@ -268,7 +360,7 @@ pub fn simulate_workload(w: &Workload, mechanism: Mechanism, cfg: &EvalConfig) -
         critical_uops: end.critical_uops - start.critical_uops,
         runahead_uops: end.runahead_uops - start.runahead_uops,
         dependence_violations: end.dependence_violations - start.dependence_violations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -314,5 +406,53 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         simulate("nope", Mechanism::Baseline, &EvalConfig::quick());
+    }
+
+    #[test]
+    fn unknown_workload_typed_error_lists_registry() {
+        let err = try_simulate("nope", Mechanism::Baseline, &EvalConfig::quick()).unwrap_err();
+        assert_eq!(err.kind(), "unknown_workload");
+        assert!(err.to_string().contains("astar_like"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_fires_on_tiny_fuel() {
+        let cfg = EvalConfig {
+            max_cycles: Some(2_000),
+            ..EvalConfig::quick()
+        };
+        let err = try_simulate("libq_like", Mechanism::Baseline, &cfg).unwrap_err();
+        match err {
+            SimError::Watchdog {
+                max_cycles,
+                retired,
+                ..
+            } => {
+                assert_eq!(max_cycles, 2_000);
+                assert!(retired < cfg.warmup_instructions + cfg.measure_instructions);
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_disabled_matches_unbounded_run() {
+        let quick = EvalConfig::quick();
+        let bounded = EvalConfig {
+            max_cycles: Some(u64::MAX / 2),
+            ..quick.clone()
+        };
+        let a = simulate("libq_like", Mechanism::Cdf, &quick);
+        let b = simulate("libq_like", Mechanism::Cdf, &bounded);
+        assert_eq!(a, b, "an unfired watchdog must not perturb results");
+    }
+
+    #[test]
+    fn mechanism_parse_roundtrips_labels() {
+        for m in Mechanism::ALL {
+            assert_eq!(Mechanism::parse(m.label()), Some(m), "{}", m.label());
+        }
+        assert_eq!(Mechanism::parse("BASELINE"), Some(Mechanism::Baseline));
+        assert_eq!(Mechanism::parse("bogus"), None);
     }
 }

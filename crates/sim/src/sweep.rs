@@ -1,0 +1,505 @@
+//! The parallel, fault-tolerant experiment sweep runner.
+//!
+//! A sweep executes a (workload × mechanism) grid across a pool of worker
+//! threads. Three properties make it a harness rather than a loop:
+//!
+//! * **Determinism** — every cell rebuilds its workload from the sweep's
+//!   [`GenConfig`](cdf_workloads::GenConfig) seed and simulates it in a
+//!   private core, so results are bit-identical no matter the thread count
+//!   or scheduling order (asserted by the crate's tests).
+//! * **Fault isolation** — a cell that fails (unknown workload, watchdog
+//!   expiry, even a simulator panic) is recorded as a [`SimError`] in its
+//!   [`SweepCell`]; the other cells run to completion and the process never
+//!   aborts.
+//! * **Provenance** — emitted JSON records are stamped with a hash of the
+//!   full sweep configuration, the workload generation parameters, and the
+//!   git commit, so any result file can be traced back to the exact
+//!   experiment that produced it.
+
+use crate::error::SimError;
+use crate::json::{field, Json};
+use crate::report::Table;
+use crate::run::{try_simulate_workload, EvalConfig, Measurement, Mechanism};
+use cdf_workloads::registry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The JSON schema tag stamped on every emitted sweep document.
+pub const SWEEP_SCHEMA: &str = "cdf-sweep/1";
+
+/// The grid and sizing of one sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Workload names (rows of the grid).
+    pub workloads: Vec<String>,
+    /// Mechanisms (columns of the grid).
+    pub mechanisms: Vec<Mechanism>,
+    /// Shared evaluation sizing (seed, windows, core template, watchdog).
+    pub eval: EvalConfig,
+    /// Worker threads; `0` means one per available hardware thread.
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// A sweep over the given workloads and mechanisms.
+    pub fn new<I, S>(workloads: I, mechanisms: Vec<Mechanism>, eval: EvalConfig) -> SweepConfig
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SweepConfig {
+            workloads: workloads.into_iter().map(Into::into).collect(),
+            mechanisms,
+            eval,
+            threads: 0,
+        }
+    }
+
+    /// The full default grid: every registry workload × every mechanism.
+    pub fn full_grid(eval: EvalConfig) -> SweepConfig {
+        SweepConfig::new(
+            registry::NAMES.iter().copied(),
+            Mechanism::ALL.to_vec(),
+            eval,
+        )
+    }
+}
+
+/// One grid point: the workload/mechanism pair, its outcome, and how long
+/// it took on the wall clock.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Workload name.
+    pub workload: String,
+    /// Mechanism simulated.
+    pub mechanism: Mechanism,
+    /// The measurement, or the typed reason it could not be produced.
+    pub result: Result<Measurement, SimError>,
+    /// Wall-clock milliseconds this cell took (the one quantity that is
+    /// *not* deterministic, and is excluded from equality checks).
+    pub wall_ms: u64,
+}
+
+/// A completed sweep: every cell in grid order (workload-major), plus the
+/// provenance stamps emitted into JSON.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// The configuration that produced this sweep.
+    pub config: SweepConfig,
+    /// Results in deterministic grid order: for each workload in
+    /// `config.workloads`, one cell per mechanism in `config.mechanisms`.
+    pub cells: Vec<SweepCell>,
+    /// Worker threads actually used.
+    pub threads_used: usize,
+    /// FNV-1a hash (hex) of the full configuration.
+    pub config_hash: String,
+    /// `git rev-parse HEAD` of the working tree, if available
+    /// (`CDF_GIT_COMMIT` overrides; `None` outside a repository).
+    pub git_commit: Option<String>,
+}
+
+/// Runs the sweep. Results are identical — stat for stat — to running every
+/// cell serially, regardless of `config.threads`.
+pub fn run_sweep(config: &SweepConfig) -> Sweep {
+    let jobs: Vec<(&str, Mechanism)> = config
+        .workloads
+        .iter()
+        .flat_map(|w| config.mechanisms.iter().map(move |&m| (w.as_str(), m)))
+        .collect();
+    let threads_used = effective_threads(config.threads, jobs.len());
+    let cells = parallel_map(&jobs, config.threads, |&(w, m)| {
+        run_cell(w, m, &config.eval)
+    });
+    Sweep {
+        config: config.clone(),
+        cells,
+        threads_used,
+        config_hash: config_hash(config),
+        git_commit: git_commit(),
+    }
+}
+
+/// Runs one grid cell, capturing every failure mode as a [`SimError`].
+pub fn run_cell(workload: &str, mechanism: Mechanism, eval: &EvalConfig) -> SweepCell {
+    let t0 = Instant::now();
+    let result = match registry::lookup(workload, &eval.gen) {
+        Err(e) => Err(SimError::from(e)),
+        Ok(w) => catch_unwind(AssertUnwindSafe(|| {
+            try_simulate_workload(&w, mechanism, eval)
+        }))
+        .unwrap_or_else(|payload| Err(SimError::Panicked(panic_message(payload)))),
+    };
+    SweepCell {
+        workload: workload.to_string(),
+        mechanism,
+        result,
+        wall_ms: t0.elapsed().as_millis() as u64,
+    }
+}
+
+impl Sweep {
+    /// The cell for one grid point, if it was in the grid.
+    pub fn cell(&self, workload: &str, mechanism: Mechanism) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.mechanism == mechanism)
+    }
+
+    /// The measurement for one grid point, if the cell ran and succeeded.
+    pub fn get(&self, workload: &str, mechanism: Mechanism) -> Option<&Measurement> {
+        self.cell(workload, mechanism)
+            .and_then(|c| c.result.as_ref().ok())
+    }
+
+    /// The measurement for one grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the recorded error if the cell failed or was not in the
+    /// grid — the figure drivers use this to keep their all-or-nothing
+    /// contract.
+    pub fn expect(&self, workload: &str, mechanism: Mechanism) -> &Measurement {
+        match self.cell(workload, mechanism) {
+            None => panic!(
+                "({workload}, {}) was not in the sweep grid",
+                mechanism.label()
+            ),
+            Some(c) => c
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("({workload}, {}) failed: {e}", mechanism.label())),
+        }
+    }
+
+    /// Cells that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &SweepCell> {
+        self.cells.iter().filter(|c| c.result.is_err())
+    }
+
+    /// `(succeeded, failed)` cell counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let failed = self.failures().count();
+        (self.cells.len() - failed, failed)
+    }
+
+    /// The full sweep as a JSON document (schema [`SWEEP_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        let gen = &self.config.eval.gen;
+        Json::Obj(vec![
+            field("schema", SWEEP_SCHEMA),
+            field("config_hash", self.config_hash.as_str()),
+            field("git_commit", self.git_commit.clone()),
+            field("threads", self.threads_used),
+            field(
+                "gen",
+                Json::Obj(vec![
+                    field("seed", gen.seed),
+                    field("scale", gen.scale),
+                    field("iters", gen.iters),
+                ]),
+            ),
+            field(
+                "eval",
+                Json::Obj(vec![
+                    field("warmup_instructions", self.config.eval.warmup_instructions),
+                    field(
+                        "measure_instructions",
+                        self.config.eval.measure_instructions,
+                    ),
+                    field("max_cycles", self.config.eval.max_cycles),
+                ]),
+            ),
+            field(
+                "workloads",
+                Json::Arr(
+                    self.config
+                        .workloads
+                        .iter()
+                        .map(|w| w.as_str().into())
+                        .collect(),
+                ),
+            ),
+            field(
+                "mechanisms",
+                Json::Arr(
+                    self.config
+                        .mechanisms
+                        .iter()
+                        .map(|m| m.label().into())
+                        .collect(),
+                ),
+            ),
+            field(
+                "cells",
+                Json::Arr(self.cells.iter().map(cell_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes [`to_json`](Self::to_json) (pretty-printed) to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+
+    /// A text summary table: IPC per grid point, `ERROR(kind)` for failed
+    /// cells.
+    pub fn render_summary(&self) -> String {
+        let mut headers: Vec<&str> = vec!["workload"];
+        headers.extend(self.config.mechanisms.iter().map(|m| m.label()));
+        let mut t = Table::new(&headers);
+        for w in &self.config.workloads {
+            let mut row = vec![w.clone()];
+            for &m in &self.config.mechanisms {
+                row.push(match self.cell(w, m).map(|c| &c.result) {
+                    Some(Ok(meas)) => format!("{:.3}", meas.ipc),
+                    Some(Err(e)) => format!("ERROR({})", e.kind()),
+                    None => "-".to_string(),
+                });
+            }
+            let row_refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            t.row(&row_refs);
+        }
+        let (ok, failed) = self.counts();
+        format!(
+            "Sweep {} — IPC per (workload × mechanism); {} ok, {} failed; {} threads\n{}",
+            self.config_hash,
+            ok,
+            failed,
+            self.threads_used,
+            t.render()
+        )
+    }
+}
+
+fn cell_json(c: &SweepCell) -> Json {
+    let mut fields = vec![
+        field("workload", c.workload.as_str()),
+        field("mechanism", c.mechanism.label()),
+        field("status", if c.result.is_ok() { "ok" } else { "error" }),
+        field("wall_ms", c.wall_ms),
+    ];
+    match &c.result {
+        Ok(m) => fields.push(field("measurement", measurement_json(m))),
+        Err(e) => fields.push(field(
+            "error",
+            Json::Obj(vec![
+                field("kind", e.kind()),
+                field("message", e.to_string()),
+            ]),
+        )),
+    }
+    Json::Obj(fields)
+}
+
+fn measurement_json(m: &Measurement) -> Json {
+    Json::Obj(vec![
+        field("instructions", m.instructions),
+        field("cycles", m.cycles),
+        field("ipc", m.ipc),
+        field("mlp", m.mlp),
+        field("dram_lines", m.dram_lines),
+        field("energy_nj", m.energy_nj),
+        field("cdf_energy_nj", m.cdf_energy_nj),
+        field("branch_mpki", m.branch_mpki),
+        field("llc_mpki", m.llc_mpki),
+        field("rob_critical_fraction", m.rob_critical_fraction),
+        field("full_window_stall_cycles", m.full_window_stall_cycles),
+        field("cdf_mode_cycles", m.cdf_mode_cycles),
+        field("critical_uops", m.critical_uops),
+        field("runahead_uops", m.runahead_uops),
+        field("dependence_violations", m.dependence_violations),
+    ])
+}
+
+/// Maps `f` over `jobs` on a bounded worker pool, returning results in job
+/// order. With `threads == 0` the pool sizes itself to the machine; with
+/// `threads == 1` (or a single job) it degenerates to a serial loop. `f`
+/// must be deterministic per job for the output to be order-independent —
+/// the sweep's cell runner is.
+pub fn parallel_map<J, R, F>(jobs: &[J], threads: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let threads = effective_threads(threads, jobs.len());
+    if threads <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    t.min(jobs).max(1)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// FNV-1a over the debug rendering of the full configuration: changing any
+/// knob — grid, seed, windows, core template, watchdog — changes the hash.
+fn config_hash(config: &SweepConfig) -> String {
+    let canon = format!(
+        "{:?}|{:?}|{:?}",
+        config.workloads, config.mechanisms, config.eval
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+fn git_commit() -> Option<String> {
+    if let Ok(v) = std::env::var("CDF_GIT_COMMIT") {
+        return if v.is_empty() { None } else { Some(v) };
+    }
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let commit = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!commit.is_empty()).then_some(commit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_eval() -> EvalConfig {
+        EvalConfig {
+            warmup_instructions: 10_000,
+            measure_instructions: 20_000,
+            gen: cdf_workloads::GenConfig {
+                seed: 7,
+                scale: 1.0 / 32.0,
+                iters: u64::MAX / 4,
+            },
+            ..EvalConfig::quick()
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<usize> = (0..37).collect();
+        let serial = parallel_map(&jobs, 1, |&j| j * j);
+        let parallel = parallel_map(&jobs, 4, |&j| j * j);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[36], 36 * 36);
+        assert!(parallel_map(&Vec::<usize>::new(), 4, |&j: &usize| j).is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_are_identical() {
+        // The tentpole determinism guarantee: a 3-workload × 2-mechanism
+        // grid produces the same Measurement structs, stat for stat, on one
+        // thread and on four.
+        let mechs = vec![Mechanism::Baseline, Mechanism::Cdf];
+        let workloads = ["libq_like", "astar_like", "mcf_like"];
+        let mut serial_cfg = SweepConfig::new(workloads, mechs.clone(), tiny_eval());
+        serial_cfg.threads = 1;
+        let mut parallel_cfg = serial_cfg.clone();
+        parallel_cfg.threads = 4;
+
+        let serial = run_sweep(&serial_cfg);
+        let parallel = run_sweep(&parallel_cfg);
+        assert_eq!(serial.cells.len(), 6);
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.mechanism, b.mechanism);
+            // Full struct equality: every counter and derived stat.
+            assert_eq!(a.result, b.result, "{}/{}", a.workload, a.mechanism.label());
+        }
+    }
+
+    #[test]
+    fn failing_cell_does_not_poison_the_sweep() {
+        let cfg = SweepConfig::new(
+            ["libq_like", "no_such_kernel", "astar_like"],
+            vec![Mechanism::Baseline],
+            tiny_eval(),
+        );
+        let sweep = run_sweep(&cfg);
+        let (ok, failed) = sweep.counts();
+        assert_eq!((ok, failed), (2, 1));
+        let bad = sweep.cell("no_such_kernel", Mechanism::Baseline).unwrap();
+        assert_eq!(bad.result.as_ref().unwrap_err().kind(), "unknown_workload");
+        assert!(sweep.get("libq_like", Mechanism::Baseline).is_some());
+        assert!(sweep.get("astar_like", Mechanism::Baseline).is_some());
+        // The failure is a first-class record in the emitted JSON.
+        let json = sweep.to_json().render();
+        assert!(json.contains("\"status\":\"error\""));
+        assert!(json.contains("unknown_workload"));
+        assert!(sweep.render_summary().contains("ERROR(unknown_workload)"));
+    }
+
+    #[test]
+    fn watchdog_degrades_hung_cell_into_timeout_record() {
+        let mut eval = tiny_eval();
+        eval.max_cycles = Some(1_500);
+        let cfg = SweepConfig::new(["libq_like"], vec![Mechanism::Baseline], eval);
+        let sweep = run_sweep(&cfg);
+        let cell = sweep.cell("libq_like", Mechanism::Baseline).unwrap();
+        assert_eq!(cell.result.as_ref().unwrap_err().kind(), "watchdog");
+        assert!(sweep.to_json().render().contains("\"kind\":\"watchdog\""));
+    }
+
+    #[test]
+    fn json_carries_provenance_stamps() {
+        std::env::set_var("CDF_GIT_COMMIT", "deadbeef");
+        let cfg = SweepConfig::new(["libq_like"], vec![Mechanism::Baseline], tiny_eval());
+        let sweep = run_sweep(&cfg);
+        let json = sweep.to_json().render();
+        assert!(json.contains("\"schema\":\"cdf-sweep/1\""));
+        assert!(json.contains(&format!("\"config_hash\":\"{}\"", sweep.config_hash)));
+        assert!(json.contains("\"git_commit\":\"deadbeef\""));
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"measurement\""));
+        assert!(json.contains("\"ipc\""));
+        // Different seed → different hash.
+        let mut other = cfg.clone();
+        other.eval.gen.seed = 8;
+        assert_ne!(config_hash(&cfg), config_hash(&other));
+    }
+}

@@ -59,7 +59,12 @@ pub(crate) fn astar_like(cfg: &GenConfig) -> Workload {
     b.movi(R3, A_BASE);
     b.movi(R9, (b_words - 1) as i64); // B index mask
     b.movi(R10, (a_words - 1) as i64); // A index mask
-    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    b.movi(R20, 1)
+        .movi(R21, 7)
+        .movi(R22, 3)
+        .movi(R23, 9)
+        .movi(R24, 2)
+        .movi(R25, 5);
     b.movi(R26, C_BASE);
     let top = b.label("top");
     let odd = b.label("odd");
@@ -106,7 +111,12 @@ pub(crate) fn mcf_like(cfg: &GenConfig) -> Workload {
     b.movi(R1, 0);
     b.movi(R2, cfg.iters as i64);
     b.movi(R3, start as i64); // p
-    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    b.movi(R20, 1)
+        .movi(R21, 7)
+        .movi(R22, 3)
+        .movi(R23, 9)
+        .movi(R24, 2)
+        .movi(R25, 5);
     let top = b.label("top");
     let odd = b.label("odd");
     let join = b.label("join");
@@ -181,14 +191,14 @@ pub(crate) fn bzip_like(cfg: &GenConfig) -> Workload {
     b.movi(R2, cfg.iters as i64);
     b.movi(R9, (a_words - 1) as i64);
     b.movi(R12, 0x9E37_79B9);
-    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    b.movi(R20, 1)
+        .movi(R21, 7)
+        .movi(R22, 3)
+        .movi(R23, 9)
+        .movi(R24, 2)
+        .movi(R25, 5);
     let top = b.label("top");
-    let (l1, l2, j1, j2) = (
-        b.label("b1"),
-        b.label("b2"),
-        b.label("j1"),
-        b.label("j2"),
-    );
+    let (l1, l2, j1, j2) = (b.label("b1"), b.label("b2"), b.label("j1"), b.label("j2"));
     b.bind(top).unwrap();
     // Pseudo-random index: i * golden-ratio, masked — defeats the stream
     // prefetcher like bzip2's data-dependent access pattern.
@@ -234,14 +244,24 @@ pub(crate) fn soplex_like(cfg: &GenConfig) -> Workload {
         mem.store(A_BASE as u64 + 8 * i, rng.gen_rand() & (x_words - 1));
     }
     fill_random_words(&mut mem, B_BASE as u64, nnz_words, &mut cfg.rng(1));
-    fill_random_words(&mut mem, C_BASE as u64, x_words.min(1 << 16), &mut cfg.rng(2));
+    fill_random_words(
+        &mut mem,
+        C_BASE as u64,
+        x_words.min(1 << 16),
+        &mut cfg.rng(2),
+    );
 
     let mut b = ProgramBuilder::named("soplex_like");
     b.movi(R1, 0);
     b.movi(R2, cfg.iters as i64);
     b.movi(R9, (nnz_words - 1) as i64);
     b.movi(R13, 0); // accumulator
-    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    b.movi(R20, 1)
+        .movi(R21, 7)
+        .movi(R22, 3)
+        .movi(R23, 9)
+        .movi(R24, 2)
+        .movi(R25, 5);
     let top = b.label("top");
     let skip = b.label("skip");
     b.bind(top).unwrap();
@@ -514,8 +534,8 @@ pub(crate) fn nab_like(cfg: &GenConfig) -> Workload {
     b.alu(AluOp::And, R10, R10, R9);
     b.load_abs(R5, R10, 8, A_BASE); // ← isolated LLC miss
     b.alu(AluOp::Or, R20, R5, R5); // broadcast of the missed value
-    // ~96 inner iterations of cheap, cache-resident, per-iteration
-    // independent work (~1150 uops between misses).
+                                   // ~96 inner iterations of cheap, cache-resident, per-iteration
+                                   // independent work (~1150 uops between misses).
     b.movi(R15, 96);
     b.bind(inner).unwrap();
     b.alu(AluOp::And, R16, R15, R14);
@@ -535,7 +555,8 @@ pub(crate) fn nab_like(cfg: &GenConfig) -> Workload {
     Workload {
         name: "nab_like",
         stands_in_for: "nab (SPEC CPU2017)",
-        description: "isolated LLC misses >1000 instructions apart; benefit is early initiation, not MLP",
+        description:
+            "isolated LLC misses >1000 instructions apart; benefit is early initiation, not MLP",
         program: b.build().expect("nab_like assembles"),
         memory: mem,
     }
@@ -553,14 +574,19 @@ pub(crate) fn sphinx_like(cfg: &GenConfig) -> Workload {
     b.movi(R2, cfg.iters as i64);
     b.movi(R9, (words - 1) as i64);
     b.movi(R12, 0x9E37_79B9);
-    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    b.movi(R20, 1)
+        .movi(R21, 7)
+        .movi(R22, 3)
+        .movi(R23, 9)
+        .movi(R24, 2)
+        .movi(R25, 5);
     let top = b.label("top");
     let skip = b.label("skip");
     b.bind(top).unwrap();
     b.mul(R10, R1, R12);
     b.alu(AluOp::And, R10, R10, R9);
     b.load_abs(R5, R10, 8, A_BASE); // random load, sometimes-missing
-    // Medium dependent chain (half the iteration) hanging off the load.
+                                    // Medium dependent chain (half the iteration) hanging off the load.
     b.alu(AluOp::FMul, R6, R5, R5);
     b.alu(AluOp::FAdd, R6, R6, R5);
     b.alu(AluOp::Xor, R7, R6, R5);
@@ -638,8 +664,13 @@ impl RngExt for rand::rngs::StdRng {
 }
 
 trait BuilderExt {
-    fn store_abs(&mut self, data: cdf_isa::ArchReg, index: cdf_isa::ArchReg, scale: u8, disp: i64)
-        -> &mut Self;
+    fn store_abs(
+        &mut self,
+        data: cdf_isa::ArchReg,
+        index: cdf_isa::ArchReg,
+        scale: u8,
+        disp: i64,
+    ) -> &mut Self;
 }
 
 impl BuilderExt for ProgramBuilder {
@@ -662,115 +693,6 @@ impl BuilderExt for ProgramBuilder {
             },
             ..cdf_isa::StaticUop::nop()
         })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cdf_isa::Executor;
-
-    fn run(w: &Workload, fuel: u64) -> cdf_isa::ArchState {
-        let mut e = Executor::new(&w.program, w.memory.clone());
-        e.run(fuel).unwrap_or_else(|err| panic!("{}: {err}", w.name));
-        e.into_state()
-    }
-
-    #[test]
-    fn astar_touches_b_randomly() {
-        let cfg = GenConfig { iters: 64, ..GenConfig::test() };
-        let w = astar_like(&cfg);
-        let mut e = Executor::new(&w.program, w.memory.clone());
-        let mut b_addrs = std::collections::HashSet::new();
-        while !e.is_halted() {
-            let ev = e.step().unwrap();
-            if let Some((addr, _)) = ev.load {
-                if (B_BASE as u64..C_BASE as u64).contains(&addr) {
-                    b_addrs.insert(addr / 64); // distinct lines
-                }
-            }
-        }
-        assert!(
-            b_addrs.len() > 32,
-            "random index must spread across lines: {}",
-            b_addrs.len()
-        );
-    }
-
-    #[test]
-    fn mcf_chases_distinct_nodes() {
-        let cfg = GenConfig { iters: 32, ..GenConfig::test() };
-        let w = mcf_like(&cfg);
-        let mut e = Executor::new(&w.program, w.memory.clone());
-        let mut ptrs = std::collections::HashSet::new();
-        while !e.is_halted() {
-            let ev = e.step().unwrap();
-            if let Some((addr, _)) = ev.load {
-                if addr % 64 == 0 {
-                    ptrs.insert(addr);
-                }
-            }
-        }
-        assert_eq!(ptrs.len(), 32, "each iteration visits a fresh node");
-    }
-
-    #[test]
-    fn nab_iteration_is_long() {
-        let cfg = GenConfig { iters: 4, ..GenConfig::test() };
-        let w = nab_like(&cfg);
-        let mut e = Executor::new(&w.program, w.memory.clone());
-        let steps = e.run(10_000_000).unwrap();
-        assert!(
-            steps / 4 > 1000,
-            "inner loop must exceed 1000 uops between misses: {} per outer",
-            steps / 4
-        );
-    }
-
-    #[test]
-    fn branch_bias_is_hard_in_bzip() {
-        let cfg = GenConfig { iters: 400, ..GenConfig::test() };
-        let w = bzip_like(&cfg);
-        let mut e = Executor::new(&w.program, w.memory.clone());
-        let (mut taken, mut total) = (0u64, 0u64);
-        while !e.is_halted() {
-            let ev = e.step().unwrap();
-            // The three hard branches live before the loop-closing branch.
-            if let Some(t) = ev.branch_taken {
-                if ev.pc.index() < w.program.len() - 2 {
-                    total += 1;
-                    taken += t as u64;
-                }
-            }
-        }
-        let ratio = taken as f64 / total as f64;
-        assert!(
-            (0.3..=0.7).contains(&ratio),
-            "hard branches should be near 50/50: {ratio}"
-        );
-    }
-
-    #[test]
-    fn libq_stores_modify_memory() {
-        let cfg = GenConfig { iters: 100, ..GenConfig::test() };
-        let w = libq_like(&cfg);
-        let st = run(&w, 10_000_000);
-        let mut changed = 0;
-        for i in 0..100u64 {
-            if st.mem().load(A_BASE as u64 + 8 * i) != w.memory.load(A_BASE as u64 + 8 * i) {
-                changed += 1;
-            }
-        }
-        assert!(changed > 90, "in-place update must land: {changed}");
-    }
-
-    #[test]
-    fn xalanc_advances_both_chains() {
-        let cfg = GenConfig { iters: 200, ..GenConfig::test() };
-        let w = xalanc_like(&cfg);
-        let st = run(&w, 10_000_000);
-        assert!(st.reg(R20) > 1, "chain A must advance sometimes");
-        assert!(st.reg(R21) > 7, "chain B must advance sometimes");
     }
 }
 
@@ -824,7 +746,12 @@ pub(crate) fn wrf_like(cfg: &GenConfig) -> Workload {
     b.movi(R2, cfg.iters as i64);
     b.movi(R9, (words - 1) as i64);
     b.movi(R12, 0x9E37_79B9);
-    b.movi(R20, 1).movi(R21, 7).movi(R22, 3).movi(R23, 9).movi(R24, 2).movi(R25, 5);
+    b.movi(R20, 1)
+        .movi(R21, 7)
+        .movi(R22, 3)
+        .movi(R23, 9)
+        .movi(R24, 2)
+        .movi(R25, 5);
     let top = b.label("top");
     let indirect = b.label("indirect");
     let join = b.label("join");
@@ -869,8 +796,18 @@ pub(crate) fn parest_like(cfg: &GenConfig) -> Workload {
         let off = rng.gen_rand() % (x_words / 256).max(1);
         mem.store(A_BASE as u64 + 8 * i, (cluster + off) & (x_words - 1));
     }
-    fill_random_words(&mut mem, B_BASE as u64, idx_words.min(1 << 14), &mut cfg.rng(1));
-    fill_random_words(&mut mem, C_BASE as u64, x_words.min(1 << 14), &mut cfg.rng(2));
+    fill_random_words(
+        &mut mem,
+        B_BASE as u64,
+        idx_words.min(1 << 14),
+        &mut cfg.rng(1),
+    );
+    fill_random_words(
+        &mut mem,
+        C_BASE as u64,
+        x_words.min(1 << 14),
+        &mut cfg.rng(2),
+    );
 
     let mut b = ProgramBuilder::named("parest_like");
     b.movi(R1, 0);
@@ -894,5 +831,133 @@ pub(crate) fn parest_like(cfg: &GenConfig) -> Workload {
         description: "sparse inner product with locally clustered gather indices",
         program: b.build().expect("parest_like assembles"),
         memory: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdf_isa::Executor;
+
+    fn run(w: &Workload, fuel: u64) -> cdf_isa::ArchState {
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        e.run(fuel)
+            .unwrap_or_else(|err| panic!("{}: {err}", w.name));
+        e.into_state()
+    }
+
+    #[test]
+    fn astar_touches_b_randomly() {
+        let cfg = GenConfig {
+            iters: 64,
+            ..GenConfig::test()
+        };
+        let w = astar_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let mut b_addrs = std::collections::HashSet::new();
+        while !e.is_halted() {
+            let ev = e.step().unwrap();
+            if let Some((addr, _)) = ev.load {
+                if (B_BASE as u64..C_BASE as u64).contains(&addr) {
+                    b_addrs.insert(addr / 64); // distinct lines
+                }
+            }
+        }
+        assert!(
+            b_addrs.len() > 32,
+            "random index must spread across lines: {}",
+            b_addrs.len()
+        );
+    }
+
+    #[test]
+    fn mcf_chases_distinct_nodes() {
+        let cfg = GenConfig {
+            iters: 32,
+            ..GenConfig::test()
+        };
+        let w = mcf_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let mut ptrs = std::collections::HashSet::new();
+        while !e.is_halted() {
+            let ev = e.step().unwrap();
+            if let Some((addr, _)) = ev.load {
+                if addr % 64 == 0 {
+                    ptrs.insert(addr);
+                }
+            }
+        }
+        assert_eq!(ptrs.len(), 32, "each iteration visits a fresh node");
+    }
+
+    #[test]
+    fn nab_iteration_is_long() {
+        let cfg = GenConfig {
+            iters: 4,
+            ..GenConfig::test()
+        };
+        let w = nab_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let steps = e.run(10_000_000).unwrap();
+        assert!(
+            steps / 4 > 1000,
+            "inner loop must exceed 1000 uops between misses: {} per outer",
+            steps / 4
+        );
+    }
+
+    #[test]
+    fn branch_bias_is_hard_in_bzip() {
+        let cfg = GenConfig {
+            iters: 400,
+            ..GenConfig::test()
+        };
+        let w = bzip_like(&cfg);
+        let mut e = Executor::new(&w.program, w.memory.clone());
+        let (mut taken, mut total) = (0u64, 0u64);
+        while !e.is_halted() {
+            let ev = e.step().unwrap();
+            // The three hard branches live before the loop-closing branch.
+            if let Some(t) = ev.branch_taken {
+                if ev.pc.index() < w.program.len() - 2 {
+                    total += 1;
+                    taken += t as u64;
+                }
+            }
+        }
+        let ratio = taken as f64 / total as f64;
+        assert!(
+            (0.3..=0.7).contains(&ratio),
+            "hard branches should be near 50/50: {ratio}"
+        );
+    }
+
+    #[test]
+    fn libq_stores_modify_memory() {
+        let cfg = GenConfig {
+            iters: 100,
+            ..GenConfig::test()
+        };
+        let w = libq_like(&cfg);
+        let st = run(&w, 10_000_000);
+        let mut changed = 0;
+        for i in 0..100u64 {
+            if st.mem().load(A_BASE as u64 + 8 * i) != w.memory.load(A_BASE as u64 + 8 * i) {
+                changed += 1;
+            }
+        }
+        assert!(changed > 90, "in-place update must land: {changed}");
+    }
+
+    #[test]
+    fn xalanc_advances_both_chains() {
+        let cfg = GenConfig {
+            iters: 200,
+            ..GenConfig::test()
+        };
+        let w = xalanc_like(&cfg);
+        let st = run(&w, 10_000_000);
+        assert!(st.reg(R20) > 1, "chain A must advance sometimes");
+        assert!(st.reg(R21) > 7, "chain B must advance sometimes");
     }
 }

@@ -84,8 +84,22 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = registry::by_name("astar_like", &GenConfig { seed: 1, ..GenConfig::test() }).unwrap();
-        let b = registry::by_name("astar_like", &GenConfig { seed: 2, ..GenConfig::test() }).unwrap();
+        let a = registry::by_name(
+            "astar_like",
+            &GenConfig {
+                seed: 1,
+                ..GenConfig::test()
+            },
+        )
+        .unwrap();
+        let b = registry::by_name(
+            "astar_like",
+            &GenConfig {
+                seed: 2,
+                ..GenConfig::test()
+            },
+        )
+        .unwrap();
         assert_ne!(a.memory, b.memory);
     }
 

@@ -29,9 +29,46 @@ pub const NAMES: &[&str] = &[
 /// representative to match the figure layout).
 pub const EXTRA_NAMES: &[&str] = &["leslie_like", "wrf_like", "parest_like"];
 
+/// Error returned by [`lookup`] for a name not in the registry. Its
+/// `Display` lists every available workload so a typo'd sweep or CLI
+/// invocation tells the user what would have worked.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownWorkload {
+    /// The name that was requested.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown workload `{}` (available: {}; extras: {})",
+            self.name,
+            NAMES.join(", "),
+            EXTRA_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// Builds one workload by name, with a typed error for unknown names.
+///
+/// ```
+/// use cdf_workloads::{registry, GenConfig};
+/// let err = registry::lookup("nope", &GenConfig::test()).unwrap_err();
+/// assert!(err.to_string().contains("astar_like"), "error lists the registry");
+/// ```
+pub fn lookup(name: &str, cfg: &GenConfig) -> Result<Workload, UnknownWorkload> {
+    by_name(name, cfg).ok_or_else(|| UnknownWorkload {
+        name: name.to_string(),
+    })
+}
+
 /// Builds one workload by name.
 ///
 /// Returns `None` for unknown names; see [`NAMES`] and [`EXTRA_NAMES`].
+/// [`lookup`] is the same operation with a descriptive typed error.
 ///
 /// ```
 /// use cdf_workloads::{registry, GenConfig};
@@ -91,7 +128,8 @@ mod tests {
             let w = by_name(name, &cfg).expect("extra kernel known");
             assert_eq!(w.name, *name);
             let mut e = Executor::new(&w.program, w.memory.clone());
-            e.run(50_000_000).unwrap_or_else(|err| panic!("{name}: {err}"));
+            e.run(50_000_000)
+                .unwrap_or_else(|err| panic!("{name}: {err}"));
         }
     }
 

@@ -11,7 +11,9 @@ use cdf::core::{CdfConfig, Core, CoreConfig, CoreMode};
 use cdf::workloads::{profile, registry, GenConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "nab_like".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nab_like".to_string());
     let gen = GenConfig {
         seed: 0xC0FFEE,
         scale: 0.25,
@@ -25,7 +27,11 @@ fn main() {
     // The "compiler profile pass": a functional execution against an
     // LLC-sized cache model flags the delinquent loads.
     let seeds = profile::delinquent_loads(&w, 300_000, 0.20);
-    println!("profile pass flagged {} delinquent load(s): {:?}", seeds.len(), seeds);
+    println!(
+        "profile pass flagged {} delinquent load(s): {:?}",
+        seeds.len(),
+        seeds
+    );
 
     let window = 40_000; // short: training time dominates
 
@@ -39,7 +45,12 @@ fn main() {
             core.preinstall_chains(&seeds);
         }
         let stats = core.run(window);
-        (stats.ipc(), stats.cdf_mode_cycles, stats.cycles, stats.cdf_entries)
+        (
+            stats.ipc(),
+            stats.cdf_mode_cycles,
+            stats.cycles,
+            stats.cdf_entries,
+        )
     };
 
     let (ipc_rt, cdf_rt, cyc_rt, entries_rt) = run(false);

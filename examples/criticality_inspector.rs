@@ -13,7 +13,9 @@ use cdf::isa::Pc;
 use cdf::workloads::{registry, GenConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "astar_like".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "astar_like".to_string());
     let gen = GenConfig {
         seed: 0xC0FFEE,
         scale: 1.0 / 16.0,
@@ -31,7 +33,12 @@ fn main() {
     let mut core = Core::new(&w.program, w.memory.clone(), cfg);
     let stats = core.run(120_000);
 
-    println!("{name}: {} instructions in {} cycles (IPC {:.3})", stats.retired, stats.cycles, stats.ipc());
+    println!(
+        "{name}: {} instructions in {} cycles (IPC {:.3})",
+        stats.retired,
+        stats.cycles,
+        stats.ipc()
+    );
     println!(
         "walks: {}   traces installed: {}   CDF entries: {}   critical uops issued: {}",
         stats.walks, stats.traces_installed, stats.cdf_entries, stats.critical_uops_issued

@@ -50,7 +50,10 @@ fn main() {
                 }
             }
         }
-        println!("=== {name} on {label} (seqs {show_from}..{}) ===", show_from + show_count);
+        println!(
+            "=== {name} on {label} (seqs {show_from}..{}) ===",
+            show_from + show_count
+        );
         println!("{}", window.render(220));
     }
     println!(

@@ -8,19 +8,26 @@
 use cdf::sim::{simulate, EvalConfig, Mechanism};
 
 fn main() {
-    let workload = std::env::args().nth(1).unwrap_or_else(|| "astar_like".to_string());
+    let workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "astar_like".to_string());
     let cfg = EvalConfig::quick();
 
-    println!("workload: {workload}  (quick sizing: {}k warmup + {}k measured instructions)",
+    println!(
+        "workload: {workload}  (quick sizing: {}k warmup + {}k measured instructions)",
         cfg.warmup_instructions / 1000,
-        cfg.measure_instructions / 1000);
+        cfg.measure_instructions / 1000
+    );
     println!();
 
     let base = simulate(&workload, Mechanism::Baseline, &cfg);
     let cdf = simulate(&workload, Mechanism::Cdf, &cfg);
     let pre = simulate(&workload, Mechanism::Pre, &cfg);
 
-    println!("{:12} {:>8} {:>8} {:>10} {:>12}", "mechanism", "IPC", "MLP", "DRAM lines", "energy (uJ)");
+    println!(
+        "{:12} {:>8} {:>8} {:>10} {:>12}",
+        "mechanism", "IPC", "MLP", "DRAM lines", "energy (uJ)"
+    );
     for m in [&base, &cdf, &pre] {
         println!(
             "{:12} {:>8.3} {:>8.2} {:>10} {:>12.1}",

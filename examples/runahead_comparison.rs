@@ -14,7 +14,13 @@ fn main() {
     // lbm: stalls too short for runahead (§2.4a). astar/soplex: MLP from
     // independent misses. mcf: dependent misses — early initiation only.
     // gems: dense misses where PRE's unbounded prefetch distance competes.
-    let kernels = ["lbm_like", "astar_like", "soplex_like", "mcf_like", "gems_like"];
+    let kernels = [
+        "lbm_like",
+        "astar_like",
+        "soplex_like",
+        "mcf_like",
+        "gems_like",
+    ];
 
     let mut t = Table::new(&[
         "workload",

@@ -12,14 +12,16 @@ use cdf::sim::{simulate_workload, EvalConfig, Mechanism};
 use cdf::workloads::{registry, GenConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "astar_like".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "astar_like".to_string());
     let gen = GenConfig {
         seed: 0xC0FFEE,
         scale: 1.0 / 16.0,
         iters: u64::MAX / 4,
     };
-    let w = registry::by_name(&name, &gen).unwrap_or_else(|| {
-        eprintln!("unknown workload `{name}`; known: {:?}", registry::NAMES);
+    let w = registry::lookup(&name, &gen).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(1);
     });
     let eval = EvalConfig {
@@ -27,6 +29,7 @@ fn main() {
         warmup_instructions: 40_000,
         measure_instructions: 80_000,
         core: CoreConfig::default(),
+        max_cycles: None,
     };
 
     println!("{name}: IPC of plain cores at growing window sizes vs a 352-entry CDF core");

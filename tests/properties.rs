@@ -11,7 +11,7 @@ use proptest::prelude::*;
 /// Operation in the random-program generator.
 #[derive(Clone, Debug)]
 enum GenOp {
-    Alu(u8, u8, u8, u8),   // op, dst, a, b
+    Alu(u8, u8, u8, u8), // op, dst, a, b
     AluImm(u8, u8, u8, i8),
     Load(u8, u8, i8),
     Store(u8, u8, i8),
