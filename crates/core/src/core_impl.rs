@@ -129,6 +129,16 @@ pub struct Core<'p> {
     /// Optional pipeline trace (see [`crate::trace`]).
     pipe_trace: Option<crate::trace::PipeTrace>,
 
+    /// Optional telemetry collectors (see [`crate::telemetry`]). `None`
+    /// keeps the cycle path free of telemetry work entirely.
+    telemetry: Option<crate::telemetry::Telemetry>,
+    /// A uop was dispatched into the backend this cycle (cycle-accounting
+    /// input; reset in `post_cycle`).
+    dispatched_this_cycle: bool,
+    /// Cycles up to this clock value are attributed to flush recovery (set
+    /// when a flush is applied; read only by telemetry).
+    flush_recovery_until: u64,
+
     // Bookkeeping.
     stats: CoreStats,
     halted: bool,
@@ -205,6 +215,9 @@ impl<'p> Core<'p> {
             last_runahead_head: u64::MAX,
             partition_seeded: false,
             pipe_trace: None,
+            telemetry: None,
+            dispatched_this_cycle: false,
+            flush_recovery_until: 0,
             runahead: RunaheadState::new(),
             stats: CoreStats::default(),
             halted: false,
@@ -291,6 +304,31 @@ impl<'p> Core<'p> {
     /// The collected pipeline trace, if tracing was enabled.
     pub fn pipe_trace(&self) -> Option<&crate::trace::PipeTrace> {
         self.pipe_trace.as_ref()
+    }
+
+    /// Enables cycle-accounting telemetry (see [`crate::telemetry`]); call
+    /// before [`run`](Self::run). When `cfg.uop_events > 0` and no pipe
+    /// trace is active yet, one is enabled over that window so per-stage
+    /// uop slices have timestamps to draw from.
+    ///
+    /// Telemetry never alters simulation results: a telemetry-enabled run
+    /// produces bit-identical [`CoreStats`] to a disabled one.
+    pub fn enable_telemetry(&mut self, cfg: crate::telemetry::TelemetryConfig) {
+        if cfg.uop_events > 0 && self.pipe_trace.is_none() {
+            self.pipe_trace = Some(crate::trace::PipeTrace::new(cfg.uop_events));
+        }
+        self.telemetry = Some(crate::telemetry::Telemetry::new(cfg));
+    }
+
+    /// The telemetry collected so far, if enabled.
+    pub fn telemetry(&self) -> Option<&crate::telemetry::Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detaches and returns the telemetry collectors (disabling further
+    /// collection) — the harness calls this once the run is over.
+    pub fn take_telemetry(&mut self) -> Option<crate::telemetry::Telemetry> {
+        self.telemetry.take()
     }
 
     /// Frontend introspection for diagnostics: `(critical fetch lookahead in
@@ -389,6 +427,11 @@ impl<'p> Core<'p> {
                 self.reg_renamed_upto,
             );
         }
+        // End of a run window: flush the partial telemetry interval (so
+        // interval deltas sum to the aggregates) and close open episodes.
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.flush_window(self.now, &self.stats);
+        }
         self.stats.halted = self.halted;
         self.stats.cycles = self.now;
         self.stats.walks = self.cdf.as_ref().map(|c| c.walks).unwrap_or(0);
@@ -414,6 +457,7 @@ impl<'p> Core<'p> {
 
     fn cycle(&mut self) {
         self.now += 1;
+        let retired_before = self.stats.retired;
         self.retire();
         self.complete();
         self.schedule_execute();
@@ -424,7 +468,7 @@ impl<'p> Core<'p> {
             self.fetch_critical();
             self.fetch_regular();
         }
-        self.post_cycle();
+        self.post_cycle(retired_before);
     }
 
     // ------------------------------------------------------------------
@@ -479,6 +523,11 @@ impl<'p> Core<'p> {
         if let Some(t) = &mut self.pipe_trace {
             if let Some(r) = t.row(uop.seq, uop.pc) {
                 r.retire = Some(self.now);
+                if let Some(tel) = &mut self.telemetry {
+                    if tel.wants_uop_events(uop.seq.0) {
+                        tel.note_uop_retired(uop.seq.0, uop.pc.index() as u64, r);
+                    }
+                }
             }
         }
         self.stats.retired += 1;
@@ -1052,6 +1101,7 @@ impl<'p> Core<'p> {
     fn dispatch_uop(&mut self, fu: FetchedUop, critical: bool) {
         let seq = fu.seq;
         let uop = fu.uop;
+        self.dispatched_this_cycle = true;
         self.energy.record(Activity::Rename, 1);
         if critical {
             self.energy.record(Activity::CriticalRatOp, 1);
@@ -1545,6 +1595,15 @@ impl<'p> Core<'p> {
         if matches!(f.kind, FlushKind::Mispredict { .. }) {
             self.stats.mispredicts += 1;
         }
+        self.flush_recovery_until = self.now + self.cfg.redirect_penalty;
+        if let Some(tel) = &mut self.telemetry {
+            let kind = match &f.kind {
+                FlushKind::Mispredict { .. } => "mispredict",
+                FlushKind::MemOrder => "memory_order",
+                FlushKind::Poison => "poison",
+            };
+            tel.note_flush(self.now, kind, target.0);
+        }
 
         // Remove young uops from every structure, tracking the oldest
         // discarded prediction for history repair.
@@ -1688,7 +1747,7 @@ impl<'p> Core<'p> {
     // Per-cycle bookkeeping: CDF engine, partitions, stalls, PRE, stats.
     // ------------------------------------------------------------------
 
-    fn post_cycle(&mut self) {
+    fn post_cycle(&mut self, retired_before: u64) {
         if let Some(cdf) = &mut self.cdf {
             cdf.tick(self.now);
         }
@@ -1814,6 +1873,48 @@ impl<'p> Core<'p> {
         }
         if self.cdf_fetch_mode {
             self.stats.cdf_mode_cycles += 1;
+        }
+
+        // Telemetry (observation only: never touches CoreStats or any
+        // simulated state, so enabled and disabled runs are bit-identical).
+        let dispatched = self.dispatched_this_cycle;
+        self.dispatched_this_cycle = false;
+        if self.telemetry.is_some() {
+            use crate::telemetry::{CycleBucket, OccupancySample};
+            let bucket = if self.stats.retired > retired_before {
+                CycleBucket::Retiring
+            } else if self.now <= self.flush_recovery_until {
+                CycleBucket::FlushRecovery
+            } else if stall {
+                CycleBucket::FullWindowStall
+            } else if self.cdf_fetch_mode {
+                CycleBucket::CdfMode
+            } else if self.rob.len() == 0
+                || (!dispatched
+                    && self.decode.front_ready(self.now).is_none()
+                    && self.crit_buffer.is_empty())
+            {
+                CycleBucket::FrontendStarved
+            } else {
+                CycleBucket::BackendBound
+            };
+            let occ = OccupancySample {
+                rob: self.rob.len() as u64,
+                lq: self.lsq.lq.len() as u64,
+                sq: self.lsq.sq.len() as u64,
+                rs: self.rs.len() as u64,
+                mshr: out,
+            };
+            let (now, cdf_active, stall_active) =
+                (self.now, self.cdf_fetch_mode, self.in_stall_episode);
+            let stats = &self.stats;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.on_cycle(bucket, occ);
+                tel.track_episodes(now, cdf_active, stall_active);
+                if tel.interval_due(now) {
+                    tel.sample_interval(now, stats);
+                }
+            }
         }
     }
 

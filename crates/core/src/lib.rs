@@ -64,6 +64,7 @@ pub mod mask_cache;
 pub mod partition;
 pub mod pre;
 pub mod static_chains;
+pub mod telemetry;
 pub mod trace;
 pub mod uop_cache;
 
@@ -81,4 +82,8 @@ mod types;
 pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig};
 pub use core_impl::Core;
 pub use stats::{CoreStats, RobMix};
+pub use telemetry::{
+    CycleAccounting, CycleBucket, EventPhase, Histogram, IntervalSample, IntervalSeries,
+    OccupancyHistograms, OccupancySample, Telemetry, TelemetryConfig, TraceEvent,
+};
 pub use types::{PhysReg, Seq};

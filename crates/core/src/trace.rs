@@ -34,28 +34,54 @@ pub struct TraceRow {
 }
 
 /// A bounded per-sequence-number trace of pipeline events.
+///
+/// The trace covers a *window* of sequence numbers `[base, base + span)`
+/// (initially `[0, limit)`). [`rewindow`](Self::rewindow) slides the window
+/// forward mid-run: rows that fall behind the new window are evicted, and a
+/// sequence number that was previously rejected by [`row`](Self::row)
+/// becomes recordable once the window reaches it — this is how tooling
+/// traces a region of interest (say, the cycles around a CDF engagement)
+/// instead of only the first N uops of the program.
 #[derive(Clone, Debug)]
 pub struct PipeTrace {
     rows: BTreeMap<u64, TraceRow>,
-    /// Only sequence numbers `< limit` are recorded.
-    limit: u64,
+    /// First sequence number inside the window.
+    base: u64,
+    /// Window width in sequence numbers.
+    span: u64,
 }
 
 impl PipeTrace {
-    /// Traces the first `limit` sequence numbers.
+    /// Traces the first `limit` sequence numbers (window `[0, limit)`).
     pub fn new(limit: u64) -> PipeTrace {
         PipeTrace {
             rows: BTreeMap::new(),
-            limit,
+            base: 0,
+            span: limit,
         }
     }
 
+    /// The current window as `[start, end)` sequence numbers.
+    pub fn window(&self) -> (u64, u64) {
+        (self.base, self.base.saturating_add(self.span))
+    }
+
+    /// Slides the window to `[start, start + span)`, keeping the original
+    /// width. Rows outside the new window are evicted; previously-rejected
+    /// sequence numbers inside it become recordable. Retired rows inside
+    /// the window survive untouched.
+    pub fn rewindow(&mut self, start: u64) {
+        self.base = start;
+        let end = self.base.saturating_add(self.span);
+        self.rows.retain(|&s, _| s >= start && s < end);
+    }
+
     /// The mutable row for `seq` (created on first touch), or `None` when
-    /// `seq` is beyond the trace limit. Public so tooling can re-window or
-    /// synthesize traces for rendering.
+    /// `seq` falls outside the current window. Public so tooling can
+    /// re-window or synthesize traces for rendering.
     #[inline]
     pub fn row(&mut self, seq: Seq, pc: Pc) -> Option<&mut TraceRow> {
-        if seq.0 >= self.limit {
+        if seq.0 < self.base || seq.0 - self.base >= self.span {
             return None;
         }
         let row = self.rows.entry(seq.0).or_default();
@@ -155,6 +181,46 @@ mod tests {
         let mut t = PipeTrace::new(4);
         assert!(t.row(Seq(3), Pc::new(1)).is_some());
         assert!(t.row(Seq(4), Pc::new(1)).is_none());
+        assert_eq!(t.rows().count(), 1);
+    }
+
+    #[test]
+    fn limit_boundary_is_exclusive() {
+        let mut t = PipeTrace::new(8);
+        assert_eq!(t.window(), (0, 8));
+        assert!(t.row(Seq(0), Pc::new(0)).is_some(), "window start included");
+        assert!(t.row(Seq(7), Pc::new(0)).is_some(), "last in-window seq");
+        assert!(t.row(Seq(8), Pc::new(0)).is_none(), "window end excluded");
+        assert!(t.row(Seq(u64::MAX), Pc::new(0)).is_none());
+        assert_eq!(t.rows().count(), 2);
+    }
+
+    #[test]
+    fn rows_iterate_oldest_first() {
+        let mut t = PipeTrace::new(16);
+        for seq in [9u64, 2, 13, 5] {
+            t.row(Seq(seq), Pc::new(seq as u32)).unwrap();
+        }
+        let order: Vec<u64> = t.rows().map(|(s, _)| s.0).collect();
+        assert_eq!(order, vec![2, 5, 9, 13], "BTreeMap order == program order");
+    }
+
+    #[test]
+    fn rewindow_recovers_evicted_seq_and_drops_stale_rows() {
+        let mut t = PipeTrace::new(4);
+        t.row(Seq(1), Pc::new(1)).unwrap().retire = Some(10);
+        // Seq 6 is beyond the initial window: rejected (evicted-by-window).
+        assert!(t.row(Seq(6), Pc::new(6)).is_none());
+        t.rewindow(4);
+        assert_eq!(t.window(), (4, 8));
+        // The previously-rejected seq is now recordable...
+        let r = t.row(Seq(6), Pc::new(6)).expect("inside the new window");
+        r.fetch = Some(20);
+        // ...rows behind the window are gone...
+        assert!(t.rows().all(|(s, _)| s.0 >= 4), "stale rows evicted");
+        // ...and window edges stay exclusive at the top.
+        assert!(t.row(Seq(3), Pc::new(3)).is_none());
+        assert!(t.row(Seq(8), Pc::new(8)).is_none());
         assert_eq!(t.rows().count(), 1);
     }
 

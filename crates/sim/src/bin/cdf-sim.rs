@@ -5,30 +5,43 @@
 //! cdf-sim table1
 //! cdf-sim run <workload> [--mech base|cdf|pre|classify|...] [--rob N]
 //!             [--warmup N] [--measure N] [--scale F] [--seed N] [--fast]
+//! cdf-sim report <workload> [--mech M] [sizing flags]
+//! cdf-sim telemetry <workload> [--mech M] [--interval N] [--out FILE]
+//!                   [--trace-out FILE] [sizing flags]
 //! cdf-sim compare <workload> [sizing flags]
 //! cdf-sim sweep [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
-//!               [--max-cycles N] [--out results.json] [sizing flags]
+//!               [--max-cycles N] [--telemetry N] [--out results.json]
+//!               [sizing flags]
 //! ```
 
-use cdf_core::CoreConfig;
-use cdf_sim::{run_sweep, simulate, table1_text, EvalConfig, Mechanism, SweepConfig};
+use cdf_core::{CoreConfig, TelemetryConfig};
+use cdf_sim::{
+    accounting_table, run_sweep, simulate, table1_text, telemetry_json, trace_events_json,
+    try_simulate_workload_telemetry, EvalConfig, Mechanism, SweepConfig,
+};
 use cdf_workloads::registry;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
+         cdf-sim report <workload> [options]\n  cdf-sim telemetry <workload> [options]\n  \
          cdf-sim compare <workload> [options]\n  cdf-sim sweep [options]\n\noptions:\n  \
          --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
-         mechanism (run only; default cdf)\n  \
+         mechanism (run/report/telemetry; default cdf)\n  \
          --rob N        scale the window to N ROB entries\n  \
          --warmup N     warmup instructions\n  --measure N    measured instructions\n  \
          --scale F      workload footprint scale\n  --seed N       workload seed\n  \
-         --fast         quick sizing preset\n\nsweep options:\n  \
+         --fast         quick sizing preset\n\ntelemetry options:\n  \
+         --interval N       cycles per interval sample (default 1024)\n  \
+         --out FILE         write the cdf-telemetry/1 JSON document to FILE\n  \
+         --trace-out FILE   write Chrome/Perfetto trace-event JSON to FILE\n\nsweep options:\n  \
          --workloads a,b,c  comma-separated workloads (default: full registry)\n  \
          --mechs a,b,c      comma-separated mechanisms (default: all)\n  \
          --threads N        worker threads (default: all hardware threads)\n  \
          --max-cycles N     per-run watchdog cycle budget (default: off)\n  \
+         --telemetry N      collect telemetry with an N-cycle interval and\n                     \
+         embed it per cell in the JSON records\n  \
          --out FILE         write the stamped JSON records to FILE"
     );
     exit(2)
@@ -82,8 +95,102 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Parses the mechanism flag shared by `run`, `report`, and `telemetry`.
+fn parse_mech(args: &[String]) -> Mechanism {
+    match flag_value(args, "--mech") {
+        None => Mechanism::Cdf,
+        Some(s) => Mechanism::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown mechanism `{s}`");
+            usage()
+        }),
+    }
+}
+
+/// Runs one workload with telemetry attached, exiting on failure.
+fn measure_with_telemetry(
+    name: &str,
+    mech: Mechanism,
+    cfg: &EvalConfig,
+) -> (cdf_sim::Measurement, cdf_core::Telemetry) {
+    let w = registry::lookup(name, &cfg.gen).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    match try_simulate_workload_telemetry(&w, mech, cfg) {
+        Ok((m, Some(tel))) => (m, tel),
+        Ok((_, None)) => unreachable!("telemetry was enabled in the config"),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1)
+        }
+    }
+}
+
+fn run_report_command(args: &[String]) {
+    let name = args.first().cloned().unwrap_or_else(|| usage());
+    let mech = parse_mech(args);
+    let mut cfg = parse_eval(&args[1..]);
+    cfg.telemetry = Some(TelemetryConfig::default());
+    let (m, tel) = measure_with_telemetry(&name, mech, &cfg);
+    print_measurement(&m);
+    println!("\ncycle accounting (whole run, warmup + measurement):");
+    print!("{}", accounting_table(&tel.accounting));
+}
+
+fn run_telemetry_command(args: &[String]) {
+    let name = args.first().cloned().unwrap_or_else(|| usage());
+    let mech = parse_mech(args);
+    let mut cfg = parse_eval(&args[1..]);
+    let mut tcfg = TelemetryConfig::default();
+    if let Some(i) = flag_value(args, "--interval") {
+        tcfg.interval = i.parse().unwrap_or_else(|_| usage());
+    }
+    cfg.telemetry = Some(tcfg);
+    let (m, tel) = measure_with_telemetry(&name, mech, &cfg);
+    print_measurement(&m);
+    println!("\ncycle accounting (whole run, warmup + measurement):");
+    print!("{}", accounting_table(&tel.accounting));
+    println!(
+        "\nintervals     : {} retained (+{} evicted into totals), {} cycles/sample",
+        tel.intervals.len(),
+        tel.intervals.evicted_count(),
+        tel.config().interval
+    );
+    let occ: Vec<String> = tel
+        .occupancy
+        .named()
+        .iter()
+        .map(|(n, h)| format!("{n} {:.1}", h.mean()))
+        .collect();
+    println!("mean occupancy: {}", occ.join(", "));
+    println!(
+        "events        : {} collected, {} dropped",
+        tel.events().len(),
+        tel.events_dropped()
+    );
+    let write = |path: &str, contents: String, what: &str| {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote {what} to {path}");
+    };
+    if let Some(path) = flag_value(args, "--out") {
+        write(path, telemetry_json(&tel).render_pretty(), "telemetry JSON");
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        write(path, trace_events_json(&tel).render(), "trace events");
+    }
+}
+
 fn run_sweep_command(args: &[String]) {
-    let eval = parse_eval(args);
+    let mut eval = parse_eval(args);
+    if let Some(i) = flag_value(args, "--telemetry") {
+        eval.telemetry = Some(TelemetryConfig {
+            interval: i.parse().unwrap_or_else(|_| usage()),
+            ..TelemetryConfig::default()
+        });
+    }
     let mut cfg = SweepConfig::full_grid(eval);
     if let Some(list) = flag_value(args, "--workloads") {
         cfg.workloads = list.split(',').map(str::to_string).collect();
@@ -159,13 +266,7 @@ fn main() {
         }
         Some("run") => {
             let name = args.get(1).cloned().unwrap_or_else(|| usage());
-            let mech = match flag_value(&args, "--mech") {
-                None => Mechanism::Cdf,
-                Some(s) => Mechanism::parse(s).unwrap_or_else(|| {
-                    eprintln!("unknown mechanism `{s}`");
-                    usage()
-                }),
-            };
+            let mech = parse_mech(&args);
             let cfg = parse_eval(&args[2..]);
             match cdf_sim::try_simulate(&name, mech, &cfg) {
                 Ok(m) => print_measurement(&m),
@@ -201,6 +302,8 @@ fn main() {
                 );
             }
         }
+        Some("report") => run_report_command(&args[1..]),
+        Some("telemetry") => run_telemetry_command(&args[1..]),
         Some("sweep") => run_sweep_command(&args[1..]),
         _ => usage(),
     }

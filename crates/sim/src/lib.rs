@@ -12,6 +12,12 @@
 //! abort), a per-run cycle-fuel watchdog, and stamped JSON result emission.
 //! Sweep results are bit-identical to running the grid serially.
 //!
+//! The [`telemetry`] module serializes the core's observation-only telemetry
+//! (cycle accounting, interval series, occupancy histograms, event sink —
+//! see [`cdf_core::Telemetry`]) into `cdf-telemetry/1` JSON and
+//! Chrome/Perfetto trace-event documents; enable collection per run via
+//! [`EvalConfig::telemetry`].
+//!
 //! ```no_run
 //! use cdf_sim::{run_sweep, simulate, EvalConfig, Mechanism, SweepConfig};
 //!
@@ -31,6 +37,7 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 
 mod error;
 mod run;
@@ -39,7 +46,8 @@ mod table1;
 pub use error::{SimError, WatchdogPhase};
 pub use run::{
     simulate, simulate_workload, try_simulate, try_simulate_workload, try_simulate_workload_mode,
-    EvalConfig, Measurement, Mechanism,
+    try_simulate_workload_telemetry, EvalConfig, Measurement, Mechanism,
 };
 pub use sweep::{run_sweep, Sweep, SweepCell, SweepConfig};
 pub use table1::table1_text;
+pub use telemetry::{accounting_table, telemetry_json, trace_events_json, TELEMETRY_SCHEMA};

@@ -1,7 +1,7 @@
 //! Running one workload on one mechanism with warmup/measure windowing.
 
 use crate::error::{SimError, WatchdogPhase};
-use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode, PreConfig};
+use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode, PreConfig, Telemetry, TelemetryConfig};
 use cdf_workloads::{registry, GenConfig, Workload};
 
 /// Which mechanism to simulate.
@@ -111,6 +111,13 @@ pub struct EvalConfig {
     /// spinning. `None` disables the watchdog, which keeps the run loop
     /// bit-identical to an unbounded run.
     pub max_cycles: Option<u64>,
+    /// Telemetry collection (interval series, occupancy histograms, cycle
+    /// accounting, event sink). `None` — the default — runs zero telemetry
+    /// code and produces bit-identical [`Measurement`]s to builds without
+    /// the telemetry layer; `Some` attaches a collector to every simulated
+    /// core, retrievable via [`try_simulate_workload_telemetry`]. Telemetry
+    /// never perturbs the measured stats either way (asserted by tests).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for EvalConfig {
@@ -125,6 +132,7 @@ impl Default for EvalConfig {
             measure_instructions: 200_000,
             core: CoreConfig::default(),
             max_cycles: None,
+            telemetry: None,
         }
     }
 }
@@ -277,6 +285,18 @@ pub fn try_simulate_workload(
     try_simulate_workload_mode(w, mechanism.mode(), mechanism.label(), cfg)
 }
 
+/// Simulates an already-built workload on one mechanism and also returns the
+/// core's collected [`Telemetry`] (`None` when `cfg.telemetry` is `None`).
+/// The measurement is identical to what [`try_simulate_workload`] returns —
+/// telemetry is observation-only.
+pub fn try_simulate_workload_telemetry(
+    w: &Workload,
+    mechanism: Mechanism,
+    cfg: &EvalConfig,
+) -> Result<(Measurement, Option<Telemetry>), SimError> {
+    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg)
+}
+
 /// Simulates an already-built workload on an explicit [`CoreMode`] with a
 /// free-form mechanism label — the escape hatch for sensitivity sweeps whose
 /// configurations are not one of the named [`Mechanism`]s.
@@ -286,11 +306,23 @@ pub fn try_simulate_workload_mode(
     label: &str,
     cfg: &EvalConfig,
 ) -> Result<Measurement, SimError> {
+    simulate_windows(w, mode, label, cfg).map(|(m, _)| m)
+}
+
+fn simulate_windows(
+    w: &Workload,
+    mode: CoreMode,
+    label: &str,
+    cfg: &EvalConfig,
+) -> Result<(Measurement, Option<Telemetry>), SimError> {
     let core_cfg = CoreConfig {
         mode,
         ..cfg.core.clone()
     };
     let mut core = Core::new(&w.program, w.memory.clone(), core_cfg);
+    if let Some(tcfg) = &cfg.telemetry {
+        core.enable_telemetry(tcfg.clone());
+    }
     let budget = cfg.max_cycles.unwrap_or(u64::MAX);
 
     // Warmup window.
@@ -322,45 +354,49 @@ pub fn try_simulate_workload_mode(
     let mlp_sum = end.mlp_sum - start.mlp_sum;
     let rob_c = end.rob_critical - start.rob_critical;
     let rob_n = end.rob_non_critical - start.rob_non_critical;
-    Ok(Measurement {
-        workload: w.name.to_string(),
-        mechanism: label.to_string(),
-        instructions,
-        cycles,
-        ipc: if cycles == 0 {
-            0.0
-        } else {
-            instructions as f64 / cycles as f64
+    let telemetry = core.take_telemetry();
+    Ok((
+        Measurement {
+            workload: w.name.to_string(),
+            mechanism: label.to_string(),
+            instructions,
+            cycles,
+            ipc: if cycles == 0 {
+                0.0
+            } else {
+                instructions as f64 / cycles as f64
+            },
+            mlp: if mlp_cycles == 0 {
+                0.0
+            } else {
+                mlp_sum as f64 / mlp_cycles as f64
+            },
+            dram_lines: end.dram_total - start.dram_total,
+            energy_nj: end.energy_nj - start.energy_nj,
+            cdf_energy_nj: end.cdf_energy_nj - start.cdf_energy_nj,
+            branch_mpki: if instructions == 0 {
+                0.0
+            } else {
+                (end.mispredicts - start.mispredicts) as f64 * 1000.0 / instructions as f64
+            },
+            llc_mpki: if instructions == 0 {
+                0.0
+            } else {
+                (end.llc_miss_loads - start.llc_miss_loads) as f64 * 1000.0 / instructions as f64
+            },
+            rob_critical_fraction: if rob_c + rob_n == 0 {
+                0.0
+            } else {
+                rob_c as f64 / (rob_c + rob_n) as f64
+            },
+            full_window_stall_cycles: end.full_window_stall_cycles - start.full_window_stall_cycles,
+            cdf_mode_cycles: end.cdf_mode_cycles - start.cdf_mode_cycles,
+            critical_uops: end.critical_uops - start.critical_uops,
+            runahead_uops: end.runahead_uops - start.runahead_uops,
+            dependence_violations: end.dependence_violations - start.dependence_violations,
         },
-        mlp: if mlp_cycles == 0 {
-            0.0
-        } else {
-            mlp_sum as f64 / mlp_cycles as f64
-        },
-        dram_lines: end.dram_total - start.dram_total,
-        energy_nj: end.energy_nj - start.energy_nj,
-        cdf_energy_nj: end.cdf_energy_nj - start.cdf_energy_nj,
-        branch_mpki: if instructions == 0 {
-            0.0
-        } else {
-            (end.mispredicts - start.mispredicts) as f64 * 1000.0 / instructions as f64
-        },
-        llc_mpki: if instructions == 0 {
-            0.0
-        } else {
-            (end.llc_miss_loads - start.llc_miss_loads) as f64 * 1000.0 / instructions as f64
-        },
-        rob_critical_fraction: if rob_c + rob_n == 0 {
-            0.0
-        } else {
-            rob_c as f64 / (rob_c + rob_n) as f64
-        },
-        full_window_stall_cycles: end.full_window_stall_cycles - start.full_window_stall_cycles,
-        cdf_mode_cycles: end.cdf_mode_cycles - start.cdf_mode_cycles,
-        critical_uops: end.critical_uops - start.critical_uops,
-        runahead_uops: end.runahead_uops - start.runahead_uops,
-        dependence_violations: end.dependence_violations - start.dependence_violations,
-    })
+        telemetry,
+    ))
 }
 
 #[cfg(test)]

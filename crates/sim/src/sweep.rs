@@ -19,7 +19,9 @@
 use crate::error::SimError;
 use crate::json::{field, Json};
 use crate::report::Table;
-use crate::run::{try_simulate_workload, EvalConfig, Measurement, Mechanism};
+use crate::run::{try_simulate_workload_telemetry, EvalConfig, Measurement, Mechanism};
+use crate::telemetry::telemetry_json;
+use cdf_core::Telemetry;
 use cdf_workloads::registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -77,6 +79,11 @@ pub struct SweepCell {
     pub mechanism: Mechanism,
     /// The measurement, or the typed reason it could not be produced.
     pub result: Result<Measurement, SimError>,
+    /// The core's telemetry, when the sweep's
+    /// [`EvalConfig::telemetry`](crate::EvalConfig) was enabled and the cell
+    /// succeeded. Serialized into the cell's JSON record as a `telemetry`
+    /// section.
+    pub telemetry: Option<Telemetry>,
     /// Wall-clock milliseconds this cell took (the one quantity that is
     /// *not* deterministic, and is excluded from equality checks).
     pub wall_ms: u64,
@@ -124,17 +131,21 @@ pub fn run_sweep(config: &SweepConfig) -> Sweep {
 /// Runs one grid cell, capturing every failure mode as a [`SimError`].
 pub fn run_cell(workload: &str, mechanism: Mechanism, eval: &EvalConfig) -> SweepCell {
     let t0 = Instant::now();
-    let result = match registry::lookup(workload, &eval.gen) {
-        Err(e) => Err(SimError::from(e)),
-        Ok(w) => catch_unwind(AssertUnwindSafe(|| {
-            try_simulate_workload(&w, mechanism, eval)
-        }))
-        .unwrap_or_else(|payload| Err(SimError::Panicked(panic_message(payload)))),
+    let (result, telemetry) = match registry::lookup(workload, &eval.gen) {
+        Err(e) => (Err(SimError::from(e)), None),
+        Ok(w) => match catch_unwind(AssertUnwindSafe(|| {
+            try_simulate_workload_telemetry(&w, mechanism, eval)
+        })) {
+            Ok(Ok((m, tel))) => (Ok(m), tel),
+            Ok(Err(e)) => (Err(e), None),
+            Err(payload) => (Err(SimError::Panicked(panic_message(payload))), None),
+        },
     };
     SweepCell {
         workload: workload.to_string(),
         mechanism,
         result,
+        telemetry,
         wall_ms: t0.elapsed().as_millis() as u64,
     }
 }
@@ -209,6 +220,18 @@ impl Sweep {
                         self.config.eval.measure_instructions,
                     ),
                     field("max_cycles", self.config.eval.max_cycles),
+                    field(
+                        "telemetry",
+                        match &self.config.eval.telemetry {
+                            None => Json::Null,
+                            Some(t) => Json::Obj(vec![
+                                field("interval", t.interval),
+                                field("ring_capacity", t.ring_capacity),
+                                field("max_events", t.max_events),
+                                field("uop_events", t.uop_events),
+                            ]),
+                        },
+                    ),
                 ]),
             ),
             field(
@@ -281,7 +304,12 @@ fn cell_json(c: &SweepCell) -> Json {
         field("wall_ms", c.wall_ms),
     ];
     match &c.result {
-        Ok(m) => fields.push(field("measurement", measurement_json(m))),
+        Ok(m) => {
+            fields.push(field("measurement", measurement_json(m)));
+            if let Some(tel) = &c.telemetry {
+                fields.push(field("telemetry", telemetry_json(tel)));
+            }
+        }
         Err(e) => fields.push(field(
             "error",
             Json::Obj(vec![
@@ -483,6 +511,21 @@ mod tests {
         let cell = sweep.cell("libq_like", Mechanism::Baseline).unwrap();
         assert_eq!(cell.result.as_ref().unwrap_err().kind(), "watchdog");
         assert!(sweep.to_json().render().contains("\"kind\":\"watchdog\""));
+    }
+
+    #[test]
+    fn telemetry_cells_embed_series_without_perturbing_results() {
+        let mut eval = tiny_eval();
+        let plain = run_cell("libq_like", Mechanism::Cdf, &eval);
+        eval.telemetry = Some(cdf_core::TelemetryConfig::default());
+        let telem = run_cell("libq_like", Mechanism::Cdf, &eval);
+        assert_eq!(plain.result, telem.result, "telemetry is observation-only");
+        assert!(plain.telemetry.is_none());
+        let tel = telem.telemetry.as_ref().expect("collector returned");
+        assert_eq!(tel.accounting.total(), tel.observed_cycles());
+        let json = cell_json(&telem).render();
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("cdf-telemetry/1"));
     }
 
     #[test]

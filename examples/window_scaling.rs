@@ -30,6 +30,7 @@ fn main() {
         measure_instructions: 80_000,
         core: CoreConfig::default(),
         max_cycles: None,
+        telemetry: None,
     };
 
     println!("{name}: IPC of plain cores at growing window sizes vs a 352-entry CDF core");
