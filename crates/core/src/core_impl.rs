@@ -132,6 +132,10 @@ pub struct Core<'p> {
     /// Optional telemetry collectors (see [`crate::telemetry`]). `None`
     /// keeps the cycle path free of telemetry work entirely.
     telemetry: Option<crate::telemetry::Telemetry>,
+    /// Optional lockstep retirement observer (see [`crate::observer`]).
+    /// `None` — the default — keeps the retire path free of observer work
+    /// and of the structural invariant sweep entirely.
+    observer: Option<Box<dyn crate::observer::RetireObserver + 'p>>,
     /// A uop was dispatched into the backend this cycle (cycle-accounting
     /// input; reset in `post_cycle`).
     dispatched_this_cycle: bool,
@@ -216,6 +220,7 @@ impl<'p> Core<'p> {
             partition_seeded: false,
             pipe_trace: None,
             telemetry: None,
+            observer: None,
             dispatched_this_cycle: false,
             flush_recovery_until: 0,
             runahead: RunaheadState::new(),
@@ -329,6 +334,29 @@ impl<'p> Core<'p> {
     /// collection) — the harness calls this once the run is over.
     pub fn take_telemetry(&mut self) -> Option<crate::telemetry::Telemetry> {
         self.telemetry.take()
+    }
+
+    /// Attaches a lockstep retirement observer (see [`crate::observer`]):
+    /// from now on every retired uop's architectural effects are reported to
+    /// it in program order, and the core additionally sweeps its structural
+    /// invariants ([`assert_invariants`](Self::assert_invariants)) after
+    /// each retirement. Call before [`run`](Self::run).
+    ///
+    /// Observation never alters simulation results: a run with an observer
+    /// attached produces bit-identical [`CoreStats`] to a run without one,
+    /// and a core with no observer runs zero observer code.
+    pub fn attach_retire_observer(
+        &mut self,
+        observer: Box<dyn crate::observer::RetireObserver + 'p>,
+    ) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the retirement observer, if one was attached.
+    pub fn take_retire_observer(
+        &mut self,
+    ) -> Option<Box<dyn crate::observer::RetireObserver + 'p>> {
+        self.observer.take()
     }
 
     /// Frontend introspection for diagnostics: `(critical fetch lookahead in
@@ -617,6 +645,129 @@ impl<'p> Core<'p> {
 
         if op == Op::Halt {
             self.halted = true;
+        }
+
+        if self.observer.is_some() {
+            let taken = uop.taken;
+            let next_pc = match op {
+                Op::Halt => None,
+                Op::Jump => Some(uop.uop.target.expect("jump has a target")),
+                Op::Branch(_) if taken == Some(true) => {
+                    Some(uop.uop.target.expect("branch has a target"))
+                }
+                _ => Some(uop.pc.next()),
+            };
+            let ev = crate::observer::RetiredUop {
+                index: self.stats.retired - 1,
+                pc: uop.pc,
+                op,
+                dst: uop.uop.dst.zip(uop.result),
+                store: if op.is_store() {
+                    uop.mem_addr.zip(uop.result)
+                } else {
+                    None
+                },
+                load: if op.is_load() {
+                    uop.mem_addr.zip(uop.result)
+                } else {
+                    None
+                },
+                taken: if op.is_cond_branch() { taken } else { None },
+                next_pc,
+                critical,
+            };
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_retire(&ev);
+            }
+            self.assert_invariants();
+        }
+    }
+
+    /// Asserts the core's structural invariants: ROB/LQ/SQ partition
+    /// occupancies within their caps, the instruction pool consistent with
+    /// the ROB, RAT mappings in range (and the regular RAT injective), and
+    /// poison bits confined to modes that have a CDF engine.
+    ///
+    /// Runs automatically after every retirement while a retire observer is
+    /// attached; exposed so adversarial tests can sweep a core at any point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated — that is a simulator bug, never
+    /// a program property.
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.rob.len() <= self.rob.total_cap(),
+            "ROB over capacity: {}/{}",
+            self.rob.len(),
+            self.rob.total_cap()
+        );
+        assert!(
+            self.rob.section_len(true) <= self.rob.crit_cap(),
+            "critical ROB partition over its cap: {}/{}",
+            self.rob.section_len(true),
+            self.rob.crit_cap()
+        );
+        let queues = [
+            (
+                "LQ",
+                self.lsq.lq.len(),
+                self.lsq.lq.total_cap(),
+                self.lsq.lq.section_len(true),
+                self.lsq.lq.crit_cap(),
+            ),
+            (
+                "SQ",
+                self.lsq.sq.len(),
+                self.lsq.sq.total_cap(),
+                self.lsq.sq.section_len(true),
+                self.lsq.sq.crit_cap(),
+            ),
+        ];
+        for (name, len, cap, crit_len, crit_cap) in queues {
+            assert!(len <= cap, "{name} over capacity: {len}/{cap}");
+            assert!(
+                crit_len <= crit_cap,
+                "critical {name} partition over its cap: {crit_len}/{crit_cap}"
+            );
+        }
+        assert_eq!(
+            self.rob.len(),
+            self.pool.len(),
+            "ROB and instruction pool disagree on in-flight uops"
+        );
+        for seq in self.rob.iter() {
+            assert!(
+                self.pool.contains_key(seq.0),
+                "ROB entry {seq} missing from the instruction pool"
+            );
+            assert!(
+                seq.0 >= self.commit_seq,
+                "ROB entry {seq} is older than the commit head {}",
+                self.commit_seq
+            );
+        }
+        let mut seen = [false; 4096];
+        for r in ArchReg::all() {
+            for (kind, rat) in [("RAT", &self.rat), ("CRAT", &self.crat)] {
+                let p = rat.get(r);
+                assert!(
+                    (p.0 as usize) < self.cfg.phys_regs,
+                    "{kind} maps {r:?} to out-of-range {p:?} (PRF size {})",
+                    self.cfg.phys_regs
+                );
+            }
+            let p = self.rat.get(r).0 as usize;
+            if p < seen.len() {
+                assert!(!seen[p], "RAT maps two architectural registers to p{p}");
+                seen[p] = true;
+            }
+            if self.cdf.is_none() {
+                assert!(
+                    !self.rat.poisoned(r) && !self.crat.poisoned(r),
+                    "poison bit on {r:?} without a CDF engine"
+                );
+            }
         }
     }
 

@@ -61,6 +61,7 @@
 pub mod cct;
 pub mod fill_buffer;
 pub mod mask_cache;
+pub mod observer;
 pub mod partition;
 pub mod pre;
 pub mod static_chains;
@@ -81,6 +82,9 @@ mod types;
 
 pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig};
 pub use core_impl::Core;
+pub use observer::{
+    Divergence, DivergenceKind, LockstepLog, OracleLockstep, RetireObserver, RetiredUop,
+};
 pub use stats::{CoreStats, RobMix};
 pub use telemetry::{
     CycleAccounting, CycleBucket, EventPhase, Histogram, IntervalSample, IntervalSeries,

@@ -1,0 +1,201 @@
+//! Regression corpus: hand-written adversarial programs for the lockstep
+//! checker. The fuzz campaigns (`cdf-sim fuzz`, 28M+ retired uops across all
+//! seven mechanisms) surfaced no divergences, so this corpus pins the three
+//! scenarios the fuzzer's random generator is least likely to hit densely:
+//! critical-RAT replay under data-dependent mispredictions, poisoned-load
+//! value reuse through aliasing store/load pairs, and dynamic partition
+//! resizing with entries in flight. Each program runs on every core mode
+//! with an [`OracleLockstep`] observer attached (which also re-checks the
+//! structural invariants after every retired uop) and must retire the exact
+//! architectural stream the functional executor produces.
+
+use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode, OracleLockstep, PreConfig};
+use cdf_isa::{ArchReg::*, Cond, Executor, MemoryImage, Program, ProgramBuilder};
+use cdf_workloads::{chain_permutation, fill_random_words, GenConfig};
+
+/// A CDF configuration that engages quickly enough for test-sized runs:
+/// walks trigger every 300 retired instructions instead of every 10k, and
+/// the partition controller reacts to a single cycle of stall imbalance.
+fn aggressive_cdf() -> CdfConfig {
+    CdfConfig {
+        walk_period: 300,
+        walk_latency: 40,
+        partition_threshold: 1,
+        ..CdfConfig::default()
+    }
+}
+
+fn modes() -> Vec<(&'static str, CoreMode)> {
+    vec![
+        ("base", CoreMode::Baseline),
+        ("classify", CoreMode::BaselineClassify),
+        ("cdf", CoreMode::Cdf(aggressive_cdf())),
+        ("pre", CoreMode::Pre(PreConfig::default())),
+    ]
+}
+
+/// Runs `program` on every mode with per-retired-uop oracle checking and
+/// asserts: no divergence, clean halt, identical final architectural state,
+/// and an identical retirement digest across all modes.
+fn assert_lockstep_all_modes(program: &Program, mem: &MemoryImage, fuel: u64) {
+    let mut oracle = Executor::new(program, mem.clone());
+    oracle.run(fuel).expect("corpus program halts within fuel");
+    let golden = oracle.state().clone();
+
+    let mut digests = Vec::new();
+    for (name, mode) in modes() {
+        let checker = OracleLockstep::new(program, mem.clone());
+        let log = checker.log();
+        let cfg = CoreConfig {
+            mode,
+            ..CoreConfig::default()
+        };
+        let mut core = Core::new(program, mem.clone(), cfg);
+        core.attach_retire_observer(Box::new(checker));
+        let stats = core.run(fuel + 8);
+        core.assert_invariants();
+
+        let log = log.borrow();
+        assert!(
+            log.divergence.is_none(),
+            "[{name}] lockstep divergence: {}",
+            log.divergence.as_ref().unwrap()
+        );
+        assert!(
+            stats.halted,
+            "[{name}] no halt after {} retired uops",
+            stats.retired
+        );
+        assert!(log.checked > 0, "[{name}] observer saw no retirements");
+        assert_eq!(
+            core.arch_state(),
+            golden,
+            "[{name}] final architectural state diverged from the oracle"
+        );
+        digests.push((name, log.digest, log.checked));
+    }
+    let (first_name, first_digest, first_checked) = digests[0];
+    for &(name, digest, checked) in &digests[1..] {
+        assert_eq!(
+            (digest, checked),
+            (first_digest, first_checked),
+            "retirement stream of {name} differs from {first_name}"
+        );
+    }
+}
+
+/// Critical-RAT replay: a cache-missing pointer chase feeds a data-dependent
+/// branch and an ALU chain, so the same registers are live in both the
+/// regular RAT and the critical RAT while mispredictions force squash and
+/// replay through the CMQ. The chase footprint (4096 nodes x 64B = 256KB)
+/// overflows the L1/L2 so the chain loads are genuinely critical.
+#[test]
+fn critical_rat_replay_matches_oracle() {
+    let gen = GenConfig::test();
+    let mut rng = gen.rng(0xC0A7);
+    let mut mem = MemoryImage::new();
+    let head = chain_permutation(&mut mem, 0x10_0000, 4096, 64, &mut rng);
+
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 3000);
+    b.movi(R2, head as i64);
+    b.movi(R4, 0);
+    b.movi(R5, 0);
+    let top = b.label("top");
+    let skip = b.label("skip");
+    b.bind(top).unwrap();
+    b.load(R2, R2, 0); // dependent chase: the critical chain
+    b.shri(R3, R2, 6); // pointer-derived, unpredictable low bits
+    b.andi(R3, R3, 7);
+    b.br_imm(Cond::Ne, R3, 3, skip); // data-dependent branch off a miss
+    b.addi(R4, R4, 1);
+    b.bind(skip).unwrap();
+    b.add(R5, R5, R3); // consumer renamed in both RATs
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    assert_lockstep_all_modes(&p, &mem, 40_000);
+}
+
+/// Poisoned-load reuse: every iteration read-modify-writes a data slot
+/// addressed by bits of a missing chain pointer, then immediately reloads
+/// it. A load value that is reused stale (poisoned by the critical path and
+/// not replayed) propagates through the store into the reload and the
+/// accumulator, which the per-uop check catches on the spot.
+#[test]
+fn poisoned_load_reuse_matches_oracle() {
+    let gen = GenConfig::test();
+    let mut rng = gen.rng(0xF01D);
+    let mut mem = MemoryImage::new();
+    let head = chain_permutation(&mut mem, 0x20_0000, 2048, 64, &mut rng);
+    let data_base = 0x8_0000u64;
+    fill_random_words(&mut mem, data_base, 128, &mut rng);
+
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 2500);
+    b.movi(R2, head as i64);
+    b.movi(R6, data_base as i64);
+    b.movi(R7, 0);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.load(R2, R2, 0); // critical miss chain
+    b.shri(R3, R2, 6);
+    b.andi(R3, R3, 127); // slot index derived from the pointer
+    b.load_idx(R4, R6, R3, 8, 0); // load data[slot]
+    b.addi(R4, R4, 1);
+    b.store_idx(R4, R6, R3, 8, 0); // aliasing store to the same slot
+    b.load_idx(R5, R6, R3, 8, 0); // reload must observe the new value
+    b.add(R7, R7, R5);
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    assert_lockstep_all_modes(&p, &mem, 40_000);
+}
+
+/// Partition resize mid-flight: alternating memory-bound (critical pressure
+/// grows the critical ROB/LQ/SQ sections) and ALU-dense phases (shrinks
+/// them) with `partition_threshold: 1`, so the dynamic partition controller
+/// resizes repeatedly while in-flight entries straddle the boundary. The
+/// invariant check after every retirement verifies occupancy never exceeds
+/// either section's capacity through the resizes.
+#[test]
+fn partition_resize_mid_flight_matches_oracle() {
+    let gen = GenConfig::test();
+    let mut rng = gen.rng(0x9A27);
+    let mut mem = MemoryImage::new();
+    let head = chain_permutation(&mut mem, 0x30_0000, 4096, 64, &mut rng);
+
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 30);
+    b.movi(R2, head as i64);
+    let outer = b.label("outer");
+    b.bind(outer).unwrap();
+    // Phase A: pure dependent chase — critical section under pressure.
+    b.movi(R9, 48);
+    let chase = b.label("chase");
+    b.bind(chase).unwrap();
+    b.load(R2, R2, 0);
+    b.addi(R9, R9, -1);
+    b.brnz(R9, chase);
+    // Phase B: wide independent ALU work — non-critical section under
+    // pressure, so the controller hands capacity back.
+    b.movi(R10, 150);
+    let alu = b.label("alu");
+    b.bind(alu).unwrap();
+    for i in 0..6 {
+        let d = cdf_isa::ArchReg::new(4 + i).unwrap();
+        b.addi(d, d, 1);
+    }
+    b.addi(R10, R10, -1);
+    b.brnz(R10, alu);
+    b.addi(R1, R1, -1);
+    b.brnz(R1, outer);
+    b.halt();
+    let p = b.build().unwrap();
+
+    assert_lockstep_all_modes(&p, &mem, 80_000);
+}

@@ -60,13 +60,17 @@ impl Default for ArchState {
     }
 }
 
-/// What a single functional step did (used by tests and trace tooling).
+/// What a single functional step did (used by tests, trace tooling, and the
+/// lockstep retirement checker in `cdf-core`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct StepEvent {
     /// The uop executed.
     pub pc: Pc,
     /// The next program counter (`None` after `Halt`).
     pub next_pc: Option<Pc>,
+    /// The architectural register written and the value it received
+    /// (`MovImm`, ALU ops, and loads).
+    pub dst: Option<(ArchReg, u64)>,
     /// Effective address and value for a load (`addr, loaded value`).
     pub load: Option<(u64, u64)>,
     /// Effective address and value for a store (`addr, stored value`).
@@ -192,6 +196,7 @@ impl<'p> Executor<'p> {
         let mut ev = StepEvent {
             pc,
             next_pc: Some(pc.next()),
+            dst: None,
             load: None,
             store: None,
             branch_taken: None,
@@ -202,6 +207,7 @@ impl<'p> Executor<'p> {
             Op::MovImm => {
                 let d = uop.dst.expect("movi has a destination");
                 self.state.set_reg(d, uop.imm as u64);
+                ev.dst = Some((d, uop.imm as u64));
             }
             Op::Alu(op) => {
                 let a = reg(uop.src1, &self.state);
@@ -211,7 +217,9 @@ impl<'p> Executor<'p> {
                     uop.imm as u64
                 };
                 let d = uop.dst.expect("alu has a destination");
-                self.state.set_reg(d, op.apply(a, b));
+                let v = op.apply(a, b);
+                self.state.set_reg(d, v);
+                ev.dst = Some((d, v));
             }
             Op::Load => {
                 let base = reg(uop.mem.base, &self.state);
@@ -221,6 +229,7 @@ impl<'p> Executor<'p> {
                 let d = uop.dst.expect("load has a destination");
                 self.state.set_reg(d, v);
                 ev.load = Some((addr, v));
+                ev.dst = Some((d, v));
             }
             Op::Store => {
                 let base = reg(uop.mem.base, &self.state);
@@ -321,7 +330,23 @@ mod tests {
         assert_eq!(st.store, Some((0x1008, 99)));
         let ld = e.step().unwrap();
         assert_eq!(ld.load, Some((0x1008, 99)));
+        assert_eq!(ld.dst, Some((R3, 99)));
         assert_eq!(e.state().reg(R3), 99);
+    }
+
+    #[test]
+    fn dst_events_cover_writers() {
+        let mut b = ProgramBuilder::new();
+        b.movi(R1, 7);
+        b.addi(R2, R1, 5);
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p, MemoryImage::new());
+        assert_eq!(e.step().unwrap().dst, Some((R1, 7)));
+        assert_eq!(e.step().unwrap().dst, Some((R2, 12)));
+        assert_eq!(e.step().unwrap().dst, None, "nop writes nothing");
+        assert_eq!(e.step().unwrap().dst, None, "halt writes nothing");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! cdf-sim sweep [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
 //!               [--max-cycles N] [--telemetry N] [--out results.json]
 //!               [sizing flags]
+//! cdf-sim fuzz [--seeds N] [--start N] [--budget M] [--mechs a,b,c]
+//!              [--minimize] [--shrink-budget N] [--threads N]
+//!              [--out DIR] [--report FILE]
 //! ```
 
 use cdf_core::{CoreConfig, TelemetryConfig};
@@ -26,7 +29,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
          cdf-sim report <workload> [options]\n  cdf-sim telemetry <workload> [options]\n  \
-         cdf-sim compare <workload> [options]\n  cdf-sim sweep [options]\n\noptions:\n  \
+         cdf-sim compare <workload> [options]\n  cdf-sim sweep [options]\n  \
+         cdf-sim fuzz [options]\n\noptions:\n  \
          --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
          mechanism (run/report/telemetry; default cdf)\n  \
          --rob N        scale the window to N ROB entries\n  \
@@ -42,9 +46,75 @@ fn usage() -> ! {
          --max-cycles N     per-run watchdog cycle budget (default: off)\n  \
          --telemetry N      collect telemetry with an N-cycle interval and\n                     \
          embed it per cell in the JSON records\n  \
-         --out FILE         write the stamped JSON records to FILE"
+         --out FILE         write the stamped JSON records to FILE\n\nfuzz options:\n  \
+         --seeds N          random programs to run (default 100)\n  \
+         --start N          first seed (default 0)\n  \
+         --budget M         cap on total dynamic uops across seeds (default: off)\n  \
+         --mechs a,b,c      mechanisms run in lockstep (default base,cdf,pre)\n  \
+         --minimize         delta-debug each failure to a minimal reproducer\n  \
+         --shrink-budget N  shrinker predicate evaluations per failure (default 300)\n  \
+         --out DIR          write each failure as a cdf-fuzz-case/1 JSON file\n  \
+         --report FILE      write the cdf-fuzz/1 JSON report to FILE"
     );
     exit(2)
+}
+
+fn run_fuzz_command(args: &[String]) {
+    let mut cfg = cdf_sim::FuzzConfig::default();
+    if let Some(v) = flag_value(args, "--seeds") {
+        cfg.seeds = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = flag_value(args, "--start") {
+        cfg.start_seed = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = flag_value(args, "--budget") {
+        cfg.budget_uops = Some(v.parse().unwrap_or_else(|_| usage()));
+    }
+    if let Some(v) = flag_value(args, "--shrink-budget") {
+        cfg.shrink_budget = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = flag_value(args, "--threads") {
+        cfg.threads = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(list) = flag_value(args, "--mechs") {
+        cfg.mechanisms = list
+            .split(',')
+            .map(|s| {
+                Mechanism::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism `{s}`");
+                    usage()
+                })
+            })
+            .collect();
+    }
+    cfg.minimize = args.iter().any(|a| a == "--minimize");
+    let report = cdf_sim::run_fuzz(&cfg);
+    print!("{}", report.render_summary());
+    if let Some(path) = flag_value(args, "--report") {
+        std::fs::write(path, report.to_json().render_pretty()).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote {path}");
+    }
+    if let Some(dir) = flag_value(args, "--out") {
+        if report.clean() {
+            eprintln!("no failures; nothing written to {dir}");
+        } else {
+            let paths = report
+                .write_corpus(std::path::Path::new(dir))
+                .unwrap_or_else(|e| {
+                    eprintln!("writing corpus to {dir}: {e}");
+                    exit(1)
+                });
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+    }
+    if !report.clean() {
+        exit(4);
+    }
 }
 
 fn parse_eval(args: &[String]) -> EvalConfig {
@@ -305,6 +375,7 @@ fn main() {
         Some("report") => run_report_command(&args[1..]),
         Some("telemetry") => run_telemetry_command(&args[1..]),
         Some("sweep") => run_sweep_command(&args[1..]),
+        Some("fuzz") => run_fuzz_command(&args[1..]),
         _ => usage(),
     }
 }

@@ -34,6 +34,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod json;
 pub mod report;
 pub mod sweep;
@@ -44,6 +45,10 @@ mod run;
 mod table1;
 
 pub use error::{SimError, WatchdogPhase};
+pub use fuzz::{
+    minimize_spec, minimize_with, run_fuzz, run_lockstep, FailureKind, FuzzConfig, FuzzFailure,
+    FuzzReport, LockstepOutcome, FUZZ_CASE_SCHEMA, FUZZ_SCHEMA,
+};
 pub use run::{
     simulate, simulate_workload, try_simulate, try_simulate_workload, try_simulate_workload_mode,
     try_simulate_workload_telemetry, EvalConfig, Measurement, Mechanism,

@@ -1,0 +1,190 @@
+//! End-to-end guarantees of the differential fuzzing layer:
+//!
+//! * the retire observer is zero-cost — attaching [`OracleLockstep`] never
+//!   perturbs `CoreStats` (bit-identical timing, and therefore bit-identical
+//!   `Measurement`s, which are pure functions of `CoreStats`) — on both
+//!   generated fuzz programs and registered workloads;
+//! * lockstep runs are deterministic: the same spec yields the same digest
+//!   and comparison count on every run and across mechanisms;
+//! * the corpus format round-trips: a written `cdf-fuzz-case/1` document
+//!   parses back into the exact failing spec;
+//! * a bounded `run_fuzz` campaign over the default mechanisms is clean and
+//!   its report serializes to well-formed `cdf-fuzz/1` JSON.
+
+use cdf_core::{Core, CoreConfig, OracleLockstep};
+use cdf_sim::fuzz::{spec_from_json, spec_json};
+use cdf_sim::json::Json;
+use cdf_sim::{
+    run_fuzz, run_lockstep, FailureKind, FuzzConfig, FuzzFailure, FuzzReport, LockstepOutcome,
+    Mechanism, FUZZ_CASE_SCHEMA, FUZZ_SCHEMA,
+};
+use cdf_workloads::fuzz::FuzzSpec;
+use cdf_workloads::{registry, GenConfig};
+
+fn fuzz_mechs() -> [Mechanism; 3] {
+    [Mechanism::Baseline, Mechanism::Cdf, Mechanism::Pre]
+}
+
+/// Attaching the lockstep observer must not change a single bit of the
+/// run's timing statistics: same cycles, same retires, same squashes, same
+/// everything `CoreStats` records. `Measurement`s are derived purely from
+/// `CoreStats`, so this is also the Measurement-level guarantee.
+#[test]
+fn observer_is_zero_cost_on_fuzz_programs() {
+    for seed in [0u64, 3, 17] {
+        let fp = FuzzSpec::from_seed(seed).build();
+        for mech in fuzz_mechs() {
+            let cfg = CoreConfig {
+                mode: mech.mode(),
+                ..CoreConfig::default()
+            };
+            let mut bare = Core::new(&fp.program, fp.memory.clone(), cfg.clone());
+            let bare_stats = bare.run(fp.fuel + 8);
+
+            let mut observed = Core::new(&fp.program, fp.memory.clone(), cfg);
+            let checker = OracleLockstep::new(&fp.program, fp.memory.clone());
+            let log = checker.log();
+            observed.attach_retire_observer(Box::new(checker));
+            let observed_stats = observed.run(fp.fuel + 8);
+
+            assert_eq!(
+                bare_stats,
+                observed_stats,
+                "seed {seed} {}: observer perturbed CoreStats",
+                mech.label()
+            );
+            assert_eq!(bare.arch_state(), observed.arch_state());
+            let log = log.borrow();
+            assert!(
+                log.divergence.is_none(),
+                "seed {seed}: {:?}",
+                log.divergence
+            );
+            assert_eq!(log.checked, observed_stats.retired);
+        }
+    }
+}
+
+/// The same zero-cost contract on a registered (non-fuzz) workload, so the
+/// guarantee is not an artifact of the generator's program shapes.
+#[test]
+fn observer_is_zero_cost_on_registry_workloads() {
+    let gen = GenConfig {
+        seed: 0xBEEF,
+        scale: 1.0 / 32.0,
+        iters: 40,
+    };
+    let w = registry::lookup("astar_like", &gen).expect("registered workload");
+    for mech in fuzz_mechs() {
+        let cfg = CoreConfig {
+            mode: mech.mode(),
+            ..CoreConfig::default()
+        };
+        let mut bare = Core::new(&w.program, w.memory.clone(), cfg.clone());
+        let bare_stats = bare.run(30_000);
+
+        let mut observed = Core::new(&w.program, w.memory.clone(), cfg);
+        observed
+            .attach_retire_observer(Box::new(OracleLockstep::new(&w.program, w.memory.clone())));
+        let observed_stats = observed.run(30_000);
+
+        assert_eq!(
+            bare_stats,
+            observed_stats,
+            "{}: observer perturbed CoreStats on astar_like",
+            mech.label()
+        );
+    }
+}
+
+/// Lockstep runs are deterministic and mechanism-independent at the
+/// architectural level: same digest, same count, every time.
+#[test]
+fn lockstep_is_deterministic_across_runs_and_mechanisms() {
+    let fp = FuzzSpec::from_seed(23).build();
+    let mut seen: Option<(u64, u64)> = None;
+    for mech in fuzz_mechs() {
+        for _ in 0..2 {
+            match run_lockstep(&fp, mech) {
+                LockstepOutcome::Ok { digest, checked } => {
+                    if let Some(first) = seen {
+                        assert_eq!(
+                            first,
+                            (digest, checked),
+                            "{} retired a different stream",
+                            mech.label()
+                        );
+                    } else {
+                        seen = Some((digest, checked));
+                    }
+                }
+                LockstepOutcome::Fail { kind, detail } => {
+                    panic!("{}: {} — {detail}", mech.label(), kind.as_str())
+                }
+            }
+        }
+    }
+}
+
+/// Corpus documents written to disk parse back into the exact spec, with
+/// the minimized spec preferred when present.
+#[test]
+fn corpus_files_round_trip() {
+    let spec = FuzzSpec::from_seed(99);
+    let mut minimized = spec.clone();
+    minimized.outer_iters = 1;
+    minimized.masked = (0..spec.body_items).filter(|i| i % 2 == 0).collect();
+    let report = FuzzReport {
+        cases: 1,
+        checked_uops: 0,
+        mechanisms: vec!["cdf".into()],
+        failures: vec![FuzzFailure {
+            seed: spec.seed,
+            mechanism: "cdf".into(),
+            kind: FailureKind::Divergence,
+            detail: "synthetic case for the round-trip test".into(),
+            spec: spec.clone(),
+            minimized: Some(minimized.clone()),
+        }],
+        seeds_skipped: 0,
+    };
+    let dir = std::env::temp_dir().join(format!("cdf-fuzz-corpus-{}", std::process::id()));
+    let files = report.write_corpus(&dir).expect("corpus written");
+    assert_eq!(files.len(), 1);
+    let text = std::fs::read_to_string(&files[0]).expect("corpus file readable");
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = Json::parse(&text).expect("corpus file is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(FUZZ_CASE_SCHEMA)
+    );
+    // The case document resolves to the minimized reproducer...
+    assert_eq!(spec_from_json(&doc), Some(minimized.clone()));
+    // ...and bare spec documents round-trip too.
+    assert_eq!(spec_from_json(&spec_json(&spec)), Some(spec));
+    // The minimized spec regenerates a program of the original shape.
+    assert_eq!(
+        minimized.build().program.len(),
+        FuzzSpec::from_seed(99).build().program.len()
+    );
+}
+
+/// A bounded campaign over the default mechanism trio is clean and emits a
+/// well-formed report — the same path the CI smoke job exercises.
+#[test]
+fn bounded_campaign_is_clean() {
+    let cfg = FuzzConfig {
+        seeds: 8,
+        start_seed: 1000,
+        minimize: true,
+        threads: 2,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    assert!(report.clean(), "campaign failures: {:?}", report.failures);
+    assert_eq!(report.cases, 8);
+    assert!(report.checked_uops > 0);
+    let doc = Json::parse(&report.to_json().render_pretty()).expect("report JSON parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(FUZZ_SCHEMA));
+    assert!(report.render_summary().contains("no divergences"));
+}

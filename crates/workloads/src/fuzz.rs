@@ -1,0 +1,402 @@
+//! Random uop-program generation for differential fuzzing.
+//!
+//! [`FuzzSpec`] describes a program as a pure function of a seed plus a few
+//! size knobs; [`FuzzSpec::build`] expands it into a [`FuzzProgram`] — a
+//! program, an initial memory image, and a conservative fuel bound. The
+//! shapes are chosen to stress exactly the machinery Criticality Driven
+//! Fetch adds to the core: pointer chasing (CCT training and chain
+//! reconstruction), store/load aliasing through a small window (LSQ
+//! ordering, forwarding, memory-order flushes), data-dependent forward
+//! branches (hard-to-predict criticality seeds), and nested counted loops
+//! (Fill Buffer walks across back edges).
+//!
+//! Two properties hold **by construction** for every spec:
+//!
+//! * **Termination.** The only back edges are counted loops (the outer loop
+//!   and optional inner loops with a fixed trip count); every other branch
+//!   is strictly forward. The dynamic uop count is therefore bounded by
+//!   [`FuzzProgram::fuel`], which `build` computes.
+//! * **Memory confinement.** Every load/store address is either the region
+//!   base plus an AND-masked offset, or a pointer obtained by following the
+//!   pointer chain. The chain occupies the first half of the region and is
+//!   never stored to (stores are masked into the second half), so chain
+//!   pointers always stay chain pointers. No access can leave
+//!   `[region_base, region_base + region_bytes)`.
+//!
+//! The `masked` list supports delta-debugging: a masked body item is
+//! replaced by an equal number of `Nop`s, so every pc and branch target in
+//! the rest of the program is unchanged — a minimized counterexample is a
+//! spec, not a diff.
+
+use crate::gen::chain_permutation;
+use cdf_isa::{AluOp, ArchReg, Cond, MemoryImage, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the data region every generated program is confined to.
+pub const REGION_BASE: u64 = 0x1_0000;
+/// Size of the region in 8-byte words (half chain, half scratch data).
+pub const REGION_WORDS: u64 = 256;
+
+const CHAIN_WORDS: u64 = REGION_WORDS / 2;
+const DATA_BYTES: u64 = (REGION_WORDS - CHAIN_WORDS) * 8;
+const DATA_BASE: u64 = REGION_BASE + CHAIN_WORDS * 8;
+
+// Register roles. Data and scratch registers are disjoint from the loop
+// counters and pointers so random ALU traffic cannot corrupt control flow
+// or escape the region.
+const OUTER: ArchReg = ArchReg::R1;
+const CHAIN_BASE: ArchReg = ArchReg::R2;
+const CURSOR: ArchReg = ArchReg::R3;
+const DATA_PTR: ArchReg = ArchReg::R17;
+const INNER: ArchReg = ArchReg::R16;
+const SCRATCH: ArchReg = ArchReg::R12;
+const DATA_REGS: [ArchReg; 8] = [
+    ArchReg::R4,
+    ArchReg::R5,
+    ArchReg::R6,
+    ArchReg::R7,
+    ArchReg::R8,
+    ArchReg::R9,
+    ArchReg::R10,
+    ArchReg::R11,
+];
+
+/// A deterministic description of one fuzz program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FuzzSpec {
+    /// Seed for every random choice in the program body and data.
+    pub seed: u64,
+    /// Number of body items in the outer loop (each expands to a fixed
+    /// number of uops).
+    pub body_items: u32,
+    /// Outer-loop trip count.
+    pub outer_iters: u32,
+    /// Body item indices replaced by `Nop`s (the shrinker's handle; empty
+    /// for freshly generated programs).
+    pub masked: Vec<u32>,
+}
+
+impl FuzzSpec {
+    /// Derives a spec from a bare seed: body size and trip count are drawn
+    /// from the seed so a seed sweep also sweeps program shapes.
+    pub fn from_seed(seed: u64) -> FuzzSpec {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA57_F00D_5EED_C0DE);
+        FuzzSpec {
+            seed,
+            body_items: rng.gen_range(8..48),
+            outer_iters: rng.gen_range(4..64),
+            masked: Vec::new(),
+        }
+    }
+
+    /// Expands the spec into a runnable program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (`body_items == 0` is allowed; the
+    /// program is then just the loop skeleton).
+    pub fn build(&self) -> FuzzProgram {
+        build_program(self)
+    }
+}
+
+/// A generated fuzz program with its confinement metadata.
+#[derive(Clone, Debug)]
+pub struct FuzzProgram {
+    /// The program.
+    pub program: Program,
+    /// Initial data memory (pointer chain + random words, all in-region).
+    pub memory: MemoryImage,
+    /// Conservative upper bound on the dynamic uop count (including `Halt`).
+    /// The functional executor is guaranteed to halt within this fuel.
+    pub fuel: u64,
+    /// First byte of the memory region the program may touch.
+    pub region_base: u64,
+    /// Size of that region in bytes.
+    pub region_bytes: u64,
+}
+
+/// One body item. `static_len` uops are always emitted (nops when masked);
+/// `dynamic_len` bounds the uops one outer iteration can execute in it.
+#[derive(Clone, Debug)]
+enum Item {
+    /// Register-register ALU op.
+    Alu(AluOp, ArchReg, ArchReg, ArchReg),
+    /// Register-immediate ALU op.
+    AluImm(AluOp, ArchReg, ArchReg, i64),
+    /// Masked random-offset load from the data half.
+    DataLoad {
+        dst: ArchReg,
+        off: ArchReg,
+        mask: i64,
+    },
+    /// Masked random-offset store into the data half.
+    DataStore {
+        data: ArchReg,
+        off: ArchReg,
+        mask: i64,
+    },
+    /// One pointer-chase step.
+    Chase,
+    /// Reset the chase cursor to the chain head.
+    ChaseReset { head: i64 },
+    /// Data-dependent forward branch to the item at `target`.
+    Branch {
+        cond: Cond,
+        a: ArchReg,
+        b: ArchReg,
+        target: u32,
+    },
+    /// Counted inner loop of `trips` iterations over `ops` ALU ops.
+    InnerLoop {
+        trips: u32,
+        ops: Vec<(AluOp, ArchReg, ArchReg, ArchReg)>,
+    },
+}
+
+impl Item {
+    fn static_len(&self) -> u64 {
+        match self {
+            Item::Alu(..) | Item::AluImm(..) | Item::Chase | Item::ChaseReset { .. } => 1,
+            Item::DataLoad { .. } | Item::DataStore { .. } => 2,
+            Item::Branch { .. } => 1,
+            Item::InnerLoop { ops, .. } => ops.len() as u64 + 3,
+        }
+    }
+
+    fn dynamic_len(&self) -> u64 {
+        match self {
+            Item::InnerLoop { trips, ops } => 1 + *trips as u64 * (ops.len() as u64 + 2),
+            other => other.static_len(),
+        }
+    }
+}
+
+fn random_alu(rng: &mut StdRng) -> AluOp {
+    use AluOp::*;
+    const OPS: [AluOp; 11] = [Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, FAdd, FMul];
+    OPS[rng.gen_range(0..OPS.len())]
+}
+
+fn random_cond(rng: &mut StdRng) -> Cond {
+    use Cond::*;
+    const CONDS: [Cond; 6] = [Eq, Ne, Ltu, Geu, Lt, Ge];
+    CONDS[rng.gen_range(0..CONDS.len())]
+}
+
+fn data_reg(rng: &mut StdRng) -> ArchReg {
+    DATA_REGS[rng.gen_range(0..DATA_REGS.len())]
+}
+
+/// Aliasing pressure: full data half, a 64-byte window, or a single word.
+fn random_mask(rng: &mut StdRng) -> i64 {
+    const MASKS: [i64; 3] = [(DATA_BYTES - 1) as i64, 63, 7];
+    MASKS[rng.gen_range(0..MASKS.len())]
+}
+
+fn generate_items(spec: &FuzzSpec, rng: &mut StdRng) -> Vec<Item> {
+    let n = spec.body_items;
+    (0..n)
+        .map(|i| match rng.gen_range(0..100u32) {
+            0..=21 => Item::Alu(random_alu(rng), data_reg(rng), data_reg(rng), data_reg(rng)),
+            22..=31 => Item::AluImm(
+                random_alu(rng),
+                data_reg(rng),
+                data_reg(rng),
+                rng.gen::<i32>() as i64,
+            ),
+            32..=49 => Item::DataLoad {
+                dst: data_reg(rng),
+                off: data_reg(rng),
+                mask: random_mask(rng),
+            },
+            50..=65 => Item::DataStore {
+                data: data_reg(rng),
+                off: data_reg(rng),
+                mask: random_mask(rng),
+            },
+            66..=79 => Item::Chase,
+            80..=91 if i + 1 < n => Item::Branch {
+                cond: random_cond(rng),
+                a: data_reg(rng),
+                b: data_reg(rng),
+                target: rng.gen_range(i + 1..=n),
+            },
+            92..=96 => Item::InnerLoop {
+                trips: rng.gen_range(1..4u32),
+                ops: (0..rng.gen_range(1..4u32))
+                    .map(|_| (random_alu(rng), data_reg(rng), data_reg(rng), data_reg(rng)))
+                    .collect(),
+            },
+            _ => Item::ChaseReset { head: 0 }, // head patched in build_program
+        })
+        .collect()
+}
+
+fn build_program(spec: &FuzzSpec) -> FuzzProgram {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Memory: pointer chain over the first half, random words in the second.
+    let mut memory = MemoryImage::new();
+    let chain_head = chain_permutation(&mut memory, REGION_BASE, CHAIN_WORDS, 8, &mut rng);
+    crate::gen::fill_random_words(&mut memory, DATA_BASE, REGION_WORDS - CHAIN_WORDS, &mut rng);
+
+    let mut items = generate_items(spec, &mut rng);
+    for it in &mut items {
+        if let Item::ChaseReset { head } = it {
+            *head = chain_head as i64;
+        }
+    }
+
+    let mut b = ProgramBuilder::named(format!("fuzz-{:#x}", spec.seed));
+    b.movi(OUTER, spec.outer_iters as i64);
+    b.movi(CHAIN_BASE, REGION_BASE as i64);
+    b.movi(CURSOR, chain_head as i64);
+    b.movi(DATA_PTR, DATA_BASE as i64);
+    for r in DATA_REGS {
+        b.movi(r, rng.gen::<i64>());
+    }
+
+    // One label per item boundary; `labels[body_items]` is the loop tail.
+    let labels: Vec<_> = (0..=spec.body_items)
+        .map(|i| b.label(format!("item{i}")))
+        .collect();
+    let top = b.label("top");
+    b.bind(top).expect("top bound once");
+
+    for (i, item) in items.iter().enumerate() {
+        b.bind(labels[i]).expect("item labels bound once");
+        if spec.masked.contains(&(i as u32)) {
+            for _ in 0..item.static_len() {
+                b.nop();
+            }
+            continue;
+        }
+        match item {
+            Item::Alu(op, d, x, y) => {
+                b.alu(*op, *d, *x, *y);
+            }
+            Item::AluImm(op, d, x, imm) => {
+                b.alu_imm(*op, *d, *x, *imm);
+            }
+            Item::DataLoad { dst, off, mask } => {
+                b.andi(SCRATCH, *off, *mask);
+                b.load_idx(*dst, DATA_PTR, SCRATCH, 1, 0);
+            }
+            Item::DataStore { data, off, mask } => {
+                b.andi(SCRATCH, *off, *mask);
+                b.store_idx(*data, DATA_PTR, SCRATCH, 1, 0);
+            }
+            Item::Chase => {
+                b.load(CURSOR, CURSOR, 0);
+            }
+            Item::ChaseReset { head } => {
+                b.movi(CURSOR, *head);
+            }
+            Item::Branch {
+                cond,
+                a,
+                b: y,
+                target,
+            } => {
+                b.br(*cond, *a, *y, labels[*target as usize]);
+            }
+            Item::InnerLoop { trips, ops } => {
+                b.movi(INNER, *trips as i64);
+                let inner = b.label(format!("inner{i}"));
+                b.bind(inner).expect("inner label bound once");
+                for (op, d, x, y) in ops {
+                    b.alu(*op, *d, *x, *y);
+                }
+                b.addi(INNER, INNER, -1);
+                b.brnz(INNER, inner);
+            }
+        }
+    }
+    b.bind(labels[spec.body_items as usize])
+        .expect("tail label bound once");
+    b.addi(OUTER, OUTER, -1);
+    b.brnz(OUTER, top);
+    b.halt();
+    let program = b.build().expect("generated program is well-formed");
+
+    let per_iter: u64 = items.iter().map(Item::dynamic_len).sum::<u64>() + 2;
+    let setup = 4 + DATA_REGS.len() as u64;
+    let fuel = setup + spec.outer_iters as u64 * per_iter + 1;
+    FuzzProgram {
+        program,
+        memory,
+        fuel,
+        region_base: REGION_BASE,
+        region_bytes: REGION_WORDS * 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdf_isa::Executor;
+
+    #[test]
+    fn builds_and_halts_within_fuel() {
+        for seed in 0..20 {
+            let spec = FuzzSpec::from_seed(seed);
+            let fp = spec.build();
+            let mut e = Executor::new(&fp.program, fp.memory.clone());
+            let steps = e
+                .run(fp.fuel)
+                .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+            assert!(e.is_halted(), "seed {seed} did not halt");
+            assert!(steps <= fp.fuel, "seed {seed} exceeded fuel");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = FuzzSpec::from_seed(7);
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.fuel, b.fuel);
+    }
+
+    #[test]
+    fn masking_preserves_length_and_still_halts() {
+        let spec = FuzzSpec::from_seed(11);
+        let full = spec.build();
+        let masked = FuzzSpec {
+            masked: (0..spec.body_items).step_by(2).collect(),
+            ..spec.clone()
+        }
+        .build();
+        assert_eq!(
+            full.program.len(),
+            masked.program.len(),
+            "masking must not move pcs"
+        );
+        let mut e = Executor::new(&masked.program, masked.memory.clone());
+        e.run(masked.fuel).expect("masked program still halts");
+    }
+
+    #[test]
+    fn memory_stays_in_region() {
+        for seed in [1u64, 2, 3, 42] {
+            let spec = FuzzSpec::from_seed(seed);
+            let fp = spec.build();
+            let mut e = Executor::new(&fp.program, fp.memory.clone());
+            let end = fp.region_base + fp.region_bytes;
+            while !e.is_halted() {
+                let ev = e.step().expect("in fuel");
+                for (addr, _) in ev.load.into_iter().chain(ev.store) {
+                    assert!(
+                        addr >= fp.region_base && addr < end,
+                        "seed {seed}: access at {addr:#x} outside [{:#x}, {end:#x})",
+                        fp.region_base
+                    );
+                }
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@
 mod gen;
 mod kernels;
 
+pub mod fuzz;
 pub mod profile;
 pub mod registry;
 

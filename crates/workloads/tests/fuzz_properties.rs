@@ -1,0 +1,78 @@
+//! Property tests for the fuzz-program generator: the safety claims that
+//! make `cdf-sim fuzz` sound are proved here over the whole seed/mask space,
+//! not just the generator's unit-test seeds. Every generated program must
+//! (1) reach `Halt` under the functional oracle strictly within its
+//! advertised fuel, (2) confine every load and store to its declared memory
+//! region, and (3) keep both guarantees under arbitrary nop-masking, since
+//! the minimizer relies on masked variants staying well-formed.
+
+use cdf_isa::Executor;
+use cdf_workloads::fuzz::FuzzSpec;
+use proptest::prelude::*;
+
+/// Steps the oracle to completion, asserting fuel and confinement.
+fn check_spec(spec: &FuzzSpec) {
+    let fp = spec.build();
+    let mut e = Executor::new(&fp.program, fp.memory.clone());
+    let end = fp.region_base + fp.region_bytes;
+    let mut steps = 0u64;
+    while !e.is_halted() {
+        let ev = e.step().unwrap_or_else(|err| {
+            panic!(
+                "seed {}: oracle error after {steps} steps: {err}",
+                spec.seed
+            )
+        });
+        steps += 1;
+        assert!(
+            steps <= fp.fuel,
+            "seed {}: no Halt within the advertised fuel of {}",
+            spec.seed,
+            fp.fuel
+        );
+        for (addr, _) in ev.load.into_iter().chain(ev.store) {
+            assert!(
+                addr >= fp.region_base && addr < end,
+                "seed {}: access at {addr:#x} outside [{:#x}, {end:#x})",
+                spec.seed,
+                fp.region_base
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Any seed yields a program that halts within fuel and never touches
+    /// memory outside its region.
+    #[test]
+    fn generated_programs_terminate_and_stay_in_region(seed in 0u64..u64::MAX) {
+        check_spec(&FuzzSpec::from_seed(seed));
+    }
+
+    /// The guarantees survive arbitrary nop-masking (the minimizer's move),
+    /// and masking never changes the static program length.
+    #[test]
+    fn masked_programs_keep_the_guarantees(
+        seed in 0u64..u64::MAX,
+        mask_bits in prop::collection::vec(any::<bool>(), 48),
+    ) {
+        let base = FuzzSpec::from_seed(seed);
+        let full_len = base.build().program.len();
+        let mut spec = base.clone();
+        spec.masked = (0..base.body_items)
+            .filter(|&i| mask_bits[i as usize % mask_bits.len()])
+            .collect();
+        let fp = spec.build();
+        prop_assert_eq!(fp.program.len(), full_len);
+        check_spec(&spec);
+    }
+
+    /// Shrinking the trip count (the minimizer's other move) also preserves
+    /// termination and confinement.
+    #[test]
+    fn reduced_trip_counts_keep_the_guarantees(seed in 0u64..u64::MAX, iters in 1u32..8) {
+        let mut spec = FuzzSpec::from_seed(seed);
+        spec.outer_iters = spec.outer_iters.min(iters);
+        check_spec(&spec);
+    }
+}
