@@ -1,36 +1,63 @@
-//! Simulator engineering benchmark (not a paper figure): cycles simulated
-//! per wall-clock second on a representative kernel, for each mechanism.
+//! Simulator engineering benchmark (not a paper figure): simulated cycles
+//! per wall-clock second, per scheduler implementation, over the
+//! micro/macro case suite in [`cdf_bench::throughput`].
+//!
+//! Criterion reports each case with `Throughput::Elements(simulated
+//! cycles)`, so the `elem/s` column *is* cycles per second. Both schedulers
+//! run every case; simulated cycle counts are asserted identical (the
+//! equivalence contract), so only wall time may differ.
+//!
+//! Environment:
+//! * `CDF_BENCH_QUICK=1` (or `CDF_FAST=1`) — smaller instruction caps for
+//!   CI smoke runs.
+//! * `CDF_BENCH_JSON=<file>` — additionally self-time every case
+//!   (best-of-3, outside criterion) and write a `cdf-throughput/1`
+//!   document, the input format of the `throughput-gate` binary.
 
-use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode};
-use cdf_workloads::{registry, GenConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cdf_bench::throughput::{
+    measure, rows_json, run_once, sched_label, speedup_ratios, throughput_cases,
+};
+use cdf_core::SchedulerKind;
+use criterion::{criterion_group, Criterion, Throughput};
 
-fn bench_modes(c: &mut Criterion) {
-    let gen = GenConfig {
-        seed: 0xC0FFEE,
-        scale: 1.0 / 16.0,
-        iters: u64::MAX / 4,
-    };
-    let w = registry::by_name("astar_like", &gen).expect("known");
-    let mut group = c.benchmark_group("simulate_50k_instructions");
+fn quick() -> bool {
+    std::env::var_os("CDF_BENCH_QUICK").is_some() || std::env::var_os("CDF_FAST").is_some()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let cases = throughput_cases(quick());
+    let mut group = c.benchmark_group("scheduler_throughput");
     group.sample_size(10);
-    for (label, mode) in [
-        ("baseline", CoreMode::Baseline),
-        ("cdf", CoreMode::Cdf(CdfConfig::default())),
-    ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let cfg = CoreConfig {
-                    mode: mode.clone(),
-                    ..CoreConfig::default()
-                };
-                let mut core = Core::new(&w.program, w.memory.clone(), cfg);
-                core.run(50_000)
-            });
-        });
+    for case in &cases {
+        let (cycles, _) = run_once(case, SchedulerKind::EventDriven);
+        group.throughput(Throughput::Elements(cycles));
+        for sched in [SchedulerKind::EventDriven, SchedulerKind::ReferenceScan] {
+            let id = format!("{}/{}", case.name, sched_label(sched));
+            group.bench_function(&id, |b| b.iter(|| run_once(case, sched)));
+        }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);
+fn emit_json_if_requested() {
+    let Some(path) = std::env::var_os("CDF_BENCH_JSON") else {
+        return;
+    };
+    let quick = quick();
+    let rows = measure(&throughput_cases(quick), 3);
+    let path = std::path::PathBuf::from(path);
+    std::fs::write(&path, rows_json(&rows, quick).render_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("throughput rows: {}", path.display());
+    for (case, ratio) in speedup_ratios(&rows) {
+        eprintln!("  {case}: event/scan = {ratio:.2}x");
+    }
+}
+
+criterion_group!(benches, bench_schedulers);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    emit_json_if_requested();
+}

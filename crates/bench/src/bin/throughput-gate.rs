@@ -1,0 +1,129 @@
+//! `throughput-gate` — CI guard against simulator-throughput regressions.
+//!
+//! ```text
+//! throughput-gate --bless [--full]           # (re)write the baseline JSON
+//! throughput-gate [--full] [--tolerance F]   # measure and compare
+//! throughput-gate --baseline FILE ...        # non-default baseline path
+//! ```
+//!
+//! Measures the scheduler micro/macro suite (best-of-3, quick sizing by
+//! default) and compares cycles/second per case against the checked-in
+//! `crates/bench/baseline/throughput.json`. A case that regresses by more
+//! than the tolerance (default 20%) fails the gate. Wall-clock baselines
+//! are machine-dependent — re-bless when the reference hardware changes.
+//!
+//! Two machine-independent invariants are checked as well:
+//! * the `stall_window` micro case must keep the event-driven scheduler at
+//!   least 3x faster than the reference scan, and
+//! * the event scheduler must not be slower than the scan on any case by
+//!   more than the tolerance.
+
+use cdf_bench::throughput::{measure, rows_from_json, rows_json, speedup_ratios, throughput_cases};
+use cdf_sim::json::Json;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let bless = args.iter().any(|a| a == "--bless");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a fraction, e.g. 0.2"))
+        .unwrap_or(0.20);
+    let baseline_path = flag_value(&args, "--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baseline/throughput.json")
+        });
+
+    let quick = !full;
+    let rows = measure(&throughput_cases(quick), 3);
+    for r in &rows {
+        println!(
+            "{:32} {:>12.0} cycles/s  ({} cycles in {:.3}s)",
+            r.name,
+            r.cycles_per_sec(),
+            r.simulated_cycles,
+            r.wall_seconds
+        );
+    }
+    let ratios = speedup_ratios(&rows);
+    for (case, ratio) in &ratios {
+        println!("{case:32} event/scan = {ratio:.2}x");
+    }
+
+    let mut failures = Vec::new();
+    if let Some((_, micro)) = ratios.iter().find(|(c, _)| c == "stall_window") {
+        if *micro < 3.0 {
+            failures.push(format!(
+                "stall_window micro speedup collapsed: {micro:.2}x < 3x"
+            ));
+        }
+    } else {
+        failures.push("stall_window case missing from suite".to_string());
+    }
+    for (case, ratio) in &ratios {
+        if *ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "{case}: event scheduler slower than scan by more than {:.0}%: {ratio:.2}x",
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    if bless {
+        std::fs::create_dir_all(baseline_path.parent().expect("baseline dir"))
+            .expect("create baseline dir");
+        std::fs::write(&baseline_path, rows_json(&rows, quick).render_pretty())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", baseline_path.display()));
+        println!("blessed baseline: {}", baseline_path.display());
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Err(e) => failures.push(format!(
+                "no baseline at {} ({e}); run `throughput-gate --bless`",
+                baseline_path.display()
+            )),
+            Ok(text) => {
+                let doc = Json::parse(&text).expect("baseline JSON parses");
+                let baseline = rows_from_json(&doc).unwrap_or_else(|| {
+                    panic!(
+                        "{} is not a cdf-throughput/1 document",
+                        baseline_path.display()
+                    )
+                });
+                for (name, base_cps) in &baseline {
+                    let Some(row) = rows.iter().find(|r| &r.name == name) else {
+                        failures.push(format!("{name}: in baseline but not measured"));
+                        continue;
+                    };
+                    let cps = row.cycles_per_sec();
+                    if cps < base_cps * (1.0 - tolerance) {
+                        failures.push(format!(
+                            "{name}: {cps:.0} cycles/s is {:.1}% below baseline {base_cps:.0}",
+                            (1.0 - cps / base_cps) * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nthroughput gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        exit(1);
+    }
+    println!(
+        "\nthroughput gate passed (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+}

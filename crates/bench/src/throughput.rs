@@ -1,0 +1,269 @@
+//! Simulator-throughput measurement: simulated cycles per wall-clock
+//! second, per scheduler implementation, on a fixed case list.
+//!
+//! The case list is the scheduler micro/macro suite behind the
+//! `criterion_throughput` bench and the `throughput-gate` CI binary:
+//!
+//! * **micro** — `stall_window`: a pointer-chase LLC miss followed by a
+//!   long dependent ALU chain, looped. The window fills with waiting uops
+//!   behind the miss, so a per-cycle O(RS) scan pays its full cost while
+//!   doing no useful work; the event-driven scheduler idles. This isolates
+//!   the scheduler subsystem the way the sweep workloads cannot.
+//! * **macro** — registry sweep kernels (`astar_like`, `mcf_like`) under
+//!   baseline and CDF, at the default window and the Fig. 17 scaled
+//!   512-ROB window, end to end.
+//!
+//! Every case runs under both [`SchedulerKind`]s; cycle counts are asserted
+//! identical between the two (the equivalence contract, enforced even in
+//! the benchmark), so cycles/second is the only thing that may differ.
+
+use cdf_core::{Core, CoreConfig, SchedulerKind};
+use cdf_isa::{AluOp, ArchReg::*, MemoryImage, Program, ProgramBuilder};
+use cdf_sim::json::{field, Json};
+use cdf_sim::Mechanism;
+use cdf_workloads::{registry, GenConfig};
+use std::time::Instant;
+
+/// Schema tag of the throughput-rows document.
+pub const THROUGHPUT_SCHEMA: &str = "cdf-throughput/1";
+
+/// One named simulation case: a program plus a core configuration (without
+/// the scheduler choice, which the harness varies) and an instruction cap.
+#[derive(Debug)]
+pub struct ThroughputCase {
+    /// Case name, e.g. `stall_window` or `mcf_like/cdf/rob512`.
+    pub name: String,
+    /// The program to simulate.
+    pub program: Program,
+    /// Its initial memory image.
+    pub memory: MemoryImage,
+    /// Core configuration template (scheduler overridden per run).
+    pub cfg: CoreConfig,
+    /// Instruction cap per run.
+    pub instructions: u64,
+}
+
+/// One measurement: a case run under one scheduler.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// `<case>/<event|scan>`.
+    pub name: String,
+    /// Simulated cycles per run (identical across schedulers by the
+    /// equivalence contract).
+    pub simulated_cycles: u64,
+    /// Best-of-N wall-clock seconds for one run.
+    pub wall_seconds: f64,
+}
+
+impl ThroughputRow {
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.simulated_cycles as f64 / self.wall_seconds
+    }
+}
+
+/// Short label for a scheduler in case names.
+pub fn sched_label(s: SchedulerKind) -> &'static str {
+    match s {
+        SchedulerKind::EventDriven => "event",
+        SchedulerKind::ReferenceScan => "scan",
+    }
+}
+
+fn stall_window_program(trips: i64) -> (Program, MemoryImage) {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, trips);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R9, (1 << 20) - 1);
+    let top = b.label("top");
+    b.bind(top).expect("fresh label");
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R5, R10, 8, 0x1000_0000);
+    for _ in 0..60 {
+        b.alu(AluOp::Add, R6, R6, R5); // dependent chain stuck behind the miss
+    }
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    (b.build().expect("valid program"), MemoryImage::new())
+}
+
+/// Builds the full micro + macro case list. `quick` shrinks the instruction
+/// caps for CI smoke runs; the case list itself is identical.
+pub fn throughput_cases(quick: bool) -> Vec<ThroughputCase> {
+    let instructions: u64 = if quick { 30_000 } else { 150_000 };
+    let mut cases = Vec::new();
+
+    let (program, memory) = stall_window_program(1 << 20);
+    cases.push(ThroughputCase {
+        name: "stall_window".to_string(),
+        program,
+        memory,
+        cfg: CoreConfig::default(),
+        instructions,
+    });
+
+    let gen = GenConfig {
+        seed: 0xC0FFEE,
+        scale: 0.25,
+        iters: u64::MAX / 4,
+    };
+    for name in ["astar_like", "mcf_like"] {
+        let w = registry::lookup(name, &gen).expect("known workload");
+        for mech in [Mechanism::Baseline, Mechanism::Cdf] {
+            for rob in [352usize, 512] {
+                cases.push(ThroughputCase {
+                    name: format!("{name}/{}/rob{rob}", mech.label()),
+                    program: w.program.clone(),
+                    memory: w.memory.clone(),
+                    cfg: CoreConfig {
+                        mode: mech.mode(),
+                        ..CoreConfig::default().with_scaled_window(rob)
+                    },
+                    instructions,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Runs one case once under one scheduler; returns (cycles, wall seconds).
+pub fn run_once(case: &ThroughputCase, scheduler: SchedulerKind) -> (u64, f64) {
+    let cfg = CoreConfig {
+        scheduler,
+        ..case.cfg.clone()
+    };
+    let mut core = Core::new(&case.program, case.memory.clone(), cfg);
+    let start = Instant::now();
+    let stats = core.run(case.instructions);
+    (stats.cycles, start.elapsed().as_secs_f64())
+}
+
+/// Measures every case under both schedulers, best wall time of `repeats`
+/// runs each, asserting the equivalence contract (identical cycle counts)
+/// along the way.
+pub fn measure(cases: &[ThroughputCase], repeats: u32) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for case in cases {
+        let mut cycles_seen = None;
+        for sched in [SchedulerKind::EventDriven, SchedulerKind::ReferenceScan] {
+            let mut best = f64::MAX;
+            let mut cycles = 0;
+            for _ in 0..repeats.max(1) {
+                let (c, dt) = run_once(case, sched);
+                cycles = c;
+                best = best.min(dt);
+            }
+            match cycles_seen {
+                None => cycles_seen = Some(cycles),
+                Some(prev) => assert_eq!(
+                    prev, cycles,
+                    "{}: schedulers disagree on simulated cycles",
+                    case.name
+                ),
+            }
+            rows.push(ThroughputRow {
+                name: format!("{}/{}", case.name, sched_label(sched)),
+                simulated_cycles: cycles,
+                wall_seconds: best,
+            });
+        }
+    }
+    rows
+}
+
+/// Serializes rows as a `cdf-throughput/1` document.
+pub fn rows_json(rows: &[ThroughputRow], quick: bool) -> Json {
+    Json::Obj(vec![
+        field("schema", THROUGHPUT_SCHEMA),
+        field("quick", quick),
+        field(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            field("name", r.name.as_str()),
+                            field("simulated_cycles", r.simulated_cycles),
+                            field("wall_seconds", r.wall_seconds),
+                            field("cycles_per_sec", r.cycles_per_sec()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a `cdf-throughput/1` document into `(name, cycles_per_sec)` pairs.
+pub fn rows_from_json(doc: &Json) -> Option<Vec<(String, f64)>> {
+    if doc.get("schema").and_then(Json::as_str) != Some(THROUGHPUT_SCHEMA) {
+        return None;
+    }
+    let mut out = Vec::new();
+    for row in doc.get("rows").and_then(Json::as_arr)? {
+        let name = row.get("name").and_then(Json::as_str)?.to_string();
+        let cps = match row.get("cycles_per_sec")? {
+            Json::U64(v) => *v as f64,
+            Json::F64(v) => *v,
+            _ => return None,
+        };
+        out.push((name, cps));
+    }
+    Some(out)
+}
+
+/// The event/scan cycles-per-second ratio for each case present in `rows`
+/// under both schedulers.
+pub fn speedup_ratios(rows: &[ThroughputRow]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for r in rows {
+        let Some(case) = r.name.strip_suffix("/event") else {
+            continue;
+        };
+        let scan = rows.iter().find(|s| s.name == format!("{case}/scan"));
+        if let Some(scan) = scan {
+            out.push((case.to_string(), r.cycles_per_sec() / scan.cycles_per_sec()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_roundtrip_and_ratios() {
+        let rows = vec![
+            ThroughputRow {
+                name: "x/event".into(),
+                simulated_cycles: 1000,
+                wall_seconds: 0.5,
+            },
+            ThroughputRow {
+                name: "x/scan".into(),
+                simulated_cycles: 1000,
+                wall_seconds: 1.0,
+            },
+        ];
+        let doc = Json::parse(&rows_json(&rows, true).render()).expect("valid");
+        let parsed = rows_from_json(&doc).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "x/event");
+        assert!((parsed[0].1 - 2000.0).abs() < 1e-6);
+        let ratios = speedup_ratios(&rows);
+        assert_eq!(ratios.len(), 1);
+        assert!((ratios[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case_list_covers_micro_and_macro() {
+        let cases = throughput_cases(true);
+        assert!(cases.iter().any(|c| c.name == "stall_window"));
+        assert!(cases.iter().any(|c| c.name == "mcf_like/CDF/rob512"));
+        assert_eq!(cases.len(), 9);
+    }
+}

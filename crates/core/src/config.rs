@@ -143,6 +143,26 @@ impl Default for PreConfig {
     }
 }
 
+/// Which wakeup/select implementation drives the schedule/execute stage.
+///
+/// Both produce **bit-identical** results — same `CoreStats`, same retired
+/// stream, on every mechanism and workload (enforced by the golden-stats and
+/// lockstep-equivalence suites in `cdf-sim`). The scan is kept selectable at
+/// runtime, rather than compiled out, precisely so one process can run both
+/// and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// Event-driven wakeup/select: per-physical-register waiter lists wake
+    /// exactly the dependents of a completing uop, and segregated
+    /// critical/non-critical ready queues give oldest-first select with
+    /// critical priority without per-cycle sorting. The default.
+    #[default]
+    EventDriven,
+    /// The original per-cycle O(RS) scan over all reservation-station
+    /// entries — slower, trivially correct, kept as the equivalence oracle.
+    ReferenceScan,
+}
+
 /// Which mechanism the core runs.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub enum CoreMode {
@@ -196,6 +216,16 @@ pub struct CoreConfig {
     pub code_base: u64,
     /// Mechanism selection.
     pub mode: CoreMode,
+    /// Wakeup/select implementation (see [`SchedulerKind`]).
+    pub scheduler: SchedulerKind,
+    /// Instruction-pool ring capacity in slots, rounded up to a power of
+    /// two. `0` (the default) sizes the pool automatically from the window:
+    /// large enough that the live sequence-number span — the 8192-seq
+    /// critical-fetch runaway guard plus the ROB and the frontend buffers —
+    /// can never alias two in-flight uops. An explicit smaller value is
+    /// honoured: rename backpressures when its sequence number would alias a
+    /// live slot, instead of panicking.
+    pub instr_pool_slots: usize,
 }
 
 impl Default for CoreConfig {
@@ -216,6 +246,8 @@ impl Default for CoreConfig {
             tage: TageConfig::default(),
             code_base: 0x0040_0000,
             mode: CoreMode::Baseline,
+            scheduler: SchedulerKind::default(),
+            instr_pool_slots: 0,
         }
     }
 }
@@ -232,6 +264,19 @@ impl CoreConfig {
         self.sq = ((72.0 * ratio) as usize).max(8);
         self.phys_regs = ((512.0 * ratio) as usize).max(rob + 64);
         self
+    }
+
+    /// The instruction-pool ring capacity this configuration resolves to:
+    /// [`instr_pool_slots`](Self::instr_pool_slots) rounded up to a power of
+    /// two, or — when 0 — the smallest power of two covering the maximum
+    /// live sequence-number span (the 8192-seq critical-fetch runaway guard
+    /// plus the ROB and the frontend buffers).
+    pub fn pool_slots(&self) -> usize {
+        if self.instr_pool_slots > 0 {
+            self.instr_pool_slots.next_power_of_two()
+        } else {
+            (8192 + self.rob + 512).next_power_of_two()
+        }
     }
 
     /// The CDF configuration if the mode carries one.
@@ -286,6 +331,27 @@ mod tests {
         assert!(
             !p.cdf_config().unwrap().mark_branches,
             "PRE marks only loads"
+        );
+    }
+
+    #[test]
+    fn scheduler_and_pool_defaults() {
+        let c = CoreConfig::default();
+        assert_eq!(c.scheduler, SchedulerKind::EventDriven);
+        assert_eq!(
+            c.pool_slots(),
+            16384,
+            "Table 1 window resolves to the historical ring size"
+        );
+        let small = CoreConfig {
+            instr_pool_slots: 48,
+            ..CoreConfig::default()
+        };
+        assert_eq!(small.pool_slots(), 64, "explicit capacity rounds up");
+        let big = CoreConfig::default().with_scaled_window(8192);
+        assert!(
+            big.pool_slots() > 8192 + 8192,
+            "auto sizing tracks the window"
         );
     }
 

@@ -9,7 +9,7 @@
 //! workload and mode.
 
 use crate::cdf_engine::{CdfEngine, CmqEntry, DbqEntry};
-use crate::config::{CoreConfig, CoreMode};
+use crate::config::{CoreConfig, CoreMode, SchedulerKind};
 use crate::fill_buffer::FbEntry;
 use crate::frontend::{DecodePipe, FetchedUop};
 use crate::lsq::{ForwardResult, LqEntry, Lsq, SqEntry};
@@ -18,6 +18,7 @@ use crate::pre::RunaheadState;
 use crate::regfile::{Rat, RatKind, RegFile, RenameLog, RenameLogEntry};
 use crate::rob::PartitionedQueue;
 use crate::rs::{PortBudget, PortClass, ReservationStations};
+use crate::sched::Scheduler;
 use crate::stats::CoreStats;
 use crate::types::{DynUop, InstrPool, PhysReg, Seq, Stream, UopState};
 use cdf_bpred::{Btb, BtbConfig, DirectionPredictor, Prediction, TageScL};
@@ -84,6 +85,15 @@ pub struct Core<'p> {
     commit_seq: u64,
     completions: BinaryHeap<std::cmp::Reverse<(u64, u64, u64)>>,
     pending_flush: Option<Flush>,
+
+    /// Event-driven wakeup/select state (see [`crate::sched`]). Maintained
+    /// only when `event_sched` is set.
+    sched: Scheduler,
+    /// The configured scheduler is [`SchedulerKind::EventDriven`]; false
+    /// selects the reference scan and skips all event bookkeeping.
+    event_sched: bool,
+    /// Reused scratch for draining waiter lists in `complete`.
+    wake_buf: Vec<(u64, u64)>,
 
     // CDF mode state.
     cdf: Option<CdfEngine>,
@@ -187,7 +197,7 @@ impl<'p> Core<'p> {
             last_fetch_line: None,
             fetch_blocked: false,
             decode: DecodePipe::new(cfg.decode_latency, cfg.fetch_width * 8),
-            pool: InstrPool::new(),
+            pool: InstrPool::with_slots(cfg.pool_slots()),
             next_uid: 1,
             rob: PartitionedQueue::new(cfg.rob, 0, 16.min(cfg.rob / 4)),
             rs: ReservationStations::new(cfg.rs, cfg.rs.saturating_sub(32).max(cfg.rs / 2)),
@@ -199,6 +209,9 @@ impl<'p> Core<'p> {
             commit_seq: 1,
             completions: BinaryHeap::new(),
             pending_flush: None,
+            sched: Scheduler::new(cfg.phys_regs),
+            event_sched: cfg.scheduler == SchedulerKind::EventDriven,
+            wake_buf: Vec::new(),
             cdf,
             cdf_fetch_mode: false,
             cdf_entry_seq: 0,
@@ -795,12 +808,39 @@ impl<'p> Core<'p> {
             if let (Some(pdst), Some(v)) = (uop.pdst, uop.result) {
                 self.prf.write(pdst, v);
                 self.energy.record(Activity::PrfOp, 1);
+                if self.event_sched {
+                    self.wake_reg(pdst);
+                }
             }
-            if uop.uop.op.is_load() {
-                let (s, addr) = (uop.seq, uop.mem_addr.expect("completing load has addr"));
-                self.lsq.set_load_state(s, addr, true);
+            if let Some(uop) = self.pool.get(seq) {
+                if uop.uop.op.is_load() {
+                    let (s, addr) = (uop.seq, uop.mem_addr.expect("completing load has addr"));
+                    self.lsq.set_load_state(s, addr, true);
+                }
             }
         }
+    }
+
+    /// Wakeup: `p` was just written, so every uop waiting on it re-checks
+    /// readiness; the now-ready ones enter the ready queue. Tokens whose uop
+    /// was flushed (or whose sequence number was reused) fail validation and
+    /// are dropped. This is the only place a waiting uop becomes
+    /// selectable — `prf` readiness transitions false→true only here in
+    /// `complete` — so the ready queues always hold exactly the uops the
+    /// reference scan would find ready.
+    fn wake_reg(&mut self, p: PhysReg) {
+        let mut buf = std::mem::take(&mut self.wake_buf);
+        self.sched.drain_waiters(p, &mut buf);
+        for &(seq, uid) in &buf {
+            let Some(u) = self.pool.get(seq) else {
+                continue;
+            };
+            if u.uid != uid || u.state != UopState::Waiting || !self.srcs_ready(u) {
+                continue;
+            }
+            self.sched.enqueue_ready(u.critical, (seq, uid));
+        }
+        self.wake_buf = buf;
     }
 
     // ------------------------------------------------------------------
@@ -842,6 +882,54 @@ impl<'p> Core<'p> {
             load: self.cfg.ports.load,
             store: self.cfg.ports.store,
         };
+        if !self.event_sched {
+            return self.schedule_execute_scan(ports);
+        }
+        // Event-driven select: drain the critical ready queue, then the
+        // regular one, each oldest-first — the same visit order as the
+        // reference scan's (!critical, seq) sort restricted to ready uops.
+        // Entries that cannot issue this cycle (port taken, or an execute
+        // attempt that must retry: MSHR rejection, store-forward stall,
+        // memory-dependence wait) are deferred and requeued for next cycle,
+        // exactly matching the scan's retry-every-cycle behaviour.
+        'select: for crit in [true, false] {
+            while let Some((seq, uid)) = self.sched.pop_ready(crit) {
+                let Some(u) = self.pool.get(seq) else {
+                    continue; // flushed: stale token
+                };
+                if u.uid != uid || u.state != UopState::Waiting {
+                    continue; // reused seq, or already issued
+                }
+                if !self.srcs_ready(u) {
+                    self.sched.defer(crit, (seq, uid));
+                    continue;
+                }
+                if ports.exhausted() {
+                    self.sched.defer(crit, (seq, uid));
+                    break 'select;
+                }
+                if !ports.take(Self::op_port(u.uop.op)) {
+                    self.sched.defer(crit, (seq, uid));
+                    continue;
+                }
+                self.execute_one(Seq(seq));
+                let still_waiting = self
+                    .pool
+                    .get(seq)
+                    .map(|u| u.state == UopState::Waiting)
+                    .unwrap_or(false);
+                if still_waiting {
+                    self.sched.defer(crit, (seq, uid));
+                }
+            }
+        }
+        self.sched.requeue_deferred();
+    }
+
+    /// The original per-cycle O(RS) scan, selectable via
+    /// [`SchedulerKind::ReferenceScan`] as the equivalence oracle for the
+    /// event-driven scheduler.
+    fn schedule_execute_scan(&mut self, mut ports: PortBudget) {
         // Oldest-first select with priority for critical uops (§3.5).
         let mut ordered: Vec<(bool, Seq)> = self
             .rs
@@ -1093,6 +1181,7 @@ impl<'p> Core<'p> {
                 break;
             }
             let uop = fu.uop;
+            let crit_seq = fu.seq;
             let cmq_full = {
                 let cdf = self.cdf.as_ref().expect("CDF mode has an engine");
                 cdf.cmq.len() >= cdf.cfg.cmq
@@ -1100,7 +1189,9 @@ impl<'p> Core<'p> {
             if cmq_full {
                 break;
             }
-            let rob_blocked = !self.rob.has_space(true) || !self.rs.has_space(true);
+            let rob_blocked = !self.rob.has_space(true)
+                || !self.rs.has_space(true)
+                || !self.pool.can_insert(crit_seq.0);
             let lq_blocked = uop.op.is_load() && !self.lsq.lq.has_space(true);
             let sq_blocked = uop.op.is_store() && !self.lsq.sq.has_space(true);
             if rob_blocked
@@ -1229,7 +1320,8 @@ impl<'p> Core<'p> {
         }
 
         // --- Normal rename ---
-        let rob_blocked = !self.rob.has_space(false) || !self.rs.has_space(false);
+        let rob_blocked =
+            !self.rob.has_space(false) || !self.rs.has_space(false) || !self.pool.can_insert(seq.0);
         let lq_blocked = uop.op.is_load() && !self.lsq.lq.has_space(false);
         let sq_blocked = uop.op.is_store() && !self.lsq.sq.has_space(false);
         if rob_blocked
@@ -1343,6 +1435,28 @@ impl<'p> Core<'p> {
         self.rob.push(seq, critical);
         self.energy.record(Activity::RobWrite, 1);
         self.rs.insert(seq, critical);
+        if self.event_sched {
+            // Wakeup registration: one waiter per *distinct* not-ready
+            // source register (duplicates deduped so the token is enqueued
+            // at most once), or straight to the ready queue when every
+            // source is already ready. Each registration is consumed by
+            // exactly one wake, and only the wake that completes the last
+            // outstanding source enqueues — so the ready queues never hold
+            // a live token twice.
+            let token = (seq.0, d.uid);
+            let mut pending = false;
+            for i in 0..d.psrcs.len() {
+                let Some(p) = d.psrcs[i] else { continue };
+                if self.prf.is_ready(p) || d.psrcs[..i].contains(&Some(p)) {
+                    continue;
+                }
+                self.sched.add_waiter(p, token);
+                pending = true;
+            }
+            if !pending {
+                self.sched.enqueue_ready(critical, token);
+            }
+        }
         match uop.op {
             Op::Load => {
                 self.lsq.lq.push(

@@ -77,10 +77,11 @@ mod lsq;
 mod regfile;
 mod rob;
 mod rs;
+mod sched;
 mod stats;
 mod types;
 
-pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig};
+pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig, SchedulerKind};
 pub use core_impl::Core;
 pub use observer::{
     Divergence, DivergenceKind, LockstepLog, OracleLockstep, RetireObserver, RetiredUop,

@@ -63,7 +63,10 @@ impl RegFile {
         self.free.push_back(p);
     }
 
-    /// Writes a value and marks the register ready.
+    /// Writes a value and marks the register ready. This is the sole
+    /// false→true readiness transition after construction — the core's
+    /// event-driven scheduler hangs its wakeup hook on exactly this edge.
+    #[inline]
     pub fn write(&mut self, p: PhysReg, value: u64) {
         self.values[p.0 as usize] = value;
         self.ready[p.0 as usize] = true;
@@ -74,12 +77,14 @@ impl RegFile {
     /// # Panics
     ///
     /// Debug-asserts the register is ready (scheduling bug otherwise).
+    #[inline]
     pub fn read(&self, p: PhysReg) -> u64 {
         debug_assert!(self.ready[p.0 as usize], "read of not-ready {p:?}");
         self.values[p.0 as usize]
     }
 
     /// Whether the register's value has been produced.
+    #[inline]
     pub fn is_ready(&self, p: PhysReg) -> bool {
         self.ready[p.0 as usize]
     }

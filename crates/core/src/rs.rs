@@ -110,6 +110,12 @@ impl PortBudget {
             false
         }
     }
+
+    /// Whether every port class is spent — select can stop early, since no
+    /// remaining candidate of any class could issue this cycle.
+    pub fn exhausted(&self) -> bool {
+        self.int == 0 && self.fp == 0 && self.load == 0 && self.store == 0
+    }
 }
 
 /// Execution port classes.
@@ -179,6 +185,8 @@ mod tests {
         assert!(!p.take(PortClass::Int));
         assert!(p.take(PortClass::Fp));
         assert!(!p.take(PortClass::Store));
+        assert!(!p.exhausted(), "a load port remains");
         assert!(p.take(PortClass::Load));
+        assert!(p.exhausted());
     }
 }

@@ -1,0 +1,170 @@
+//! Event-driven wakeup/select scheduler state.
+//!
+//! The scan scheduler the core shipped with rebuilt, heap-allocated and
+//! sorted a `Vec` of every reservation-station entry and re-polled source
+//! readiness on every waiting uop, every cycle — O(RS) work per cycle even
+//! when nothing woke up. Real wakeup/select hardware is event-driven: a
+//! completing uop broadcasts its destination tag and wakes exactly the
+//! entries waiting on it. This module is that design:
+//!
+//! * **Waiter lists (the scoreboard):** one list per physical register,
+//!   holding the `(seq, uid)` of every dispatched uop that had that register
+//!   as a not-yet-ready source at rename. The completion stage drains the
+//!   destination register's list; a woken uop whose sources are now all
+//!   ready enters the ready queue.
+//! * **Segregated ready queues:** two min-heaps keyed by sequence number,
+//!   one for critical uops and one for the rest, so select is oldest-first
+//!   with critical priority (§3.5) without sorting anything per cycle.
+//! * **Lazy invalidation:** flushes never walk the scheduler. Stale entries
+//!   (flushed uops, or re-used sequence numbers) are dropped at wake/select
+//!   time by validating `(seq, uid)` against the instruction pool. This
+//!   keeps the flush path O(flushed work) and the steady state
+//!   allocation-free — every buffer here is reused, never rebuilt.
+//!
+//! Select-order equivalence with the reference scan (critical-first, then
+//! ascending seq, skipping not-ready entries) is proven by the
+//! scheduler-equivalence suite in `cdf-sim`: both schedulers produce
+//! bit-identical `CoreStats` and retirement digests on every mechanism.
+
+use crate::types::PhysReg;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduler token: the sequence number and dispatch uid of one uop. The
+/// uid guards against sequence-number reuse after flushes — a token is only
+/// acted on if the pool still holds the same dispatch.
+pub(crate) type Token = (u64, u64);
+
+/// Event-driven wakeup/select state (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub(crate) struct Scheduler {
+    /// Per-physical-register waiter lists. Indexed by `PhysReg.0`.
+    waiters: Vec<Vec<Token>>,
+    /// Ready critical uops, oldest (smallest seq) first.
+    ready_crit: BinaryHeap<Reverse<Token>>,
+    /// Ready non-critical uops, oldest first.
+    ready_reg: BinaryHeap<Reverse<Token>>,
+    /// Tokens popped this cycle that must be retried next cycle (port
+    /// exhaustion, or an execute attempt that left the uop waiting: MSHR
+    /// rejection, store-forward data stall, memory-dependence wait).
+    deferred: Vec<(bool, Token)>,
+}
+
+impl Scheduler {
+    /// Creates scheduler state for a PRF of `phys_regs` registers.
+    pub fn new(phys_regs: usize) -> Scheduler {
+        Scheduler {
+            waiters: vec![Vec::new(); phys_regs],
+            ready_crit: BinaryHeap::new(),
+            ready_reg: BinaryHeap::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Registers `token` as waiting on `p` becoming ready.
+    pub fn add_waiter(&mut self, p: PhysReg, token: Token) {
+        self.waiters[p.0 as usize].push(token);
+    }
+
+    /// Moves the waiter list of `p` into `buf` (cleared first). The list
+    /// keeps its capacity for reuse; the caller validates each token and
+    /// re-enqueues the genuinely ready ones.
+    pub fn drain_waiters(&mut self, p: PhysReg, buf: &mut Vec<Token>) {
+        buf.clear();
+        buf.append(&mut self.waiters[p.0 as usize]);
+    }
+
+    /// Enqueues a ready uop for selection.
+    pub fn enqueue_ready(&mut self, critical: bool, token: Token) {
+        if critical {
+            self.ready_crit.push(Reverse(token));
+        } else {
+            self.ready_reg.push(Reverse(token));
+        }
+    }
+
+    /// Pops the oldest ready token of the given class.
+    pub fn pop_ready(&mut self, critical: bool) -> Option<Token> {
+        let heap = if critical {
+            &mut self.ready_crit
+        } else {
+            &mut self.ready_reg
+        };
+        heap.pop().map(|Reverse(t)| t)
+    }
+
+    /// Holds a popped token for retry next cycle (it stays selected-order
+    /// stable: re-insertion into the seq-keyed heap restores its position).
+    pub fn defer(&mut self, critical: bool, token: Token) {
+        self.deferred.push((critical, token));
+    }
+
+    /// Returns every deferred token to its ready queue (end of select).
+    pub fn requeue_deferred(&mut self) {
+        while let Some((critical, token)) = self.deferred.pop() {
+            self.enqueue_ready(critical, token);
+        }
+    }
+
+    /// Number of queued-ready tokens (stale tokens included until popped).
+    #[cfg(test)]
+    pub fn ready_len(&self) -> usize {
+        self.ready_crit.len() + self.ready_reg.len()
+    }
+
+    /// Number of registered waiter tokens across all registers.
+    #[cfg(test)]
+    pub fn waiter_len(&self) -> usize {
+        self.waiters.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_is_oldest_first_with_critical_priority() {
+        let mut s = Scheduler::new(8);
+        s.enqueue_ready(false, (5, 50));
+        s.enqueue_ready(true, (9, 90));
+        s.enqueue_ready(false, (3, 30));
+        s.enqueue_ready(true, (7, 70));
+        // Critical class drains first, each class oldest-first.
+        assert_eq!(s.pop_ready(true), Some((7, 70)));
+        assert_eq!(s.pop_ready(true), Some((9, 90)));
+        assert_eq!(s.pop_ready(true), None);
+        assert_eq!(s.pop_ready(false), Some((3, 30)));
+        assert_eq!(s.pop_ready(false), Some((5, 50)));
+        assert_eq!(s.pop_ready(false), None);
+    }
+
+    #[test]
+    fn wakeup_drains_exactly_the_written_register() {
+        let mut s = Scheduler::new(4);
+        s.add_waiter(PhysReg(1), (10, 1));
+        s.add_waiter(PhysReg(1), (11, 2));
+        s.add_waiter(PhysReg(2), (12, 3));
+        let mut buf = Vec::new();
+        s.drain_waiters(PhysReg(1), &mut buf);
+        assert_eq!(buf, vec![(10, 1), (11, 2)]);
+        assert_eq!(s.waiter_len(), 1, "p2's waiter is untouched");
+        s.drain_waiters(PhysReg(1), &mut buf);
+        assert!(buf.is_empty(), "a second drain finds nothing");
+    }
+
+    #[test]
+    fn deferred_tokens_return_to_their_queue_in_order() {
+        let mut s = Scheduler::new(4);
+        s.enqueue_ready(false, (4, 1));
+        s.enqueue_ready(false, (2, 2));
+        let a = s.pop_ready(false).unwrap();
+        s.defer(false, a);
+        let b = s.pop_ready(false).unwrap();
+        s.defer(false, b);
+        assert_eq!(s.ready_len(), 0);
+        s.requeue_deferred();
+        assert_eq!(s.pop_ready(false), Some((2, 2)), "oldest-first restored");
+        assert_eq!(s.pop_ready(false), Some((4, 1)));
+    }
+}

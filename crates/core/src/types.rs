@@ -163,56 +163,78 @@ mod tests {
 }
 
 /// The in-flight instruction pool: a ring-indexed array keyed by sequence
-/// number. In-flight sequence numbers span at most the critical-fetch
-/// runahead guard (8192) plus the window size, so a power-of-two ring of
-/// 16384 slots can never alias two live uops.
+/// number. Capacity comes from the configuration
+/// (`CoreConfig::pool_slots()`): by default a power of two large enough that
+/// the live sequence-number span — the critical-fetch runaway guard (8192)
+/// plus the window and frontend buffers — can never alias two live uops.
+/// With a smaller explicit capacity, rename consults [`can_insert`]
+/// (InstrPool::can_insert) and backpressures instead of aliasing.
 #[derive(Clone, Debug)]
 pub(crate) struct InstrPool {
     slots: Vec<Option<DynUop>>,
+    mask: usize,
     len: usize,
 }
 
-const POOL_SLOTS: usize = 16384;
-
 impl InstrPool {
-    pub fn new() -> InstrPool {
+    /// A pool of `slots` ring slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slots` is a power of two (ring indexing is a mask).
+    pub fn with_slots(slots: usize) -> InstrPool {
+        assert!(
+            slots.is_power_of_two(),
+            "instruction pool capacity must be a power of two, got {slots}"
+        );
         InstrPool {
-            slots: vec![None; POOL_SLOTS],
+            slots: vec![None; slots],
+            mask: slots - 1,
             len: 0,
         }
     }
 
     #[inline]
-    fn idx(seq: u64) -> usize {
-        (seq as usize) & (POOL_SLOTS - 1)
+    fn idx(&self, seq: u64) -> usize {
+        (seq as usize) & self.mask
     }
 
     #[inline]
     pub fn get(&self, seq: u64) -> Option<&DynUop> {
-        self.slots[Self::idx(seq)]
+        self.slots[self.idx(seq)]
             .as_ref()
             .filter(|u| u.seq.0 == seq)
     }
 
     #[inline]
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut DynUop> {
-        self.slots[Self::idx(seq)]
-            .as_mut()
-            .filter(|u| u.seq.0 == seq)
+        let i = self.idx(seq);
+        self.slots[i].as_mut().filter(|u| u.seq.0 == seq)
     }
 
     pub fn contains_key(&self, seq: u64) -> bool {
         self.get(seq).is_some()
     }
 
+    /// Whether `seq` can be inserted without aliasing a different live uop —
+    /// the rename-stage backpressure condition for small pools.
+    #[inline]
+    pub fn can_insert(&self, seq: u64) -> bool {
+        self.slots[self.idx(seq)]
+            .as_ref()
+            .is_none_or(|u| u.seq.0 == seq)
+    }
+
     /// Inserts a uop.
     ///
     /// # Panics
     ///
-    /// Panics if the slot is occupied by a *different live* uop (ring
-    /// aliasing would be a correctness bug, not a capacity condition).
+    /// Panics if the slot is occupied by a *different live* uop (rename
+    /// gates on [`can_insert`](Self::can_insert); aliasing here is a
+    /// correctness bug, not a capacity condition).
     pub fn insert(&mut self, seq: u64, uop: DynUop) {
-        let slot = &mut self.slots[Self::idx(seq)];
+        let i = self.idx(seq);
+        let slot = &mut self.slots[i];
         if let Some(old) = slot {
             assert!(
                 old.seq.0 == seq,
@@ -226,7 +248,8 @@ impl InstrPool {
     }
 
     pub fn remove(&mut self, seq: u64) -> Option<DynUop> {
-        let slot = &mut self.slots[Self::idx(seq)];
+        let i = self.idx(seq);
+        let slot = &mut self.slots[i];
         if slot.as_ref().map(|u| u.seq.0) == Some(seq) {
             self.len -= 1;
             slot.take()
@@ -244,20 +267,23 @@ impl InstrPool {
 mod pool_tests {
     use super::*;
 
+    const SLOTS: u64 = 64;
+
+    fn pool() -> InstrPool {
+        InstrPool::with_slots(SLOTS as usize)
+    }
+
     fn uop(seq: u64) -> DynUop {
         DynUop::new(Seq(seq), Pc::new(0), StaticUop::nop(), Stream::Regular)
     }
 
     #[test]
     fn insert_get_remove() {
-        let mut p = InstrPool::new();
+        let mut p = pool();
         p.insert(5, uop(5));
         assert!(p.contains_key(5));
         assert_eq!(p.get(5).unwrap().seq, Seq(5));
-        assert!(
-            p.get(5 + POOL_SLOTS as u64).is_none(),
-            "aliased slot rejects"
-        );
+        assert!(p.get(5 + SLOTS).is_none(), "aliased slot rejects");
         assert_eq!(p.len(), 1);
         assert_eq!(p.remove(5).unwrap().seq, Seq(5));
         assert!(p.remove(5).is_none());
@@ -266,7 +292,7 @@ mod pool_tests {
 
     #[test]
     fn reinsert_same_seq_replaces() {
-        let mut p = InstrPool::new();
+        let mut p = pool();
         p.insert(7, uop(7));
         let mut u = uop(7);
         u.uid = 99;
@@ -276,10 +302,28 @@ mod pool_tests {
     }
 
     #[test]
+    fn can_insert_reports_aliasing() {
+        let mut p = pool();
+        assert!(p.can_insert(3));
+        p.insert(3, uop(3));
+        assert!(p.can_insert(3), "same seq replaces, never aliases");
+        assert!(!p.can_insert(3 + SLOTS), "live slot blocks the alias");
+        assert!(p.can_insert(4));
+        p.remove(3);
+        assert!(p.can_insert(3 + SLOTS), "freed slot accepts again");
+    }
+
+    #[test]
     #[should_panic(expected = "aliasing")]
     fn aliasing_panics() {
-        let mut p = InstrPool::new();
+        let mut p = pool();
         p.insert(1, uop(1));
-        p.insert(1 + POOL_SLOTS as u64, uop(1 + POOL_SLOTS as u64));
+        p.insert(1 + SLOTS, uop(1 + SLOTS));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_capacity_rejected() {
+        InstrPool::with_slots(48);
     }
 }

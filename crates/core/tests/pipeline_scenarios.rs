@@ -346,3 +346,62 @@ fn mshr_depth_bounds_mlp() {
     );
     assert!(large.ipc() > small.ipc() * 1.5);
 }
+
+/// A deliberately tiny instruction pool must backpressure rename — never
+/// trip the ring-aliasing panic — and still retire the program correctly,
+/// even with CDF's far-ahead critical fetch stream in play.
+#[test]
+fn tiny_instr_pool_backpressures_instead_of_panicking() {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, 500);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R9, (1 << 16) - 1);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.mul(R10, R1, R12);
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_abs(R5, R10, 8, 0x1000_0000);
+    b.alu(AluOp::Add, R2, R2, R5);
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    let p = b.build().unwrap();
+
+    for mode in [
+        cdf_core::CoreMode::Baseline,
+        cdf_core::CoreMode::Cdf(Default::default()),
+    ] {
+        let tiny_cfg = CoreConfig {
+            mode: mode.clone(),
+            instr_pool_slots: 64,
+            ..CoreConfig::default()
+        };
+        assert_eq!(tiny_cfg.pool_slots(), 64);
+        let mut tiny_core = Core::new(&p, MemoryImage::new(), tiny_cfg);
+        let tiny = tiny_core.run(100_000);
+        assert!(tiny.halted, "tiny pool must stall, not hang ({mode:?})");
+
+        let big_cfg = CoreConfig {
+            mode: mode.clone(),
+            ..CoreConfig::default()
+        };
+        let mut big_core = Core::new(&p, MemoryImage::new(), big_cfg);
+        let big = big_core.run(100_000);
+        assert!(big.halted);
+        assert_eq!(
+            tiny.retired, big.retired,
+            "same architectural work ({mode:?})"
+        );
+        assert_eq!(
+            tiny_core.arch_state().reg(R2),
+            big_core.arch_state().reg(R2),
+            "same architectural result ({mode:?})"
+        );
+        assert!(
+            tiny.cycles >= big.cycles,
+            "a 64-slot pool cannot beat the full window ({mode:?}): {} vs {}",
+            tiny.cycles,
+            big.cycles
+        );
+    }
+}

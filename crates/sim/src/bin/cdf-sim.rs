@@ -15,6 +15,8 @@
 //! cdf-sim fuzz [--seeds N] [--start N] [--budget M] [--mechs a,b,c]
 //!              [--minimize] [--shrink-budget N] [--threads N]
 //!              [--out DIR] [--report FILE]
+//! cdf-sim equiv [--seeds N] [--start N] [--mechs a,b,c] [--threads N]
+//!               [--report FILE]
 //! ```
 
 use cdf_core::{CoreConfig, TelemetryConfig};
@@ -30,7 +32,7 @@ fn usage() -> ! {
         "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
          cdf-sim report <workload> [options]\n  cdf-sim telemetry <workload> [options]\n  \
          cdf-sim compare <workload> [options]\n  cdf-sim sweep [options]\n  \
-         cdf-sim fuzz [options]\n\noptions:\n  \
+         cdf-sim fuzz [options]\n  cdf-sim equiv [options]\n\noptions:\n  \
          --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
          mechanism (run/report/telemetry; default cdf)\n  \
          --rob N        scale the window to N ROB entries\n  \
@@ -54,7 +56,12 @@ fn usage() -> ! {
          --minimize         delta-debug each failure to a minimal reproducer\n  \
          --shrink-budget N  shrinker predicate evaluations per failure (default 300)\n  \
          --out DIR          write each failure as a cdf-fuzz-case/1 JSON file\n  \
-         --report FILE      write the cdf-fuzz/1 JSON report to FILE"
+         --report FILE      write the cdf-fuzz/1 JSON report to FILE\n\nequiv options:\n  \
+         --seeds N          fuzz programs to run under both schedulers (default 500)\n  \
+         --start N          first seed (default 1)\n  \
+         --mechs a,b,c      mechanisms (default: all seven)\n  \
+         --threads N        worker threads (default: all hardware threads)\n  \
+         --report FILE      write the cdf-equiv/1 JSON report to FILE"
     );
     exit(2)
 }
@@ -114,6 +121,42 @@ fn run_fuzz_command(args: &[String]) {
     }
     if !report.clean() {
         exit(4);
+    }
+}
+
+fn run_equiv_command(args: &[String]) {
+    let mut cfg = cdf_sim::EquivConfig::default();
+    if let Some(v) = flag_value(args, "--seeds") {
+        cfg.seeds = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = flag_value(args, "--start") {
+        cfg.start_seed = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = flag_value(args, "--threads") {
+        cfg.threads = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(list) = flag_value(args, "--mechs") {
+        cfg.mechanisms = list
+            .split(',')
+            .map(|s| {
+                Mechanism::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism `{s}`");
+                    usage()
+                })
+            })
+            .collect();
+    }
+    let report = cdf_sim::run_equivalence(&cfg);
+    println!("{}", report.render_summary());
+    if let Some(path) = flag_value(args, "--report") {
+        std::fs::write(path, report.to_json().render_pretty()).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote {path}");
+    }
+    if !report.clean() {
+        exit(5);
     }
 }
 
@@ -376,6 +419,7 @@ fn main() {
         Some("telemetry") => run_telemetry_command(&args[1..]),
         Some("sweep") => run_sweep_command(&args[1..]),
         Some("fuzz") => run_fuzz_command(&args[1..]),
+        Some("equiv") => run_equiv_command(&args[1..]),
         _ => usage(),
     }
 }

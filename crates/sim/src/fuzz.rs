@@ -20,7 +20,7 @@ use crate::error::SimError;
 use crate::json::{field, Json};
 use crate::run::Mechanism;
 use crate::sweep::parallel_map;
-use cdf_core::{Core, CoreConfig, OracleLockstep};
+use cdf_core::{Core, CoreConfig, CoreStats, OracleLockstep, SchedulerKind};
 use cdf_isa::Executor;
 use cdf_workloads::fuzz::{FuzzProgram, FuzzSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -154,11 +154,25 @@ impl LockstepOutcome {
 /// Runs one generated program on one mechanism with per-retired-uop oracle
 /// checking, a final architectural state comparison, and panic isolation.
 pub fn run_lockstep(fp: &FuzzProgram, mechanism: Mechanism) -> LockstepOutcome {
+    run_lockstep_with(fp, mechanism, SchedulerKind::default()).0
+}
+
+/// [`run_lockstep`] with an explicit scheduler implementation, also returning
+/// the final [`CoreStats`] when the run did not panic. This is the primitive
+/// the scheduler-equivalence harness builds on: running the same program
+/// under [`SchedulerKind::EventDriven`] and [`SchedulerKind::ReferenceScan`]
+/// must produce bit-identical stats and retirement digests.
+pub fn run_lockstep_with(
+    fp: &FuzzProgram,
+    mechanism: Mechanism,
+    scheduler: SchedulerKind,
+) -> (LockstepOutcome, Option<CoreStats>) {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let checker = OracleLockstep::new(&fp.program, fp.memory.clone());
         let log = checker.log();
         let cfg = CoreConfig {
             mode: mechanism.mode(),
+            scheduler,
             ..CoreConfig::default()
         };
         let mut core = Core::new(&fp.program, fp.memory.clone(), cfg);
@@ -166,38 +180,55 @@ pub fn run_lockstep(fp: &FuzzProgram, mechanism: Mechanism) -> LockstepOutcome {
         let stats = core.run(fp.fuel + 8);
         let log = log.borrow();
         if let Some(d) = &log.divergence {
-            return LockstepOutcome::Fail {
-                kind: FailureKind::Divergence,
-                detail: d.to_string(),
-            };
+            return (
+                LockstepOutcome::Fail {
+                    kind: FailureKind::Divergence,
+                    detail: d.to_string(),
+                },
+                Some(stats.clone()),
+            );
         }
         if !stats.halted {
-            return LockstepOutcome::Fail {
-                kind: FailureKind::Hang,
-                detail: format!(
-                    "no Halt after {} retired uops in {} cycles",
-                    stats.retired, stats.cycles
-                ),
-            };
+            return (
+                LockstepOutcome::Fail {
+                    kind: FailureKind::Hang,
+                    detail: format!(
+                        "no Halt after {} retired uops in {} cycles",
+                        stats.retired, stats.cycles
+                    ),
+                },
+                Some(stats.clone()),
+            );
         }
         let mut oracle = Executor::new(&fp.program, fp.memory.clone());
         oracle
             .run(fp.fuel)
             .expect("generated program halts within fuel");
         if let Some(diff) = state_diff(&core.arch_state(), oracle.state()) {
-            return LockstepOutcome::Fail {
-                kind: FailureKind::FinalState,
-                detail: diff,
-            };
+            return (
+                LockstepOutcome::Fail {
+                    kind: FailureKind::FinalState,
+                    detail: diff,
+                },
+                Some(stats.clone()),
+            );
         }
-        LockstepOutcome::Ok {
-            digest: log.digest,
-            checked: log.checked,
-        }
+        (
+            LockstepOutcome::Ok {
+                digest: log.digest,
+                checked: log.checked,
+            },
+            Some(stats.clone()),
+        )
     }));
-    result.unwrap_or_else(|payload| LockstepOutcome::Fail {
-        kind: FailureKind::Panic,
-        detail: SimError::Panicked(crate::sweep::panic_message(payload)).to_string(),
+    result.unwrap_or_else(|payload| {
+        (
+            LockstepOutcome::Fail {
+                kind: FailureKind::Panic,
+                detail: SimError::Panicked(crate::sweep::panic_message(payload)).to_string(),
+            },
+            None,
+        )
     })
 }
 

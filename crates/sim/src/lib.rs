@@ -33,8 +33,10 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod equivalence;
 pub mod experiments;
 pub mod fuzz;
+pub mod golden;
 pub mod json;
 pub mod report;
 pub mod sweep;
@@ -44,10 +46,16 @@ mod error;
 mod run;
 mod table1;
 
+pub use equivalence::{
+    run_equivalence, workload_equivalence, EquivConfig, EquivMismatch, EquivReport, EQUIV_SCHEMA,
+};
 pub use error::{SimError, WatchdogPhase};
 pub use fuzz::{
-    minimize_spec, minimize_with, run_fuzz, run_lockstep, FailureKind, FuzzConfig, FuzzFailure,
-    FuzzReport, LockstepOutcome, FUZZ_CASE_SCHEMA, FUZZ_SCHEMA,
+    minimize_spec, minimize_with, run_fuzz, run_lockstep, run_lockstep_with, FailureKind,
+    FuzzConfig, FuzzFailure, FuzzReport, LockstepOutcome, FUZZ_CASE_SCHEMA, FUZZ_SCHEMA,
+};
+pub use golden::{
+    collect as collect_golden, diff_golden, golden_to_json, GoldenConfig, GOLDEN_SCHEMA,
 };
 pub use run::{
     simulate, simulate_workload, try_simulate, try_simulate_workload, try_simulate_workload_mode,

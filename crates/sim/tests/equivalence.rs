@@ -1,0 +1,56 @@
+//! Scheduler-equivalence suite: the event-driven wakeup/select scheduler
+//! must be **bit-identical** to the reference scan scheduler it replaced —
+//! same retirement digest, same oracle-checked uop count, same complete
+//! [`CoreStats`] — on every mechanism, with every retired uop also checked
+//! against the functional executor by the lockstep oracle.
+//!
+//! The in-tree test runs a bounded campaign; the full ISSUE-4 campaign
+//! (500 seeds × all seven mechanisms = 3500 dual-scheduler cases) is the
+//! `#[ignore]`d `full_equivalence_campaign`, run explicitly in CI release
+//! mode or via `cdf-sim equiv`.
+//!
+//! [`CoreStats`]: cdf_core::CoreStats
+
+use cdf_sim::{run_equivalence, workload_equivalence, EquivConfig, EvalConfig, Mechanism};
+
+#[test]
+fn bounded_fuzz_equivalence_all_mechanisms() {
+    let cfg = EquivConfig {
+        seeds: 24,
+        start_seed: 1,
+        mechanisms: Mechanism::ALL.to_vec(),
+        threads: 0,
+    };
+    let report = run_equivalence(&cfg);
+    assert!(report.clean(), "{}", report.render_summary());
+    assert_eq!(report.cases, 24 * 7);
+    assert!(report.checked_uops > 0, "oracle compared retired uops");
+}
+
+/// Full warmup+measure windows compared [`cdf_sim::Measurement`]-for-
+/// measurement: DRAM line traffic and energy are folded in, so a scheduler
+/// that reordered memory-system events would fail here even with a clean
+/// retirement stream.
+#[test]
+fn workload_windows_bit_identical_across_schedulers() {
+    let mut cfg = EvalConfig::quick();
+    cfg.warmup_instructions = 5_000;
+    cfg.measure_instructions = 10_000;
+    let mismatches = workload_equivalence(
+        &["astar_like", "mcf_like", "libq_like", "sphinx_like"],
+        &[Mechanism::Baseline, Mechanism::Cdf, Mechanism::Pre],
+        &cfg,
+    );
+    assert!(mismatches.is_empty(), "windows diverged: {mismatches:#?}");
+}
+
+/// The full acceptance campaign: 500 seeds × all seven mechanisms, each
+/// seed run to completion under both schedulers with per-retired-uop oracle
+/// checking. `cargo test -p cdf-sim --release --test equivalence -- --ignored`
+#[test]
+#[ignore = "full 3500-case campaign; run explicitly in release mode"]
+fn full_equivalence_campaign() {
+    let report = run_equivalence(&EquivConfig::default());
+    assert_eq!(report.cases, 3500);
+    assert!(report.clean(), "{}", report.render_summary());
+}

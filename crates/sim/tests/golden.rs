@@ -1,0 +1,65 @@
+//! Golden-stats snapshot: the full [`CoreStats`] of every
+//! (workload × mechanism) cell in the registry grid, pinned bit-exact
+//! against `tests/golden/stats.json`.
+//!
+//! Any core change that shifts even one counter in one cell fails here with
+//! a field-level diff naming the cell. Intentional timing changes are
+//! re-blessed with:
+//!
+//! ```text
+//! CDF_BLESS=1 cargo test -p cdf-sim --test golden
+//! ```
+//!
+//! [`CoreStats`]: cdf_core::CoreStats
+
+use cdf_sim::golden::{collect, diff_golden, golden_to_json, GoldenConfig};
+use cdf_sim::json::Json;
+use cdf_sim::Mechanism;
+use cdf_workloads::registry;
+use std::path::PathBuf;
+
+fn blessed_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/stats.json")
+}
+
+#[test]
+fn golden_grid_matches_blessed_snapshot() {
+    let cfg = GoldenConfig::default();
+    let cells = collect(&cfg);
+    assert_eq!(
+        cells.len(),
+        registry::NAMES.len() * Mechanism::ALL.len(),
+        "full grid collected"
+    );
+    for c in &cells {
+        assert!(
+            c.stats.retired > 0 && c.stats.cycles > 0,
+            "{}/{} simulated no work",
+            c.workload,
+            c.mechanism
+        );
+    }
+
+    let path = blessed_path();
+    if std::env::var("CDF_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, golden_to_json(&cells).render_pretty()).expect("write snapshot");
+        eprintln!("blessed {} cells into {}", cells.len(), path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing blessed snapshot {} ({e}); regenerate with CDF_BLESS=1",
+            path.display()
+        )
+    });
+    let blessed = Json::parse(&text).expect("blessed snapshot parses");
+    let diffs = diff_golden(&cells, &blessed);
+    assert!(
+        diffs.is_empty(),
+        "golden stats drifted in {} cell(s) — if intentional, re-bless with CDF_BLESS=1:\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}

@@ -3,10 +3,12 @@
 //! The build environment has no access to crates.io, so this vendored crate
 //! provides the subset of the criterion 0.5 API the workspace's benchmark
 //! targets use: [`Criterion`], [`Criterion::benchmark_group`],
-//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`] and
-//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurements are
-//! plain wall-clock samples printed as mean/min/max; there is no statistical
-//! analysis, plotting, or saved baselines.
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::throughput`],
+//! [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurements are plain
+//! wall-clock samples printed as mean/min/max (plus an elem/s or bytes/s
+//! rate when a [`Throughput`] is set); there is no statistical analysis,
+//! plotting, or saved baselines.
 //!
 //! When invoked with `--test` (as `cargo test` does for benchmark targets),
 //! every benchmark body runs exactly once so the target acts as a smoke
@@ -48,6 +50,7 @@ impl Criterion {
             criterion: self,
             name,
             sample_size: None,
+            throughput: None,
         }
     }
 
@@ -57,12 +60,17 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let sample_size = self.default_sample_size;
-        self.run_one(id, sample_size, f);
+        self.run_one(id, sample_size, None, f);
         self
     }
 
-    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
-    where
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<&Throughput>,
+        mut f: F,
+    ) where
         F: FnMut(&mut Bencher),
     {
         let samples = if self.test_mode {
@@ -91,14 +99,33 @@ impl Criterion {
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let rate = match throughput {
+            Some(&Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  thrpt {:.0} elem/s", n as f64 / mean)
+            }
+            Some(&Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  thrpt {:.0} bytes/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
         println!(
-            "  {id}: mean {} / iter  (min {}, max {}, {} samples)",
+            "  {id}: mean {} / iter  (min {}, max {}, {} samples){rate}",
             fmt_duration(mean),
             fmt_duration(min),
             fmt_duration(max),
             per_iter.len()
         );
     }
+}
+
+/// How much work one benchmark iteration represents; when set on a group,
+/// each report also prints a per-second rate (criterion's `elem/s` column).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (e.g. simulated cycles).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
 }
 
 fn fmt_duration(seconds: f64) -> String {
@@ -119,12 +146,20 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the work-per-iteration used for rate reporting on subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -137,7 +172,9 @@ impl BenchmarkGroup<'_> {
             .sample_size
             .unwrap_or(self.criterion.default_sample_size);
         let id = format!("{}/{id}", self.name);
-        self.criterion.run_one(&id, sample_size, f);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&id, sample_size, throughput.as_ref(), f);
         self
     }
 
