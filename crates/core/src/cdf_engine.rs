@@ -4,6 +4,7 @@
 
 use crate::cct::{CctConfig, CriticalCountTable};
 use crate::config::CdfConfig;
+use crate::diag::CdfDiagnostics;
 use crate::fill_buffer::{FbEntry, FillBuffer};
 use crate::mask_cache::MaskCache;
 use crate::types::Seq;
@@ -37,6 +38,9 @@ pub(crate) struct CmqEntry {
     /// them).
     pub areg: Option<ArchReg>,
     pub pdst: Option<crate::types::PhysReg>,
+    /// Chain-provenance id of the CUC trace this uop was fetched from
+    /// (0 when no provenance is attached).
+    pub chain: u64,
 }
 
 /// Counters the engine exposes for energy accounting.
@@ -71,14 +75,16 @@ pub(crate) struct CdfEngine {
     /// Walk output awaiting installation (completes when the walk latency
     /// elapses).
     pending_install: Option<PendingInstall>,
+    /// Next chain-provenance id to hand out (1-based; 0 = "no chain").
+    next_chain: u64,
     pub walks: u64,
     pub walks_dropped: u64,
     pub traces_installed: u64,
 }
 
 /// A finished walk waiting out the trace-construction latency:
-/// (install-at cycle, trace rows as `(pc, uop index, weight)`).
-type PendingInstall = (u64, Vec<(Pc, u32, u64)>);
+/// (install-at cycle, trace rows as `(pc, block length, mask, chain id)`).
+type PendingInstall = (u64, Vec<(Pc, u32, u64, u64)>);
 
 impl CdfEngine {
     pub fn new(cfg: CdfConfig) -> CdfEngine {
@@ -95,6 +101,7 @@ impl CdfEngine {
             last_walk_retired: 0,
             last_mask_reset: 0,
             pending_install: None,
+            next_chain: 1,
             walks: 0,
             walks_dropped: 0,
             traces_installed: 0,
@@ -105,8 +112,15 @@ impl CdfEngine {
     /// Records a retired uop. `retired` is the total retired-instruction
     /// count; `now` the current cycle. Triggers the periodic mask reset and,
     /// when the Fill Buffer is full and the walk period has elapsed, the
-    /// backwards walk.
-    pub fn on_retire(&mut self, entry: FbEntry, retired: u64, now: u64) {
+    /// backwards walk. `diag`, when present, observes walk outcomes; it
+    /// never influences them.
+    pub fn on_retire(
+        &mut self,
+        entry: FbEntry,
+        retired: u64,
+        now: u64,
+        diag: Option<&mut CdfDiagnostics>,
+    ) {
         if retired - self.last_mask_reset >= self.cfg.mask_reset_period {
             self.masks.reset();
             self.last_mask_reset = retired;
@@ -118,11 +132,11 @@ impl CdfEngine {
             && now >= self.walk_busy_until
             && self.pending_install.is_none()
         {
-            self.do_walk(retired, now);
+            self.do_walk(retired, now, diag);
         }
     }
 
-    fn do_walk(&mut self, retired: u64, now: u64) {
+    fn do_walk(&mut self, retired: u64, now: u64, diag: Option<&mut CdfDiagnostics>) {
         let result = if self.cfg.use_mask_cache {
             self.fill.walk(&self.masks)
         } else {
@@ -142,7 +156,23 @@ impl CdfEngine {
         // (§4.3) instead of riding stale masks until the periodic reset.
         let seeds_ok = result.seeds > 0 || !self.cfg.apply_density_guards;
         if result.marked > 0 && density_ok && seeds_ok {
-            self.pending_install = Some((self.walk_busy_until, result.block_masks));
+            // Every surviving walk row becomes a chain with a stable
+            // provenance id, assigned here — at walk time — regardless of
+            // whether diagnostics observe the run, so enabling them can
+            // never change engine state.
+            let rows = result
+                .block_masks
+                .into_iter()
+                .map(|(block, len, mask)| {
+                    let id = self.next_chain;
+                    self.next_chain += 1;
+                    (block, len, mask, id)
+                })
+                .collect();
+            self.pending_install = Some((self.walk_busy_until, rows));
+            if let Some(d) = diag {
+                d.note_walk();
+            }
         } else {
             // Density guard: remove the involved blocks so the core stops
             // entering CDF mode on them (§3.2).
@@ -153,6 +183,10 @@ impl CdfEngine {
                 self.activity.mask_ops += 1;
                 self.activity.uop_cache_ops += 1;
             }
+            if let Some(d) = diag {
+                d.note_walk();
+                d.note_walk_dropped();
+            }
         }
         // Permissive-counter feedback: too few marked → widen coverage.
         let permissive = frac < self.cfg.permissive_below;
@@ -162,12 +196,12 @@ impl CdfEngine {
     }
 
     /// Advances the engine one cycle: completes a pending install when the
-    /// walk latency has elapsed.
-    pub fn tick(&mut self, now: u64) {
+    /// walk latency has elapsed. `diag`, when present, observes installs.
+    pub fn tick(&mut self, now: u64, mut diag: Option<&mut CdfDiagnostics>) {
         if let Some((ready, _)) = &self.pending_install {
             if *ready <= now {
                 let (_, blocks) = self.pending_install.take().expect("just checked");
-                for (block, len, mask) in blocks {
+                for (block, len, mask, chain) in blocks {
                     if len > 64 {
                         continue; // offsets ≥ 64 not representable in a mask
                     }
@@ -177,9 +211,16 @@ impl CdfEngine {
                     } else {
                         mask
                     };
-                    if self.traces.insert(Trace::from_mask(block, len, merged)) {
+                    let trace = Trace::from_mask(block, len, merged).with_chain(chain);
+                    let crit = trace.crit_offsets.len() as u32;
+                    if self.traces.insert(trace) {
                         self.traces_installed += 1;
                         self.activity.uop_cache_ops += 1;
+                        if let Some(d) = diag.as_deref_mut() {
+                            d.note_install(chain, block, len, crit, now);
+                        }
+                    } else if let Some(d) = diag.as_deref_mut() {
+                        d.note_install_rejected();
                     }
                 }
             }
@@ -189,6 +230,15 @@ impl CdfEngine {
     /// Whether any trace exists (quick check before probing on every fetch).
     pub fn has_traces(&self) -> bool {
         !self.traces.is_empty()
+    }
+
+    /// Hands out the next chain-provenance id (for traces installed outside
+    /// the walk pipeline, e.g. compiler-seeded chains). Always advances the
+    /// counter so id assignment never depends on diagnostics being enabled.
+    pub(crate) fn alloc_chain(&mut self) -> u64 {
+        let id = self.next_chain;
+        self.next_chain += 1;
+        id
     }
 }
 
@@ -224,14 +274,14 @@ mod tests {
     fn walk_triggers_when_full_and_installs_after_latency() {
         let mut e = engine(8);
         for i in 0..8 {
-            e.on_retire(seed_entry(i, i == 3), (i + 1) as u64, 100);
+            e.on_retire(seed_entry(i, i == 3), (i + 1) as u64, 100, None);
         }
         assert_eq!(e.walks, 1);
         assert!(e.fill.is_empty(), "buffer cleared after walk");
         assert!(!e.has_traces(), "install delayed by walk latency");
-        e.tick(105);
+        e.tick(105, None);
         assert!(!e.has_traces());
-        e.tick(110);
+        e.tick(110, None);
         assert!(e.has_traces());
         assert_eq!(e.traces_installed, 1);
         assert!(e.traces.probe(Pc::new(0)));
@@ -242,11 +292,11 @@ mod tests {
         let mut e = engine(1024);
         // 1 seed out of 1024 (0.1%) is below the 0.2% guard.
         for i in 0..1024 {
-            e.on_retire(seed_entry(i % 8, i == 0), (i + 1) as u64, 50);
+            e.on_retire(seed_entry(i % 8, i == 0), (i + 1) as u64, 50, None);
         }
         assert_eq!(e.walks, 1);
         assert_eq!(e.walks_dropped, 1);
-        e.tick(10_000);
+        e.tick(10_000, None);
         assert!(!e.has_traces());
     }
 
@@ -255,13 +305,13 @@ mod tests {
         let mut e = engine(8);
         // First: a healthy walk installs a trace.
         for i in 0..8 {
-            e.on_retire(seed_entry(i, i == 3), (i + 1) as u64, 0);
+            e.on_retire(seed_entry(i, i == 3), (i + 1) as u64, 0, None);
         }
-        e.tick(50);
+        e.tick(50, None);
         assert!(e.has_traces());
         // Then: everything marked (>50%) → involved blocks removed.
         for i in 0..8 {
-            e.on_retire(seed_entry(i, true), (100 + i) as u64, 100);
+            e.on_retire(seed_entry(i, true), (100 + i) as u64, 100, None);
         }
         assert_eq!(e.walks_dropped, 1);
         assert!(!e.has_traces(), "block removed by the density guard");
@@ -276,21 +326,21 @@ mod tests {
             ..CdfConfig::default()
         });
         for i in 0..4 {
-            e.on_retire(seed_entry(i, true), (i + 1) as u64, 0);
+            e.on_retire(seed_entry(i, true), (i + 1) as u64, 0, None);
         }
         assert_eq!(e.walks, 0, "period (1000 retires) has not elapsed yet");
         // The buffer keeps the latest window while waiting for the period.
         for i in 0..4 {
-            e.on_retire(seed_entry(i, true), 10 + i as u64, 5);
+            e.on_retire(seed_entry(i, true), 10 + i as u64, 5, None);
         }
         assert_eq!(e.walks, 0);
         assert_eq!(e.fill.len(), 4, "ring keeps only the latest cap entries");
         // Once 1000 retires have passed, the next retire triggers the walk.
-        e.on_retire(seed_entry(0, true), 1100, 2000);
+        e.on_retire(seed_entry(0, true), 1100, 2000, None);
         assert_eq!(e.walks, 1);
         // And the period gates the next one again.
         for i in 0..8 {
-            e.on_retire(seed_entry(i % 4, true), 1101 + i as u64, 2001);
+            e.on_retire(seed_entry(i % 4, true), 1101 + i as u64, 2001, None);
         }
         assert_eq!(e.walks, 1);
     }
@@ -305,12 +355,12 @@ mod tests {
             ..CdfConfig::default()
         });
         for i in 0..4 {
-            e.on_retire(seed_entry(i, i == 0), i as u64, 0);
+            e.on_retire(seed_entry(i, i == 0), i as u64, 0, None);
         }
-        e.tick(1);
+        e.tick(1, None);
         assert!(e.masks.get(Pc::new(0)).is_some());
         // Crossing the reset period clears the mask cache.
-        e.on_retire(seed_entry(0, false), 2000, 10);
+        e.on_retire(seed_entry(0, false), 2000, 10, None);
         assert!(e.masks.get(Pc::new(0)).is_none());
     }
 
@@ -318,7 +368,7 @@ mod tests {
     fn permissive_feedback_on_sparse_marking() {
         let mut e = engine(128);
         for i in 0..128 {
-            e.on_retire(seed_entry(i % 8, i == 0), (i + 1) as u64, 0);
+            e.on_retire(seed_entry(i % 8, i == 0), (i + 1) as u64, 0, None);
         }
         assert!(
             e.cct_loads.is_permissive(),

@@ -142,6 +142,10 @@ pub struct Core<'p> {
     /// Optional telemetry collectors (see [`crate::telemetry`]). `None`
     /// keeps the cycle path free of telemetry work entirely.
     telemetry: Option<crate::telemetry::Telemetry>,
+    /// Optional criticality-provenance diagnostics (see [`crate::diag`]).
+    /// `None` — the default — keeps every pipeline stage free of provenance
+    /// observation work; enabling it never perturbs simulated state.
+    diag: Option<crate::diag::CdfDiagnostics>,
     /// Optional lockstep retirement observer (see [`crate::observer`]).
     /// `None` — the default — keeps the retire path free of observer work
     /// and of the structural invariant sweep entirely.
@@ -233,6 +237,7 @@ impl<'p> Core<'p> {
             partition_seeded: false,
             pipe_trace: None,
             telemetry: None,
+            diag: None,
             observer: None,
             dispatched_this_cycle: false,
             flush_recovery_until: 0,
@@ -308,8 +313,16 @@ impl<'p> Core<'p> {
                 continue;
             }
             let merged = cdf.masks.merge(block, mask);
-            cdf.traces
-                .insert(crate::uop_cache::Trace::from_mask(block, len, merged));
+            let chain = cdf.alloc_chain();
+            let trace = crate::uop_cache::Trace::from_mask(block, len, merged).with_chain(chain);
+            let crit = trace.crit_offsets.len() as u32;
+            if cdf.traces.insert(trace) {
+                if let Some(d) = self.diag.as_mut() {
+                    d.note_install(chain, block, len, crit, 0);
+                }
+            } else if let Some(d) = self.diag.as_mut() {
+                d.note_install_rejected();
+            }
         }
     }
 
@@ -347,6 +360,34 @@ impl<'p> Core<'p> {
     /// collection) — the harness calls this once the run is over.
     pub fn take_telemetry(&mut self) -> Option<crate::telemetry::Telemetry> {
         self.telemetry.take()
+    }
+
+    /// Enables criticality-provenance diagnostics (see [`crate::diag`]):
+    /// chain lifecycles, CUC coverage of retired triggers, critical-fetch
+    /// accuracy, and miss-initiation lead times. Call before
+    /// [`run`](Self::run).
+    ///
+    /// Diagnostics never alter simulation results: an enabled run produces
+    /// bit-identical [`CoreStats`] to a disabled one, and a core without
+    /// diagnostics runs zero observation code.
+    pub fn enable_diagnostics(&mut self) {
+        self.diag = Some(crate::diag::CdfDiagnostics::new());
+    }
+
+    /// The diagnostics collected so far, if enabled.
+    pub fn diagnostics(&self) -> Option<&crate::diag::CdfDiagnostics> {
+        self.diag.as_ref()
+    }
+
+    /// Detaches and returns the diagnostics (disabling further collection),
+    /// finalizing open lead-time observations so histogram totality holds —
+    /// the harness calls this once the run is over.
+    pub fn take_diagnostics(&mut self) -> Option<crate::diag::CdfDiagnostics> {
+        let mut d = self.diag.take();
+        if let Some(d) = d.as_mut() {
+            d.finalize();
+        }
+        d
     }
 
     /// Attaches a lockstep retirement observer (see [`crate::observer`]):
@@ -638,6 +679,21 @@ impl<'p> Core<'p> {
                 seed = cdf.cct_branches.is_critical(uop.pc);
             }
             let bb = *self.program.block(self.program.block_of(uop.pc));
+            // Provenance coverage: did a live CUC trace cover this trigger
+            // at retire time? Read the CUC before `on_retire`, whose walk
+            // may tear traces down this same cycle.
+            if let Some(d) = self.diag.as_mut() {
+                let off = (uop.pc.index() - bb.start.index()).min(255) as u8;
+                let covers = cdf
+                    .traces
+                    .peek(bb.start)
+                    .is_some_and(|t| t.crit_offsets.contains(&off));
+                if op.is_load() {
+                    d.note_load_retired(uop.llc_miss, covers);
+                } else if op.is_cond_branch() && mispredicted && seed {
+                    d.note_h2p_mispredict_retired(covers);
+                }
+            }
             let word = uop.mem_addr.map(|a| a >> 3);
             cdf.on_retire(
                 FbEntry {
@@ -653,7 +709,14 @@ impl<'p> Core<'p> {
                 },
                 self.stats.retired,
                 self.now,
+                self.diag.as_mut(),
             );
+        } else if let Some(d) = self.diag.as_mut() {
+            // No identification engine (pure baseline): record the trigger
+            // denominators so coverage is comparable across mechanisms.
+            if op.is_load() {
+                d.note_load_retired(uop.llc_miss, false);
+            }
         }
 
         if op == Op::Halt {
@@ -1060,12 +1123,22 @@ impl<'p> Core<'p> {
                             AccessResult::Rejected(_) => return, // MSHRs full: retry
                             AccessResult::Done(out) => {
                                 let v = self.mem_image.load(addr);
+                                let llc_miss = out.level == HitLevel::Dram;
                                 let u = self.pool.get_mut(seq.0).expect("present");
                                 u.mem_addr = Some(addr);
-                                u.llc_miss = out.level == HitLevel::Dram;
+                                u.llc_miss = llc_miss;
                                 result = Some(v);
                                 done_at = out.ready_at;
                                 self.lsq.set_load_state(seq, addr, true);
+                                // Timeliness: a critical-stream load just
+                                // initiated an LLC miss; the lead-time clock
+                                // starts here and stops when the regular
+                                // stream consumes (or a flush kills) it.
+                                if is_critical && llc_miss {
+                                    if let Some(d) = self.diag.as_mut() {
+                                        d.note_miss_initiated(seq.0, self.now);
+                                    }
+                                }
                             }
                         }
                     }
@@ -1255,6 +1328,13 @@ impl<'p> Core<'p> {
                 self.cdf.as_mut().expect("engine").cmq.pop_front();
                 self.energy.record(Activity::CmqOp, 1);
                 self.energy.record(Activity::Rename, 1);
+                // Accuracy: the program-order stream consumed this critical
+                // uop's mapping — the one terminal outcome besides a flush.
+                if head.chain != 0 {
+                    if let Some(d) = self.diag.as_mut() {
+                        d.note_consumed(head.chain, seq.0, self.now);
+                    }
+                }
                 if let (Some(areg), Some(pdst)) = (head.areg, head.pdst) {
                     let prev = self.rat.set(areg, pdst);
                     let prev_poison = self.rat.set_poison(areg, false);
@@ -1490,6 +1570,7 @@ impl<'p> Core<'p> {
                 seq,
                 areg: uop.dst,
                 pdst: self.pool.get(seq.0).and_then(|u| u.pdst),
+                chain: fu.chain,
             });
             self.energy.record(Activity::CmqOp, 1);
         }
@@ -1581,10 +1662,16 @@ impl<'p> Core<'p> {
                 self.energy.record(Activity::CriticalUopCacheOp, 1);
                 let Some(trace) = trace else {
                     // Exit condition (a): miss in the Critical Uop Cache.
+                    if let Some(d) = self.diag.as_mut() {
+                        d.note_cuc_miss();
+                    }
                     self.crit_fetch_active = false;
                     self.cdf_end_seq = Some(self.crit_seq_cursor);
                     break;
                 };
+                if let Some(d) = self.diag.as_mut() {
+                    d.note_cuc_hit(trace.chain, trace.crit_offsets.len() as u64, self.now);
+                }
                 let base = self.crit_seq_cursor;
                 let bstart = trace.block_start;
                 for &off in &trace.crit_offsets {
@@ -1598,6 +1685,7 @@ impl<'p> Core<'p> {
                         pred_taken: false,
                         fetched_in_cdf: true,
                         critical_dup: false,
+                        chain: trace.chain,
                     });
                 }
                 // Compute the next fetch address from the block's terminator
@@ -1760,6 +1848,7 @@ impl<'p> Core<'p> {
                 pred_taken: false,
                 fetched_in_cdf: self.cdf_fetch_mode,
                 critical_dup: false,
+                chain: 0,
             };
             if self.cdf_fetch_mode {
                 if let Some(cdf) = &self.cdf {
@@ -1901,6 +1990,45 @@ impl<'p> Core<'p> {
                 note(fu.seq, &fu.pred, &mut oldest_pred);
             }
         }
+        // Provenance accuracy: fetched critical uops removed by this flush
+        // meet their terminal outcome here. The uop whose poisoned source
+        // raised the flush (the flush targets its predecessor) counts as
+        // poisoned; every other casualty — in the critical fetch queues or
+        // still awaiting CMQ replay — counts as squashed.
+        if self.diag.is_some() {
+            let poisoned_seq = matches!(f.kind, FlushKind::Poison).then(|| target.0 + 1);
+            let note_removed =
+                |d: &mut crate::diag::CdfDiagnostics, chain: u64, seq: u64, now: u64| {
+                    if chain == 0 {
+                        return;
+                    }
+                    if Some(seq) == poisoned_seq {
+                        d.note_poisoned(chain, seq, now);
+                    } else {
+                        d.note_squashed(chain, seq, now);
+                    }
+                };
+            let now = self.now;
+            if let Some(d) = self.diag.as_mut() {
+                for fu in &self.crit_pending {
+                    if fu.seq > target {
+                        note_removed(d, fu.chain, fu.seq.0, now);
+                    }
+                }
+                for (_, fu) in &self.crit_buffer {
+                    if fu.seq > target {
+                        note_removed(d, fu.chain, fu.seq.0, now);
+                    }
+                }
+                if let Some(cdf) = &self.cdf {
+                    for e in &cdf.cmq {
+                        if e.seq > target {
+                            note_removed(d, e.chain, e.seq.0, now);
+                        }
+                    }
+                }
+            }
+        }
         self.crit_pending.retain(|u| u.seq <= target);
         self.crit_buffer.retain(|(_, u)| u.seq <= target);
         if let Some(cdf) = &mut self.cdf {
@@ -1997,6 +2125,12 @@ impl<'p> Core<'p> {
             self.last_fetch_line = None;
             self.fetch_blocked = false;
         } else if let FlushKind::Mispredict { actual } = &f.kind {
+            // Timeliness: the critical stream resolved this branch before
+            // the regular stream even fetched it — the early-resolution
+            // distance is how far ahead (in sequence numbers) it ran.
+            if let Some(d) = self.diag.as_mut() {
+                d.note_branch_resolved_early(target.0 + 1 - self.next_seq);
+            }
             if let Some(cdf) = &mut self.cdf {
                 if let Some(e) = cdf.dbq.iter_mut().find(|e| e.seq == target) {
                     e.taken = *actual;
@@ -2014,7 +2148,7 @@ impl<'p> Core<'p> {
 
     fn post_cycle(&mut self, retired_before: u64) {
         if let Some(cdf) = &mut self.cdf {
-            cdf.tick(self.now);
+            cdf.tick(self.now, self.diag.as_mut());
         }
 
         // Memory-dependence predictor aging: rare (e.g. wrong-path) aliases
@@ -2241,9 +2375,19 @@ impl<'p> Core<'p> {
                 budget -= 1;
                 self.runahead.issued += 1;
                 let Some(trace) = trace else {
+                    if let Some(d) = self.diag.as_mut() {
+                        d.note_cuc_miss();
+                    }
                     self.runahead.fetch_pc = None;
                     continue;
                 };
+                // PRE's runahead uops are fetched from the CUC but their
+                // results are always discarded (never architecturally
+                // consumed) — provenance accounting shows that as accuracy 0,
+                // which is exactly the contrast with CDF's replay.
+                if let Some(d) = self.diag.as_mut() {
+                    d.note_cuc_hit(trace.chain, trace.crit_offsets.len() as u64, self.now);
+                }
                 for &off in &trace.crit_offsets {
                     self.runahead
                         .queue

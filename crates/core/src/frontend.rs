@@ -24,6 +24,9 @@ pub(crate) struct FetchedUop {
     /// discarded at rename after its CMQ replay (§3.3 "The critical uops are
     /// discarded at the Rename stage").
     pub critical_dup: bool,
+    /// Chain-provenance id of the CUC trace this uop was fetched from
+    /// (0 for regular-stream uops and uops with no trace provenance).
+    pub chain: u64,
 }
 
 /// A fixed-latency decode pipe: uops become visible to rename
@@ -114,6 +117,7 @@ mod tests {
             pred_taken: false,
             fetched_in_cdf: false,
             critical_dup: false,
+            chain: 0,
         }
     }
 

@@ -59,6 +59,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod cct;
+pub mod diag;
 pub mod fill_buffer;
 pub mod mask_cache;
 pub mod observer;
@@ -83,6 +84,7 @@ mod types;
 
 pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig, SchedulerKind};
 pub use core_impl::Core;
+pub use diag::{CdfDiagnostics, ChainRecord, Coverage, MAX_CHAIN_RECORDS};
 pub use observer::{
     Divergence, DivergenceKind, LockstepLog, OracleLockstep, RetireObserver, RetiredUop,
 };

@@ -19,6 +19,11 @@ pub struct Trace {
     pub block_len: u32,
     /// Ascending offsets (within the block) of the critical uops.
     pub crit_offsets: Vec<u8>,
+    /// Provenance: id of the reconstruction walk that produced this trace
+    /// (0 for traces installed outside the walk pipeline). Stable across the
+    /// trace's CUC lifetime, so diagnostics can attribute every downstream
+    /// fetch/consume/squash back to the walk that built the chain.
+    pub chain: u64,
 }
 
 impl Trace {
@@ -40,7 +45,15 @@ impl Trace {
             block_start,
             block_len,
             crit_offsets,
+            chain: 0,
         }
+    }
+
+    /// The same trace tagged with a chain-provenance id.
+    #[must_use]
+    pub fn with_chain(mut self, chain: u64) -> Trace {
+        self.chain = chain;
+        self
     }
 
     /// Number of 8-uop cache lines this trace occupies.

@@ -6,12 +6,15 @@
 //! cdf-sim run <workload> [--mech base|cdf|pre|classify|...] [--rob N]
 //!             [--warmup N] [--measure N] [--scale F] [--seed N] [--fast]
 //! cdf-sim report <workload> [--mech M] [sizing flags]
+//! cdf-sim explain [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
+//!                 [--chains N] [--out explain.json] [--trace-out FILE]
+//!                 [sizing flags]
 //! cdf-sim telemetry <workload> [--mech M] [--interval N] [--out FILE]
 //!                   [--trace-out FILE] [sizing flags]
 //! cdf-sim compare <workload> [sizing flags]
 //! cdf-sim sweep [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
-//!               [--max-cycles N] [--telemetry N] [--out results.json]
-//!               [sizing flags]
+//!               [--max-cycles N] [--telemetry N] [--explain]
+//!               [--out results.json] [sizing flags]
 //! cdf-sim fuzz [--seeds N] [--start N] [--budget M] [--mechs a,b,c]
 //!              [--minimize] [--shrink-budget N] [--threads N]
 //!              [--out DIR] [--report FILE]
@@ -21,8 +24,9 @@
 
 use cdf_core::{CoreConfig, TelemetryConfig};
 use cdf_sim::{
-    accounting_table, run_sweep, simulate, table1_text, telemetry_json, trace_events_json,
-    try_simulate_workload_telemetry, EvalConfig, Mechanism, SweepConfig,
+    accounting_table, run_explain, run_sweep, simulate, table1_text, telemetry_json,
+    trace_events_json, try_simulate_workload_telemetry, EvalConfig, ExplainConfig, Mechanism,
+    SweepConfig,
 };
 use cdf_workloads::registry;
 use std::process::exit;
@@ -30,7 +34,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
-         cdf-sim report <workload> [options]\n  cdf-sim telemetry <workload> [options]\n  \
+         cdf-sim report <workload> [options]\n  cdf-sim explain [options]\n  \
+         cdf-sim telemetry <workload> [options]\n  \
          cdf-sim compare <workload> [options]\n  cdf-sim sweep [options]\n  \
          cdf-sim fuzz [options]\n  cdf-sim equiv [options]\n\noptions:\n  \
          --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
@@ -38,7 +43,13 @@ fn usage() -> ! {
          --rob N        scale the window to N ROB entries\n  \
          --warmup N     warmup instructions\n  --measure N    measured instructions\n  \
          --scale F      workload footprint scale\n  --seed N       workload seed\n  \
-         --fast         quick sizing preset\n\ntelemetry options:\n  \
+         --fast         quick sizing preset\n\nexplain options:\n  \
+         --workloads a,b,c  comma-separated workloads (default: full registry)\n  \
+         --mechs a,b,c      comma-separated mechanisms (default: all)\n  \
+         --threads N        worker threads (default: all hardware threads)\n  \
+         --chains N         chain records embedded per cell (default 32)\n  \
+         --out FILE         write the cdf-explain/1 JSON document to FILE\n  \
+         --trace-out FILE   write per-chain Perfetto async spans to FILE\n\ntelemetry options:\n  \
          --interval N       cycles per interval sample (default 1024)\n  \
          --out FILE         write the cdf-telemetry/1 JSON document to FILE\n  \
          --trace-out FILE   write Chrome/Perfetto trace-event JSON to FILE\n\nsweep options:\n  \
@@ -48,6 +59,8 @@ fn usage() -> ! {
          --max-cycles N     per-run watchdog cycle budget (default: off)\n  \
          --telemetry N      collect telemetry with an N-cycle interval and\n                     \
          embed it per cell in the JSON records\n  \
+         --explain          collect criticality-provenance diagnostics and\n                     \
+         embed them per cell in the JSON records\n  \
          --out FILE         write the stamped JSON records to FILE\n\nfuzz options:\n  \
          --seeds N          random programs to run (default 100)\n  \
          --start N          first seed (default 0)\n  \
@@ -208,6 +221,41 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Shared sizing flags accepted by every subcommand that calls
+/// [`parse_eval`]: `(name, takes_value)`.
+const SIZING_FLAGS: &[(&str, bool)] = &[
+    ("--rob", true),
+    ("--warmup", true),
+    ("--measure", true),
+    ("--scale", true),
+    ("--seed", true),
+    ("--max-cycles", true),
+    ("--fast", false),
+];
+
+/// Rejects any `--flag` not in `allowed` (a `(name, takes_value)` list) with
+/// a hard usage error. A mistyped flag must fail loudly — [`parse_eval`]'s
+/// permissive scan would otherwise silently run the default configuration
+/// and report numbers the user did not ask for.
+fn reject_unknown_flags(args: &[String], allowed: &[(&str, bool)]) {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if !a.starts_with("--") {
+            continue;
+        }
+        match allowed.iter().find(|(name, _)| name == a) {
+            Some((_, true)) => {
+                it.next();
+            }
+            Some((_, false)) => {}
+            None => {
+                eprintln!("unknown flag `{a}`");
+                usage()
+            }
+        }
+    }
+}
+
 /// Parses the mechanism flag shared by `run`, `report`, and `telemetry`.
 fn parse_mech(args: &[String]) -> Mechanism {
     match flag_value(args, "--mech") {
@@ -241,6 +289,12 @@ fn measure_with_telemetry(
 
 fn run_report_command(args: &[String]) {
     let name = args.first().cloned().unwrap_or_else(|| usage());
+    let allowed: Vec<(&str, bool)> = SIZING_FLAGS
+        .iter()
+        .copied()
+        .chain([("--mech", true)])
+        .collect();
+    reject_unknown_flags(&args[1..], &allowed);
     let mech = parse_mech(args);
     let mut cfg = parse_eval(&args[1..]);
     cfg.telemetry = Some(TelemetryConfig::default());
@@ -296,6 +350,65 @@ fn run_telemetry_command(args: &[String]) {
     }
 }
 
+fn run_explain_command(args: &[String]) {
+    let allowed: Vec<(&str, bool)> = SIZING_FLAGS
+        .iter()
+        .copied()
+        .chain([
+            ("--workloads", true),
+            ("--mechs", true),
+            ("--threads", true),
+            ("--chains", true),
+            ("--out", true),
+            ("--trace-out", true),
+        ])
+        .collect();
+    reject_unknown_flags(args, &allowed);
+    let eval = parse_eval(args);
+    let mut cfg = ExplainConfig::full_grid(eval);
+    if let Some(list) = flag_value(args, "--workloads") {
+        cfg.workloads = list.split(',').map(str::to_string).collect();
+    }
+    if let Some(list) = flag_value(args, "--mechs") {
+        cfg.mechanisms = list
+            .split(',')
+            .map(|s| {
+                Mechanism::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism `{s}`");
+                    usage()
+                })
+            })
+            .collect();
+    }
+    if let Some(t) = flag_value(args, "--threads") {
+        cfg.threads = t.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(n) = flag_value(args, "--chains") {
+        cfg.chain_limit = n.parse().unwrap_or_else(|_| usage());
+    }
+    let report = run_explain(&cfg);
+    print!("{}", report.render_summary());
+    if let Some(path) = flag_value(args, "--out") {
+        report
+            .write_json(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("writing {path}: {e}");
+                exit(1)
+            });
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        std::fs::write(path, report.chain_trace_events().render()).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote chain spans to {path}");
+    }
+    if report.counts().1 > 0 {
+        exit(3);
+    }
+}
+
 fn run_sweep_command(args: &[String]) {
     let mut eval = parse_eval(args);
     if let Some(i) = flag_value(args, "--telemetry") {
@@ -304,6 +417,7 @@ fn run_sweep_command(args: &[String]) {
             ..TelemetryConfig::default()
         });
     }
+    eval.diagnostics = args.iter().any(|a| a == "--explain");
     let mut cfg = SweepConfig::full_grid(eval);
     if let Some(list) = flag_value(args, "--workloads") {
         cfg.workloads = list.split(',').map(str::to_string).collect();
@@ -416,6 +530,7 @@ fn main() {
             }
         }
         Some("report") => run_report_command(&args[1..]),
+        Some("explain") => run_explain_command(&args[1..]),
         Some("telemetry") => run_telemetry_command(&args[1..]),
         Some("sweep") => run_sweep_command(&args[1..]),
         Some("fuzz") => run_fuzz_command(&args[1..]),

@@ -18,6 +18,12 @@
 //! Chrome/Perfetto trace-event documents; enable collection per run via
 //! [`EvalConfig::telemetry`].
 //!
+//! The [`explain`] module is the criticality-provenance report: it runs a
+//! grid with [`cdf_core::CdfDiagnostics`] attached and emits `cdf-explain/1`
+//! JSON plus a human table answering *why* a mechanism wins — CUC coverage
+//! of the retired miss triggers, accuracy of the fetched critical uops, and
+//! the lead-time distribution of critical miss initiations.
+//!
 //! ```no_run
 //! use cdf_sim::{run_sweep, simulate, EvalConfig, Mechanism, SweepConfig};
 //!
@@ -35,6 +41,7 @@
 
 pub mod equivalence;
 pub mod experiments;
+pub mod explain;
 pub mod fuzz;
 pub mod golden;
 pub mod json;
@@ -50,6 +57,10 @@ pub use equivalence::{
     run_equivalence, workload_equivalence, EquivConfig, EquivMismatch, EquivReport, EQUIV_SCHEMA,
 };
 pub use error::{SimError, WatchdogPhase};
+pub use explain::{
+    diagnostics_json, explain_cell, run_explain, ExplainCell, ExplainConfig, ExplainReport,
+    EXPLAIN_SCHEMA,
+};
 pub use fuzz::{
     minimize_spec, minimize_with, run_fuzz, run_lockstep, run_lockstep_with, FailureKind,
     FuzzConfig, FuzzFailure, FuzzReport, LockstepOutcome, FUZZ_CASE_SCHEMA, FUZZ_SCHEMA,
@@ -58,7 +69,8 @@ pub use golden::{
     collect as collect_golden, diff_golden, golden_to_json, GoldenConfig, GOLDEN_SCHEMA,
 };
 pub use run::{
-    simulate, simulate_workload, try_simulate, try_simulate_workload, try_simulate_workload_mode,
+    simulate, simulate_workload, try_simulate, try_simulate_workload,
+    try_simulate_workload_diagnostics, try_simulate_workload_mode, try_simulate_workload_observed,
     try_simulate_workload_telemetry, EvalConfig, Measurement, Mechanism,
 };
 pub use sweep::{run_sweep, Sweep, SweepCell, SweepConfig};

@@ -1,7 +1,9 @@
 //! Running one workload on one mechanism with warmup/measure windowing.
 
 use crate::error::{SimError, WatchdogPhase};
-use cdf_core::{CdfConfig, Core, CoreConfig, CoreMode, PreConfig, Telemetry, TelemetryConfig};
+use cdf_core::{
+    CdfConfig, CdfDiagnostics, Core, CoreConfig, CoreMode, PreConfig, Telemetry, TelemetryConfig,
+};
 use cdf_workloads::{registry, GenConfig, Workload};
 
 /// Which mechanism to simulate.
@@ -118,6 +120,13 @@ pub struct EvalConfig {
     /// core, retrievable via [`try_simulate_workload_telemetry`]. Telemetry
     /// never perturbs the measured stats either way (asserted by tests).
     pub telemetry: Option<TelemetryConfig>,
+    /// Criticality-provenance diagnostics (chain lifecycles, CUC
+    /// coverage/accuracy, lead-time histograms — see [`cdf_core::diag`]).
+    /// `false` — the default — runs zero observation code; `true` attaches a
+    /// [`CdfDiagnostics`] collector to every simulated core, retrievable via
+    /// [`try_simulate_workload_diagnostics`]. Diagnostics never perturb the
+    /// measured stats either way (asserted by tests).
+    pub diagnostics: bool,
 }
 
 impl Default for EvalConfig {
@@ -133,6 +142,7 @@ impl Default for EvalConfig {
             core: CoreConfig::default(),
             max_cycles: None,
             telemetry: None,
+            diagnostics: false,
         }
     }
 }
@@ -294,6 +304,32 @@ pub fn try_simulate_workload_telemetry(
     mechanism: Mechanism,
     cfg: &EvalConfig,
 ) -> Result<(Measurement, Option<Telemetry>), SimError> {
+    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg).map(|(m, t, _)| (m, t))
+}
+
+/// Simulates an already-built workload on one mechanism and also returns the
+/// core's collected [`CdfDiagnostics`] (`None` when `cfg.diagnostics` is
+/// `false`). The measurement is identical to what [`try_simulate_workload`]
+/// returns — diagnostics are observation-only.
+pub fn try_simulate_workload_diagnostics(
+    w: &Workload,
+    mechanism: Mechanism,
+    cfg: &EvalConfig,
+) -> Result<(Measurement, Option<CdfDiagnostics>), SimError> {
+    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg).map(|(m, _, d)| (m, d))
+}
+
+/// Simulates an already-built workload on one mechanism and returns every
+/// observation layer at once: the measurement, the telemetry (when
+/// [`EvalConfig::telemetry`] is set), and the criticality-provenance
+/// diagnostics (when [`EvalConfig::diagnostics`] is set). This is the
+/// sweep's runner; the measurement is bit-identical whichever observers are
+/// attached.
+pub fn try_simulate_workload_observed(
+    w: &Workload,
+    mechanism: Mechanism,
+    cfg: &EvalConfig,
+) -> Result<(Measurement, Option<Telemetry>, Option<CdfDiagnostics>), SimError> {
     simulate_windows(w, mechanism.mode(), mechanism.label(), cfg)
 }
 
@@ -306,7 +342,7 @@ pub fn try_simulate_workload_mode(
     label: &str,
     cfg: &EvalConfig,
 ) -> Result<Measurement, SimError> {
-    simulate_windows(w, mode, label, cfg).map(|(m, _)| m)
+    simulate_windows(w, mode, label, cfg).map(|(m, _, _)| m)
 }
 
 fn simulate_windows(
@@ -314,7 +350,7 @@ fn simulate_windows(
     mode: CoreMode,
     label: &str,
     cfg: &EvalConfig,
-) -> Result<(Measurement, Option<Telemetry>), SimError> {
+) -> Result<(Measurement, Option<Telemetry>, Option<CdfDiagnostics>), SimError> {
     let core_cfg = CoreConfig {
         mode,
         ..cfg.core.clone()
@@ -322,6 +358,9 @@ fn simulate_windows(
     let mut core = Core::new(&w.program, w.memory.clone(), core_cfg);
     if let Some(tcfg) = &cfg.telemetry {
         core.enable_telemetry(tcfg.clone());
+    }
+    if cfg.diagnostics {
+        core.enable_diagnostics();
     }
     let budget = cfg.max_cycles.unwrap_or(u64::MAX);
 
@@ -355,6 +394,7 @@ fn simulate_windows(
     let rob_c = end.rob_critical - start.rob_critical;
     let rob_n = end.rob_non_critical - start.rob_non_critical;
     let telemetry = core.take_telemetry();
+    let diagnostics = core.take_diagnostics();
     Ok((
         Measurement {
             workload: w.name.to_string(),
@@ -396,6 +436,7 @@ fn simulate_windows(
             dependence_violations: end.dependence_violations - start.dependence_violations,
         },
         telemetry,
+        diagnostics,
     ))
 }
 

@@ -17,11 +17,12 @@
 //!   experiment that produced it.
 
 use crate::error::SimError;
+use crate::explain::diagnostics_json;
 use crate::json::{field, Json};
 use crate::report::Table;
-use crate::run::{try_simulate_workload_telemetry, EvalConfig, Measurement, Mechanism};
+use crate::run::{try_simulate_workload_observed, EvalConfig, Measurement, Mechanism};
 use crate::telemetry::telemetry_json;
-use cdf_core::Telemetry;
+use cdf_core::{CdfDiagnostics, Telemetry};
 use cdf_workloads::registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -84,6 +85,11 @@ pub struct SweepCell {
     /// succeeded. Serialized into the cell's JSON record as a `telemetry`
     /// section.
     pub telemetry: Option<Telemetry>,
+    /// The core's criticality-provenance diagnostics, when the sweep's
+    /// [`EvalConfig::diagnostics`](crate::EvalConfig) was enabled and the
+    /// cell succeeded. Serialized into the cell's JSON record as a
+    /// `diagnostics` section (same shape as the `cdf-explain/1` cells).
+    pub diagnostics: Option<CdfDiagnostics>,
     /// Wall-clock milliseconds this cell took (the one quantity that is
     /// *not* deterministic, and is excluded from equality checks).
     pub wall_ms: u64,
@@ -131,14 +137,14 @@ pub fn run_sweep(config: &SweepConfig) -> Sweep {
 /// Runs one grid cell, capturing every failure mode as a [`SimError`].
 pub fn run_cell(workload: &str, mechanism: Mechanism, eval: &EvalConfig) -> SweepCell {
     let t0 = Instant::now();
-    let (result, telemetry) = match registry::lookup(workload, &eval.gen) {
-        Err(e) => (Err(SimError::from(e)), None),
+    let (result, telemetry, diagnostics) = match registry::lookup(workload, &eval.gen) {
+        Err(e) => (Err(SimError::from(e)), None, None),
         Ok(w) => match catch_unwind(AssertUnwindSafe(|| {
-            try_simulate_workload_telemetry(&w, mechanism, eval)
+            try_simulate_workload_observed(&w, mechanism, eval)
         })) {
-            Ok(Ok((m, tel))) => (Ok(m), tel),
-            Ok(Err(e)) => (Err(e), None),
-            Err(payload) => (Err(SimError::Panicked(panic_message(payload))), None),
+            Ok(Ok((m, tel, diag))) => (Ok(m), tel, diag),
+            Ok(Err(e)) => (Err(e), None, None),
+            Err(payload) => (Err(SimError::Panicked(panic_message(payload))), None, None),
         },
     };
     SweepCell {
@@ -146,6 +152,7 @@ pub fn run_cell(workload: &str, mechanism: Mechanism, eval: &EvalConfig) -> Swee
         mechanism,
         result,
         telemetry,
+        diagnostics,
         wall_ms: t0.elapsed().as_millis() as u64,
     }
 }
@@ -232,6 +239,7 @@ impl Sweep {
                             ]),
                         },
                     ),
+                    field("diagnostics", self.config.eval.diagnostics),
                 ]),
             ),
             field(
@@ -309,6 +317,12 @@ fn cell_json(c: &SweepCell) -> Json {
             if let Some(tel) = &c.telemetry {
                 fields.push(field("telemetry", telemetry_json(tel)));
             }
+            if let Some(d) = &c.diagnostics {
+                fields.push(field(
+                    "diagnostics",
+                    diagnostics_json(d, crate::explain::DEFAULT_CHAIN_LIMIT),
+                ));
+            }
         }
         Err(e) => fields.push(field(
             "error",
@@ -321,7 +335,7 @@ fn cell_json(c: &SweepCell) -> Json {
     Json::Obj(fields)
 }
 
-fn measurement_json(m: &Measurement) -> Json {
+pub(crate) fn measurement_json(m: &Measurement) -> Json {
     Json::Obj(vec![
         field("instructions", m.instructions),
         field("cycles", m.cycles),
@@ -526,6 +540,30 @@ mod tests {
         let json = cell_json(&telem).render();
         assert!(json.contains("\"telemetry\""));
         assert!(json.contains("cdf-telemetry/1"));
+    }
+
+    #[test]
+    fn diagnostics_cells_embed_provenance_without_perturbing_results() {
+        let mut eval = tiny_eval();
+        let plain = run_cell("astar_like", Mechanism::Cdf, &eval);
+        eval.diagnostics = true;
+        let diag = run_cell("astar_like", Mechanism::Cdf, &eval);
+        assert_eq!(
+            plain.result, diag.result,
+            "diagnostics are observation-only"
+        );
+        assert!(plain.diagnostics.is_none());
+        let d = diag.diagnostics.as_ref().expect("collector returned");
+        assert!(d.walks > 0, "CDF ran walks in this window");
+        let json = cell_json(&diag).render();
+        assert!(json.contains("\"diagnostics\""));
+        assert!(json.contains("\"coverage\""));
+        assert!(json.contains("\"accuracy\""));
+        let cfg = SweepConfig::new(["astar_like"], vec![Mechanism::Cdf], eval);
+        assert!(run_sweep(&cfg)
+            .to_json()
+            .render()
+            .contains("\"diagnostics\":true"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
         core: CoreConfig::default(),
         max_cycles: None,
         telemetry: None,
+        diagnostics: false,
     };
 
     println!("{name}: IPC of plain cores at growing window sizes vs a 352-entry CDF core");
