@@ -1,11 +1,12 @@
 //! Simulator engineering benchmark (not a paper figure): simulated cycles
-//! per wall-clock second, per scheduler implementation, over the
+//! per wall-clock second, per implementation variant, over the
 //! micro/macro case suite in [`cdf_bench::throughput`].
 //!
 //! Criterion reports each case with `Throughput::Elements(simulated
-//! cycles)`, so the `elem/s` column *is* cycles per second. Both schedulers
-//! run every case; simulated cycle counts are asserted identical (the
-//! equivalence contract), so only wall time may differ.
+//! cycles)`, so the `elem/s` column *is* cycles per second. Both variants
+//! of each case's axis (scheduler pair or memory-model pair) run every
+//! case; simulated cycle counts are asserted identical (the equivalence
+//! contract), so only wall time may differ.
 //!
 //! Environment:
 //! * `CDF_BENCH_QUICK=1` (or `CDF_FAST=1`) — smaller instruction caps for
@@ -14,26 +15,24 @@
 //!   (best-of-3, outside criterion) and write a `cdf-throughput/1`
 //!   document, the input format of the `throughput-gate` binary.
 
-use cdf_bench::throughput::{
-    measure, rows_json, run_once, sched_label, speedup_ratios, throughput_cases,
-};
-use cdf_core::SchedulerKind;
+use cdf_bench::throughput::{measure, rows_json, run_once, speedup_ratios, throughput_cases};
 use criterion::{criterion_group, Criterion, Throughput};
 
 fn quick() -> bool {
     std::env::var_os("CDF_BENCH_QUICK").is_some() || std::env::var_os("CDF_FAST").is_some()
 }
 
-fn bench_schedulers(c: &mut Criterion) {
+fn bench_variants(c: &mut Criterion) {
     let cases = throughput_cases(quick());
     let mut group = c.benchmark_group("scheduler_throughput");
     group.sample_size(10);
     for case in &cases {
-        let (cycles, _) = run_once(case, SchedulerKind::EventDriven);
+        let [(_, ev_sched, ev_mem), _] = case.axis.variants();
+        let (cycles, _) = run_once(case, ev_sched, ev_mem);
         group.throughput(Throughput::Elements(cycles));
-        for sched in [SchedulerKind::EventDriven, SchedulerKind::ReferenceScan] {
-            let id = format!("{}/{}", case.name, sched_label(sched));
-            group.bench_function(&id, |b| b.iter(|| run_once(case, sched)));
+        for (label, sched, mem_model) in case.axis.variants() {
+            let id = format!("{}/{label}", case.name);
+            group.bench_function(&id, |b| b.iter(|| run_once(case, sched, mem_model)));
         }
     }
     group.finish();
@@ -50,11 +49,11 @@ fn emit_json_if_requested() {
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     eprintln!("throughput rows: {}", path.display());
     for (case, ratio) in speedup_ratios(&rows) {
-        eprintln!("  {case}: event/scan = {ratio:.2}x");
+        eprintln!("  {case}: event/reference = {ratio:.2}x");
     }
 }
 
-criterion_group!(benches, bench_schedulers);
+criterion_group!(benches, bench_variants);
 
 fn main() {
     let mut c = Criterion::default();

@@ -6,17 +6,20 @@
 //! throughput-gate --baseline FILE ...        # non-default baseline path
 //! ```
 //!
-//! Measures the scheduler micro/macro suite (best-of-3, quick sizing by
-//! default) and compares cycles/second per case against the checked-in
-//! `crates/bench/baseline/throughput.json`. A case that regresses by more
-//! than the tolerance (default 20%) fails the gate. Wall-clock baselines
-//! are machine-dependent — re-bless when the reference hardware changes.
+//! Measures the scheduler + memory-model micro/macro suite (best-of-3,
+//! quick sizing by default) and compares cycles/second per case against
+//! the checked-in `crates/bench/baseline/throughput.json`. A case that
+//! regresses by more than the tolerance (default 20%) fails the gate.
+//! Wall-clock baselines are machine-dependent — re-bless when the
+//! reference hardware changes.
 //!
-//! Two machine-independent invariants are checked as well:
+//! Three machine-independent invariants are checked as well:
 //! * the `stall_window` micro case must keep the event-driven scheduler at
-//!   least 3x faster than the reference scan, and
-//! * the event scheduler must not be slower than the scan on any case by
-//!   more than the tolerance.
+//!   least 3x faster than the reference scan,
+//! * the `mshr_churn` micro case must keep the event-driven memory model
+//!   at least 1.2x faster than the lazy reference, and
+//! * the event-driven variant must not be slower than its reference on
+//!   any case by more than the tolerance.
 
 use cdf_bench::throughput::{measure, rows_from_json, rows_json, speedup_ratios, throughput_cases};
 use cdf_sim::json::Json;
@@ -56,23 +59,25 @@ fn main() {
     }
     let ratios = speedup_ratios(&rows);
     for (case, ratio) in &ratios {
-        println!("{case:32} event/scan = {ratio:.2}x");
+        println!("{case:32} event/reference = {ratio:.2}x");
     }
 
     let mut failures = Vec::new();
-    if let Some((_, micro)) = ratios.iter().find(|(c, _)| c == "stall_window") {
-        if *micro < 3.0 {
-            failures.push(format!(
-                "stall_window micro speedup collapsed: {micro:.2}x < 3x"
-            ));
+    for (micro, floor) in [("stall_window", 3.0), ("mshr_churn", 1.2)] {
+        if let Some((_, ratio)) = ratios.iter().find(|(c, _)| c == micro) {
+            if *ratio < floor {
+                failures.push(format!(
+                    "{micro} micro speedup collapsed: {ratio:.2}x < {floor}x"
+                ));
+            }
+        } else {
+            failures.push(format!("{micro} case missing from suite"));
         }
-    } else {
-        failures.push("stall_window case missing from suite".to_string());
     }
     for (case, ratio) in &ratios {
         if *ratio < 1.0 - tolerance {
             failures.push(format!(
-                "{case}: event scheduler slower than scan by more than {:.0}%: {ratio:.2}x",
+                "{case}: event variant slower than its reference by more than {:.0}%: {ratio:.2}x",
                 tolerance * 100.0
             ));
         }

@@ -1,24 +1,32 @@
 //! Simulator-throughput measurement: simulated cycles per wall-clock
-//! second, per scheduler implementation, on a fixed case list.
+//! second, per implementation variant, on a fixed case list.
 //!
-//! The case list is the scheduler micro/macro suite behind the
-//! `criterion_throughput` bench and the `throughput-gate` CI binary:
+//! The case list is the micro/macro suite behind the
+//! `criterion_throughput` bench and the `throughput-gate` CI binary. Each
+//! case pins one [`CaseAxis`] — the implementation pair it compares:
 //!
-//! * **micro** — `stall_window`: a pointer-chase LLC miss followed by a
-//!   long dependent ALU chain, looped. The window fills with waiting uops
-//!   behind the miss, so a per-cycle O(RS) scan pays its full cost while
-//!   doing no useful work; the event-driven scheduler idles. This isolates
-//!   the scheduler subsystem the way the sweep workloads cannot.
-//! * **macro** — registry sweep kernels (`astar_like`, `mcf_like`) under
-//!   baseline and CDF, at the default window and the Fig. 17 scaled
-//!   512-ROB window, end to end.
+//! * **scheduler micro** — `stall_window`: a pointer-chase LLC miss
+//!   followed by a long dependent ALU chain, looped. The window fills with
+//!   waiting uops behind the miss, so a per-cycle O(RS) scan pays its full
+//!   cost while doing no useful work; the event-driven scheduler idles.
+//! * **scheduler macro** — registry sweep kernels (`astar_like`,
+//!   `mcf_like`) under baseline and CDF, at the default window and the
+//!   Fig. 17 scaled 512-ROB window, end to end.
+//! * **mem micro** — `mshr_churn`: streams of independent hashed loads
+//!   with inflated MSHR files (128 L1D / 256 LLC entries), so the lazy
+//!   reference pays its O(capacity) rescans on every access while the
+//!   event-driven wheel pops nothing.
+//! * **mem macro** — memory-bound registry kernels (`mcf_like`,
+//!   `lbm_like`) under baseline at the default window, end to end.
 //!
-//! Every case runs under both [`SchedulerKind`]s; cycle counts are asserted
-//! identical between the two (the equivalence contract, enforced even in
-//! the benchmark), so cycles/second is the only thing that may differ.
+//! Every case runs under both variants of its axis; cycle counts are
+//! asserted identical between the two (the equivalence contract, enforced
+//! even in the benchmark), so cycles/second is the only thing that may
+//! differ.
 
-use cdf_core::{Core, CoreConfig, SchedulerKind};
+use cdf_core::{Core, CoreConfig, MemModelKind, SchedulerKind};
 use cdf_isa::{AluOp, ArchReg::*, MemoryImage, Program, ProgramBuilder};
+use cdf_mem::MemConfig;
 use cdf_sim::json::{field, Json};
 use cdf_sim::Mechanism;
 use cdf_workloads::{registry, GenConfig};
@@ -27,8 +35,51 @@ use std::time::Instant;
 /// Schema tag of the throughput-rows document.
 pub const THROUGHPUT_SCHEMA: &str = "cdf-throughput/1";
 
+/// Which implementation pair a case exercises: the harness varies exactly
+/// one runtime-selectable subsystem per case and pins the other to its
+/// default, so a wall-clock ratio is attributable to a single swap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CaseAxis {
+    /// Event-driven wakeup/select vs the reference RS scan
+    /// (rows `<case>/event` and `<case>/scan`).
+    Scheduler,
+    /// Event-driven memory bookkeeping vs the lazy rescanning reference
+    /// (rows `<case>/mem-event` and `<case>/mem-lazy`).
+    MemModel,
+}
+
+impl CaseAxis {
+    /// The two `(row label, scheduler, mem model)` variants of this axis,
+    /// event-driven first.
+    pub fn variants(self) -> [(&'static str, SchedulerKind, MemModelKind); 2] {
+        match self {
+            CaseAxis::Scheduler => [
+                ("event", SchedulerKind::EventDriven, MemModelKind::default()),
+                (
+                    "scan",
+                    SchedulerKind::ReferenceScan,
+                    MemModelKind::default(),
+                ),
+            ],
+            CaseAxis::MemModel => [
+                (
+                    "mem-event",
+                    SchedulerKind::default(),
+                    MemModelKind::EventDriven,
+                ),
+                (
+                    "mem-lazy",
+                    SchedulerKind::default(),
+                    MemModelKind::ReferenceLazy,
+                ),
+            ],
+        }
+    }
+}
+
 /// One named simulation case: a program plus a core configuration (without
-/// the scheduler choice, which the harness varies) and an instruction cap.
+/// the implementation choice, which the harness varies per its axis) and an
+/// instruction cap.
 #[derive(Debug)]
 pub struct ThroughputCase {
     /// Case name, e.g. `stall_window` or `mcf_like/cdf/rob512`.
@@ -37,18 +88,20 @@ pub struct ThroughputCase {
     pub program: Program,
     /// Its initial memory image.
     pub memory: MemoryImage,
-    /// Core configuration template (scheduler overridden per run).
+    /// Core configuration template (scheduler/mem model overridden per run).
     pub cfg: CoreConfig,
     /// Instruction cap per run.
     pub instructions: u64,
+    /// Which implementation pair this case compares.
+    pub axis: CaseAxis,
 }
 
-/// One measurement: a case run under one scheduler.
+/// One measurement: a case run under one variant of its axis.
 #[derive(Clone, Debug)]
 pub struct ThroughputRow {
-    /// `<case>/<event|scan>`.
+    /// `<case>/<event|scan|mem-event|mem-lazy>`.
     pub name: String,
-    /// Simulated cycles per run (identical across schedulers by the
+    /// Simulated cycles per run (identical across variants by the
     /// equivalence contract).
     pub simulated_cycles: u64,
     /// Best-of-N wall-clock seconds for one run.
@@ -62,12 +115,34 @@ impl ThroughputRow {
     }
 }
 
-/// Short label for a scheduler in case names.
-pub fn sched_label(s: SchedulerKind) -> &'static str {
-    match s {
-        SchedulerKind::EventDriven => "event",
-        SchedulerKind::ReferenceScan => "scan",
+/// Streams of mutually independent hashed loads: nothing ever waits on a
+/// previous load, so misses pile up to the MSHR limit and every access
+/// queries near-full files — the lazy model's O(capacity) rescans dominate
+/// while the event wheel stays O(1).
+fn mshr_churn_program(trips: i64) -> (Program, MemoryImage) {
+    let mut b = ProgramBuilder::new();
+    b.movi(R1, trips);
+    b.movi(R12, 0x9E37_79B9);
+    b.movi(R13, 0x85EB_CA6B);
+    b.movi(R15, 0xC2B2_AE35);
+    b.movi(R17, 0x27D4_EB2F);
+    b.movi(R9, (1 << 22) - 1);
+    let top = b.label("top");
+    b.bind(top).expect("fresh label");
+    for (mult, addr, dst) in [
+        (R12, R10, R2),
+        (R13, R11, R3),
+        (R15, R14, R4),
+        (R17, R16, R5),
+    ] {
+        b.mul(addr, R1, mult);
+        b.alu(AluOp::And, addr, addr, R9);
+        b.load_abs(dst, addr, 8, 0x1000_0000);
     }
+    b.addi(R1, R1, -1);
+    b.brnz(R1, top);
+    b.halt();
+    (b.build().expect("valid program"), MemoryImage::new())
 }
 
 fn stall_window_program(trips: i64) -> (Program, MemoryImage) {
@@ -102,6 +177,24 @@ pub fn throughput_cases(quick: bool) -> Vec<ThroughputCase> {
         memory,
         cfg: CoreConfig::default(),
         instructions,
+        axis: CaseAxis::Scheduler,
+    });
+
+    let (program, memory) = mshr_churn_program(1 << 20);
+    cases.push(ThroughputCase {
+        name: "mshr_churn".to_string(),
+        program,
+        memory,
+        cfg: CoreConfig {
+            mem: MemConfig {
+                l1d_mshrs: 128,
+                llc_mshrs: 256,
+                ..MemConfig::default()
+            },
+            ..CoreConfig::default()
+        },
+        instructions,
+        axis: CaseAxis::MemModel,
     });
 
     let gen = GenConfig {
@@ -122,17 +215,48 @@ pub fn throughput_cases(quick: bool) -> Vec<ThroughputCase> {
                         ..CoreConfig::default().with_scaled_window(rob)
                     },
                     instructions,
+                    axis: CaseAxis::Scheduler,
                 });
             }
         }
     }
+    // Memory-bound macro cells run with the same inflated MSHR files as
+    // the `mshr_churn` micro: at the Table-1 sizes (32/40 entries) the
+    // lazy rescans cost too little to measure, and the point of these
+    // cells is the bookkeeping cost in the high-MLP regime the event
+    // wheels were built for. Both variants still simulate identical
+    // cycles — the config is shared; only the bookkeeping differs.
+    for name in ["mcf_like", "lbm_like"] {
+        let w = registry::lookup(name, &gen).expect("known workload");
+        cases.push(ThroughputCase {
+            name: format!("{name}/mem"),
+            program: w.program.clone(),
+            memory: w.memory.clone(),
+            cfg: CoreConfig {
+                mem: MemConfig {
+                    l1d_mshrs: 128,
+                    llc_mshrs: 256,
+                    ..MemConfig::default()
+                },
+                ..CoreConfig::default()
+            },
+            instructions,
+            axis: CaseAxis::MemModel,
+        });
+    }
     cases
 }
 
-/// Runs one case once under one scheduler; returns (cycles, wall seconds).
-pub fn run_once(case: &ThroughputCase, scheduler: SchedulerKind) -> (u64, f64) {
+/// Runs one case once under an explicit scheduler and memory model;
+/// returns (cycles, wall seconds).
+pub fn run_once(
+    case: &ThroughputCase,
+    scheduler: SchedulerKind,
+    mem_model: MemModelKind,
+) -> (u64, f64) {
     let cfg = CoreConfig {
         scheduler,
+        mem_model,
         ..case.cfg.clone()
     };
     let mut core = Core::new(&case.program, case.memory.clone(), cfg);
@@ -141,18 +265,18 @@ pub fn run_once(case: &ThroughputCase, scheduler: SchedulerKind) -> (u64, f64) {
     (stats.cycles, start.elapsed().as_secs_f64())
 }
 
-/// Measures every case under both schedulers, best wall time of `repeats`
-/// runs each, asserting the equivalence contract (identical cycle counts)
-/// along the way.
+/// Measures every case under both variants of its axis, best wall time of
+/// `repeats` runs each, asserting the equivalence contract (identical
+/// cycle counts) along the way.
 pub fn measure(cases: &[ThroughputCase], repeats: u32) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
     for case in cases {
         let mut cycles_seen = None;
-        for sched in [SchedulerKind::EventDriven, SchedulerKind::ReferenceScan] {
+        for (label, sched, mem_model) in case.axis.variants() {
             let mut best = f64::MAX;
             let mut cycles = 0;
             for _ in 0..repeats.max(1) {
-                let (c, dt) = run_once(case, sched);
+                let (c, dt) = run_once(case, sched, mem_model);
                 cycles = c;
                 best = best.min(dt);
             }
@@ -160,12 +284,12 @@ pub fn measure(cases: &[ThroughputCase], repeats: u32) -> Vec<ThroughputRow> {
                 None => cycles_seen = Some(cycles),
                 Some(prev) => assert_eq!(
                     prev, cycles,
-                    "{}: schedulers disagree on simulated cycles",
+                    "{}: variants disagree on simulated cycles",
                     case.name
                 ),
             }
             rows.push(ThroughputRow {
-                name: format!("{}/{}", case.name, sched_label(sched)),
+                name: format!("{}/{label}", case.name),
                 simulated_cycles: cycles,
                 wall_seconds: best,
             });
@@ -215,17 +339,27 @@ pub fn rows_from_json(doc: &Json) -> Option<Vec<(String, f64)>> {
     Some(out)
 }
 
-/// The event/scan cycles-per-second ratio for each case present in `rows`
-/// under both schedulers.
+/// The event-driven/reference cycles-per-second ratio for each case
+/// present in `rows` under both variants of its axis (`/event` vs `/scan`
+/// rows, and `/mem-event` vs `/mem-lazy` rows).
 pub fn speedup_ratios(rows: &[ThroughputRow]) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for r in rows {
-        let Some(case) = r.name.strip_suffix("/event") else {
+        let (case, ref_suffix) = if let Some(c) = r.name.strip_suffix("/mem-event") {
+            (c, "/mem-lazy")
+        } else if let Some(c) = r.name.strip_suffix("/event") {
+            (c, "/scan")
+        } else {
             continue;
         };
-        let scan = rows.iter().find(|s| s.name == format!("{case}/scan"));
-        if let Some(scan) = scan {
-            out.push((case.to_string(), r.cycles_per_sec() / scan.cycles_per_sec()));
+        let reference = rows
+            .iter()
+            .find(|s| s.name == format!("{case}{ref_suffix}"));
+        if let Some(reference) = reference {
+            out.push((
+                case.to_string(),
+                r.cycles_per_sec() / reference.cycles_per_sec(),
+            ));
         }
     }
     out
@@ -248,15 +382,27 @@ mod tests {
                 simulated_cycles: 1000,
                 wall_seconds: 1.0,
             },
+            ThroughputRow {
+                name: "y/mem-event".into(),
+                simulated_cycles: 1000,
+                wall_seconds: 0.25,
+            },
+            ThroughputRow {
+                name: "y/mem-lazy".into(),
+                simulated_cycles: 1000,
+                wall_seconds: 1.0,
+            },
         ];
         let doc = Json::parse(&rows_json(&rows, true).render()).expect("valid");
         let parsed = rows_from_json(&doc).expect("parses");
-        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.len(), 4);
         assert_eq!(parsed[0].0, "x/event");
         assert!((parsed[0].1 - 2000.0).abs() < 1e-6);
         let ratios = speedup_ratios(&rows);
-        assert_eq!(ratios.len(), 1);
+        assert_eq!(ratios.len(), 2);
         assert!((ratios[0].1 - 2.0).abs() < 1e-9);
+        assert_eq!(ratios[1].0, "y");
+        assert!((ratios[1].1 - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -264,6 +410,12 @@ mod tests {
         let cases = throughput_cases(true);
         assert!(cases.iter().any(|c| c.name == "stall_window"));
         assert!(cases.iter().any(|c| c.name == "mcf_like/CDF/rob512"));
-        assert_eq!(cases.len(), 9);
+        let mem_cases: Vec<&str> = cases
+            .iter()
+            .filter(|c| c.axis == CaseAxis::MemModel)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(mem_cases, ["mshr_churn", "mcf_like/mem", "lbm_like/mem"]);
+        assert_eq!(cases.len(), 12);
     }
 }

@@ -1,7 +1,7 @@
 //! Core configuration (defaults mirror the paper's Table 1).
 
 use cdf_bpred::TageConfig;
-use cdf_mem::MemConfig;
+use cdf_mem::{MemConfig, MemModelKind};
 
 /// Execution-port counts per cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -210,6 +210,11 @@ pub struct CoreConfig {
     pub ports: ExecPorts,
     /// Memory hierarchy configuration.
     pub mem: MemConfig,
+    /// Outstanding-miss bookkeeping implementation (see
+    /// [`MemModelKind`]). Like [`SchedulerKind`], both variants are
+    /// bit-identical and runtime-selectable so one process can run both
+    /// and compare (`cdf-sim equiv --mem`).
+    pub mem_model: MemModelKind,
     /// Branch predictor configuration.
     pub tage: TageConfig,
     /// Byte address of the first uop (for I-cache indexing).
@@ -243,6 +248,7 @@ impl Default for CoreConfig {
             phys_regs: 512,
             ports: ExecPorts::default(),
             mem: MemConfig::default(),
+            mem_model: MemModelKind::default(),
             tage: TageConfig::default(),
             code_base: 0x0040_0000,
             mode: CoreMode::Baseline,
@@ -338,6 +344,7 @@ mod tests {
     fn scheduler_and_pool_defaults() {
         let c = CoreConfig::default();
         assert_eq!(c.scheduler, SchedulerKind::EventDriven);
+        assert_eq!(c.mem_model, MemModelKind::EventDriven);
         assert_eq!(
             c.pool_slots(),
             16384,

@@ -190,7 +190,7 @@ impl<'p> Core<'p> {
         let cdf_cfg = cfg.cdf_config().cloned().unwrap_or_default();
         let energy = EnergyModel::new(EnergyParams::default().scaled_for_window(cfg.rob));
         Core {
-            hierarchy: MemoryHierarchy::new(cfg.mem.clone()),
+            hierarchy: MemoryHierarchy::with_model(cfg.mem.clone(), cfg.mem_model),
             predictor: TageScL::new(cfg.tage.clone()),
             btb: Btb::new(BtbConfig::default()),
             energy,
@@ -751,6 +751,7 @@ impl<'p> Core<'p> {
                 taken: if op.is_cond_branch() { taken } else { None },
                 next_pc,
                 critical,
+                chain: uop.chain,
             };
             if let Some(obs) = self.observer.as_mut() {
                 obs.on_retire(&ev);
@@ -1442,6 +1443,7 @@ impl<'p> Core<'p> {
         d.uid = self.next_uid;
         self.next_uid += 1;
         d.fetched_in_cdf = fu.fetched_in_cdf;
+        d.chain = fu.chain;
         d.pred = fu.pred;
         d.pred_taken = fu.pred_taken;
 

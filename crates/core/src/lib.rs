@@ -82,6 +82,7 @@ mod sched;
 mod stats;
 mod types;
 
+pub use cdf_mem::MemModelKind;
 pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig, SchedulerKind};
 pub use core_impl::Core;
 pub use diag::{CdfDiagnostics, ChainRecord, Coverage, MAX_CHAIN_RECORDS};

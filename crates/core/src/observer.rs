@@ -47,6 +47,10 @@ pub struct RetiredUop {
     pub next_pc: Option<Pc>,
     /// The uop retired from the critical ROB partition (CDF/PRE stream).
     pub critical: bool,
+    /// CDF dependence-chain id the uop was fetched under (0 = none) —
+    /// provenance only, never folded into the digest: the architectural
+    /// stream must be identical whatever chain fetched it.
+    pub chain: u64,
 }
 
 /// A hook invoked once per retired uop, in program order.
@@ -111,6 +115,9 @@ pub struct Divergence {
     pub expected: String,
     /// What the core retired, rendered for humans.
     pub actual: String,
+    /// The dependence-chain id of the offending uop (0 = none) so fuzz
+    /// reports name the CDF chain whose replay went wrong.
+    pub chain: u64,
 }
 
 impl fmt::Display for Divergence {
@@ -119,7 +126,11 @@ impl fmt::Display for Divergence {
             f,
             "uop {} at {}: {} expected {}, got {}",
             self.index, self.pc, self.kind, self.expected, self.actual
-        )
+        )?;
+        if self.chain != 0 {
+            write!(f, " (chain {})", self.chain)?;
+        }
+        Ok(())
     }
 }
 
@@ -243,6 +254,7 @@ fn diverge(uop: &RetiredUop, kind: DivergenceKind, expected: String, actual: Str
         kind,
         expected,
         actual,
+        chain: uop.chain,
     }
 }
 
@@ -381,6 +393,7 @@ mod tests {
                 taken: ev.branch_taken,
                 next_pc: ev.next_pc,
                 critical: false,
+                chain: 0,
             });
             index += 1;
         }
@@ -405,6 +418,7 @@ mod tests {
             taken: None,
             next_pc: Some(Pc::new(1)),
             critical: false,
+            chain: 0,
         });
         let log = log.borrow();
         let d = log.divergence.as_ref().expect("must diverge");
@@ -429,6 +443,7 @@ mod tests {
             taken: None,
             next_pc: None,
             critical: false,
+            chain: 0,
         };
         checker.on_retire(&halt);
         assert!(log.borrow().divergence.is_none());

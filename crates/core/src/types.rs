@@ -101,6 +101,10 @@ pub(crate) struct DynUop {
     /// Whether this uop was fetched while CDF mode was active (affects
     /// misprediction recovery, §3.6).
     pub fetched_in_cdf: bool,
+    /// CDF dependence-chain id this uop was fetched under (0 = none):
+    /// provenance carried through to retirement so equivalence divergence
+    /// reports can name the chain.
+    pub chain: u64,
     /// Effective address once computed (loads and stores).
     pub mem_addr: Option<u64>,
     /// Load value / ALU result / store data once known.
@@ -128,6 +132,7 @@ impl DynUop {
             pred_taken: false,
             taken: None,
             fetched_in_cdf: false,
+            chain: 0,
             mem_addr: None,
             result: None,
             llc_miss: false,

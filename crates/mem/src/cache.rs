@@ -288,6 +288,33 @@ mod tests {
         assert!(ev.dirty, "dirty bit from the refill must be preserved");
     }
 
+    /// Pins the fill-on-resident-line semantics the hierarchy's dirty-L1-
+    /// victim pushdown relies on: no duplicate way is allocated, the line
+    /// is promoted to MRU, the dirty bit is ORed in, and the prefetched
+    /// tag survives untouched (audited for PR 6 — the pushdown path calls
+    /// `fill` on a probed-hit LLC line on purpose, as a dirty merge).
+    #[test]
+    fn fill_on_resident_line_merges() {
+        let mut c = tiny();
+        c.fill_tagged(0x0, false, true); // prefetched, clean
+        c.fill(0x80, false); // set 0 now full: [0x80, 0x0]
+        assert_eq!(c.fill(0x0, true), None, "merge, not a second way");
+        // 0x0 was promoted to MRU, so the next fill evicts 0x80 — proving
+        // the set still holds exactly one copy of 0x0 and it is not LRU.
+        let ev = c.fill(0x100, false).unwrap();
+        assert_eq!(ev.line_addr, 0x80, "resident fill promotes to MRU");
+        // The merged dirty bit and the original prefetched tag both held.
+        let a = c.access(0x0, false);
+        assert!(
+            a.first_use_of_prefetch,
+            "a dirty merge must not consume the FDP first-use tag"
+        );
+        c.fill(0x180, false);
+        let ev = c.fill(0x100, false).unwrap();
+        assert_eq!(ev.line_addr, 0x0);
+        assert!(ev.dirty, "dirty bit from the merge must be preserved");
+    }
+
     #[test]
     fn prefetch_first_use_flag() {
         let mut c = tiny();

@@ -1,0 +1,197 @@
+//! Event-wheel bookkeeping for the event-driven memory model.
+//!
+//! The reference hierarchy tracks outstanding misses with lazily-filtered
+//! `HashMap`s and `Vec`s: every query rescans the container and compares
+//! each completion cycle against `now`. That is O(capacity) per access and
+//! per cycle. The structures here key the same state on completion cycles
+//! in a min-heap instead, so expiry pops exactly the entries whose time has
+//! come and every query is O(1) (map lookup / heap peek) amortized.
+//!
+//! Both implementations are kept compiled and runtime-selectable via
+//! [`MemModelKind`](crate::MemModelKind); the `cdf-sim equiv --mem`
+//! harness proves them bit-identical. The equivalence argument is small:
+//! queries on the lazy structures filter by `done > now`, and the event
+//! structures maintain the invariant that after `advance(now)` exactly the
+//! entries with `done > now` remain — identical visible state as long as
+//! `now` never moves backwards, which the core guarantees (all call sites
+//! pass its monotonic cycle counter) and a debug watermark asserts.
+
+use crate::mshr::MshrOutcome;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Event-driven Miss Status Holding Registers: the same visible semantics
+/// as [`Mshr`](crate::Mshr) (lazy reference implementation), but entries
+/// retire on a completion-cycle min-heap instead of being rescanned.
+///
+/// Requires monotonically non-decreasing `now` across calls; the lazy
+/// implementation tolerates time moving backwards, this one asserts it
+/// away (debug builds) because popped entries cannot be resurrected.
+#[derive(Clone, Debug)]
+pub struct EventMshr {
+    capacity: usize,
+    /// line address → completion cycle, entries with `done > watermark`.
+    entries: HashMap<u64, u64>,
+    /// Min-heap of `(completion cycle, line address)` mirroring `entries`.
+    expiry: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Largest `now` seen; advance-only time assertion.
+    watermark: u64,
+}
+
+impl EventMshr {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> EventMshr {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        EventMshr {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            expiry: BinaryHeap::with_capacity(capacity),
+            watermark: 0,
+        }
+    }
+
+    /// Pops every entry whose completion cycle has passed (the completion
+    /// cycle itself counts as done, matching the reference `done > now`
+    /// filter). `entries` and `expiry` stay in bijection: lines are
+    /// inserted into both together and only removed here, and a line
+    /// cannot be re-allocated while still present in `entries`.
+    fn advance(&mut self, now: u64) {
+        debug_assert!(
+            now >= self.watermark,
+            "EventMshr time moved backwards: {now} < {}",
+            self.watermark
+        );
+        self.watermark = now;
+        while let Some(&Reverse((done, line))) = self.expiry.peek() {
+            if done > now {
+                break;
+            }
+            self.expiry.pop();
+            let removed = self.entries.remove(&line);
+            debug_assert_eq!(removed, Some(done), "heap/map bijection");
+        }
+    }
+
+    /// Attempts to track a miss of `line` completing at `completes_at`.
+    /// Same contract as [`Mshr::try_alloc`](crate::Mshr::try_alloc).
+    pub fn try_alloc(&mut self, line: u64, now: u64, completes_at: u64) -> MshrOutcome {
+        self.advance(now);
+        if let Some(&done) = self.entries.get(&line) {
+            return MshrOutcome::Merged(done);
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, completes_at);
+        self.expiry.push(Reverse((completes_at, line)));
+        MshrOutcome::Allocated
+    }
+
+    /// The completion cycle of an outstanding miss of `line`, if any.
+    pub fn outstanding(&mut self, line: u64, now: u64) -> Option<u64> {
+        self.advance(now);
+        self.entries.get(&line).copied()
+    }
+
+    /// Number of outstanding misses at `now` — O(1) after the advance.
+    pub fn len(&mut self, now: u64) -> usize {
+        self.advance(now);
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding at `now`.
+    pub fn is_empty(&mut self, now: u64) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The soonest cycle at which an outstanding entry completes — a heap
+    /// peek instead of the reference implementation's full-map minimum.
+    pub fn earliest_release(&mut self, now: u64) -> Option<u64> {
+        self.advance(now);
+        self.expiry.peek().map(|&Reverse((done, _))| done)
+    }
+}
+
+/// Outstanding-demand-miss tracker for MLP measurement (Fig. 14): a
+/// completion-cycle min-heap, popped on advance, counted in O(1) — versus
+/// the reference `Vec` that is `retain`ed on every insert and filtered on
+/// every per-cycle sample.
+#[derive(Clone, Debug, Default)]
+pub struct EventOutstanding {
+    heap: BinaryHeap<Reverse<u64>>,
+}
+
+impl EventOutstanding {
+    /// Records a demand miss completing at `done` (`done` must lie in the
+    /// future — DRAM completions always do).
+    pub fn note(&mut self, done: u64) {
+        self.heap.push(Reverse(done));
+    }
+
+    /// Number of demand misses still outstanding at `now`.
+    pub fn outstanding(&mut self, now: u64) -> usize {
+        while let Some(&Reverse(done)) = self.heap.peek() {
+            if done > now {
+                break;
+            }
+            self.heap.pop();
+        }
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_doctest_sequence() {
+        let mut m = EventMshr::new(2);
+        assert_eq!(m.try_alloc(0x40, 0, 100), MshrOutcome::Allocated);
+        assert_eq!(m.try_alloc(0x40, 5, 999), MshrOutcome::Merged(100));
+        assert_eq!(m.try_alloc(0x80, 5, 200), MshrOutcome::Allocated);
+        assert_eq!(m.try_alloc(0xC0, 5, 300), MshrOutcome::Full);
+        assert_eq!(m.try_alloc(0xC0, 150, 300), MshrOutcome::Allocated); // 0x40 expired
+    }
+
+    #[test]
+    fn completion_cycle_counts_as_done() {
+        let mut m = EventMshr::new(4);
+        m.try_alloc(0x0, 0, 10);
+        assert_eq!(m.outstanding(0x0, 9), Some(10));
+        assert_eq!(m.outstanding(0x0, 10), None);
+        assert!(m.is_empty(10));
+    }
+
+    #[test]
+    fn earliest_release_is_heap_top() {
+        let mut m = EventMshr::new(4);
+        assert_eq!(m.earliest_release(0), None);
+        m.try_alloc(0x0, 0, 30);
+        m.try_alloc(0x40, 0, 10);
+        assert_eq!(m.earliest_release(0), Some(10));
+        assert_eq!(m.earliest_release(10), Some(30));
+        assert_eq!(m.earliest_release(30), None);
+    }
+
+    #[test]
+    fn outstanding_set_counts_and_drains() {
+        let mut s = EventOutstanding::default();
+        s.note(10);
+        s.note(20);
+        s.note(20);
+        assert_eq!(s.outstanding(5), 3);
+        assert_eq!(s.outstanding(10), 2);
+        assert_eq!(s.outstanding(19), 2);
+        assert_eq!(s.outstanding(20), 0);
+    }
+}

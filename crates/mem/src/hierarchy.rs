@@ -2,6 +2,7 @@
 
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig, DramStats};
+use crate::event::{EventMshr, EventOutstanding};
 use crate::line_addr;
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::prefetch::{PrefetcherConfig, StreamPrefetcher};
@@ -50,6 +51,112 @@ impl Default for MemConfig {
             llc_mshrs: 40,
             prefetcher: PrefetcherConfig::default(),
             dram: DramConfig::default(),
+        }
+    }
+}
+
+/// Which bookkeeping implementation the hierarchy runs on. Both produce
+/// bit-identical timing and statistics (proven by `cdf-sim equiv --mem`);
+/// only the cost of tracking outstanding misses differs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MemModelKind {
+    /// Outstanding misses retire on completion-cycle min-heaps
+    /// ([`EventMshr`]): O(1) occupancy queries and per-cycle MLP samples.
+    /// Requires monotonically non-decreasing access times, which the core
+    /// guarantees. The default.
+    #[default]
+    EventDriven,
+    /// The original lazy implementation ([`Mshr`] + `Vec` retain/filter):
+    /// every query rescans entries against `now`. Kept compiled as the
+    /// equivalence oracle.
+    ReferenceLazy,
+}
+
+/// An MSHR file, dispatching to the lazy or event-driven implementation.
+/// All methods take `&mut self` because the event model advances its
+/// expiry heap on every query.
+#[derive(Clone, Debug)]
+enum MshrFile {
+    Lazy(Mshr),
+    Event(EventMshr),
+}
+
+impl MshrFile {
+    fn new(capacity: usize, model: MemModelKind) -> MshrFile {
+        match model {
+            MemModelKind::EventDriven => MshrFile::Event(EventMshr::new(capacity)),
+            MemModelKind::ReferenceLazy => MshrFile::Lazy(Mshr::new(capacity)),
+        }
+    }
+
+    fn try_alloc(&mut self, line: u64, now: u64, completes_at: u64) -> MshrOutcome {
+        match self {
+            MshrFile::Lazy(m) => m.try_alloc(line, now, completes_at),
+            MshrFile::Event(m) => m.try_alloc(line, now, completes_at),
+        }
+    }
+
+    fn outstanding(&mut self, line: u64, now: u64) -> Option<u64> {
+        match self {
+            MshrFile::Lazy(m) => m.outstanding(line, now),
+            MshrFile::Event(m) => m.outstanding(line, now),
+        }
+    }
+
+    fn len(&mut self, now: u64) -> usize {
+        match self {
+            MshrFile::Lazy(m) => m.len(now),
+            MshrFile::Event(m) => m.len(now),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            MshrFile::Lazy(m) => m.capacity(),
+            MshrFile::Event(m) => m.capacity(),
+        }
+    }
+
+    fn earliest_release(&mut self, now: u64) -> Option<u64> {
+        match self {
+            MshrFile::Lazy(m) => m.earliest_release(now),
+            MshrFile::Event(m) => m.earliest_release(now),
+        }
+    }
+}
+
+/// Completion cycles of outstanding *demand* LLC misses, for MLP
+/// measurement (merged and prefetch requests are not double counted).
+#[derive(Clone, Debug)]
+enum MlpTracker {
+    /// Reference: `retain` on insert, filter-count on sample.
+    Lazy(Vec<u64>),
+    /// Event-driven: min-heap popped as completions pass.
+    Event(EventOutstanding),
+}
+
+impl MlpTracker {
+    fn new(model: MemModelKind) -> MlpTracker {
+        match model {
+            MemModelKind::EventDriven => MlpTracker::Event(EventOutstanding::default()),
+            MemModelKind::ReferenceLazy => MlpTracker::Lazy(Vec::new()),
+        }
+    }
+
+    fn note(&mut self, done: u64, now: u64) {
+        match self {
+            MlpTracker::Lazy(v) => {
+                v.retain(|&d| d > now);
+                v.push(done);
+            }
+            MlpTracker::Event(h) => h.note(done),
+        }
+    }
+
+    fn outstanding(&mut self, now: u64) -> usize {
+        match self {
+            MlpTracker::Lazy(v) => v.iter().filter(|&&d| d > now).count(),
+            MlpTracker::Event(h) => h.outstanding(now),
         }
     }
 }
@@ -150,13 +257,19 @@ impl AccessResult {
 }
 
 /// Aggregate hierarchy statistics (beyond per-component counters).
+///
+/// Counting contract: every counter except `rejections` counts *accepted*
+/// accesses only, and each logical access exactly once — a request bounced
+/// with [`MshrFull`] and retried later contributes one `rejections` tick
+/// per bounce and nothing else, so a backpressured run and an unconstrained
+/// run of the same logical access sequence agree on every other field.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MemStats {
-    /// Demand loads issued by the core.
+    /// Demand loads accepted by the hierarchy.
     pub demand_loads: u64,
-    /// Demand stores issued by the core.
+    /// Demand stores accepted by the hierarchy.
     pub demand_stores: u64,
-    /// Instruction fetch line accesses.
+    /// Instruction fetch line accesses accepted.
     pub inst_fetches: u64,
     /// Demand accesses that missed the LLC (went to DRAM).
     pub llc_demand_misses: u64,
@@ -177,32 +290,38 @@ pub struct MemStats {
 #[derive(Clone, Debug)]
 pub struct MemoryHierarchy {
     cfg: MemConfig,
+    model: MemModelKind,
     l1i: Cache,
     l1d: Cache,
     llc: Cache,
-    l1d_mshr: Mshr,
-    llc_mshr: Mshr,
+    l1d_mshr: MshrFile,
+    llc_mshr: MshrFile,
     prefetcher: StreamPrefetcher,
     dram: Dram,
     stats: MemStats,
-    /// Completion cycles of outstanding *demand* LLC misses, for MLP
-    /// measurement (merged and prefetch requests are not double counted).
-    demand_outstanding: Vec<u64>,
+    demand_outstanding: MlpTracker,
 }
 
 impl MemoryHierarchy {
-    /// Creates a hierarchy from a configuration.
+    /// Creates a hierarchy from a configuration, using the default
+    /// (event-driven) bookkeeping model.
     pub fn new(cfg: MemConfig) -> MemoryHierarchy {
+        MemoryHierarchy::with_model(cfg, MemModelKind::default())
+    }
+
+    /// Creates a hierarchy running on an explicit bookkeeping model.
+    pub fn with_model(cfg: MemConfig, model: MemModelKind) -> MemoryHierarchy {
         MemoryHierarchy {
             l1i: Cache::new(cfg.l1i),
             l1d: Cache::new(cfg.l1d),
             llc: Cache::new(cfg.llc),
-            l1d_mshr: Mshr::new(cfg.l1d_mshrs),
-            llc_mshr: Mshr::new(cfg.llc_mshrs),
+            l1d_mshr: MshrFile::new(cfg.l1d_mshrs, model),
+            llc_mshr: MshrFile::new(cfg.llc_mshrs, model),
             prefetcher: StreamPrefetcher::new(cfg.prefetcher),
             dram: Dram::new(cfg.dram),
             stats: MemStats::default(),
-            demand_outstanding: Vec::new(),
+            demand_outstanding: MlpTracker::new(model),
+            model,
             cfg,
         }
     }
@@ -212,9 +331,19 @@ impl MemoryHierarchy {
         &self.cfg
     }
 
+    /// The bookkeeping model this hierarchy runs on.
+    pub fn model(&self) -> MemModelKind {
+        self.model
+    }
+
     /// Performs an access at cycle `now`. `wrong_path` attributes any DRAM
     /// read this access causes to wrong-path execution in the statistics
     /// (the paper's runahead-overhead accounting).
+    ///
+    /// Admission is decided *before* any state changes: a rejected access
+    /// leaves the caches, MSHRs, prefetcher, and statistics (other than
+    /// `rejections`) untouched, so the mandatory retry replays it cleanly
+    /// without double-counting anything.
     pub fn access(
         &mut self,
         addr: u64,
@@ -222,13 +351,55 @@ impl MemoryHierarchy {
         now: u64,
         wrong_path: bool,
     ) -> AccessResult {
+        let is_write = kind == AccessKind::Store;
+        let is_inst = kind == AccessKind::InstFetch;
+        let line = line_addr(addr);
+
+        // --- Admission (no mutation of architectural state; the event
+        // model may advance its expiry heaps, which is not visible). The
+        // probes mirror exactly the lookups the accepted path performs, so
+        // acceptance here cannot turn into a structural conflict below.
+        let l1_hit = if is_inst {
+            self.l1i.probe(addr)
+        } else {
+            self.l1d.probe(addr)
+        };
+        // L1 miss: check the L1 MSHRs (data side only; the in-order fetch
+        // unit has a single outstanding I-miss by construction).
+        let l1d_merge = if !l1_hit && !is_inst {
+            let merge = self.l1d_mshr.outstanding(line, now);
+            if merge.is_none() && self.l1d_mshr.len(now) >= self.l1d_mshr.capacity() {
+                self.stats.rejections += 1;
+                return AccessResult::Rejected(MshrFull {
+                    level: MshrLevel::L1d,
+                    retry_at: self.l1d_mshr.earliest_release(now).unwrap_or(now + 1),
+                });
+            }
+            merge
+        } else {
+            None
+        };
+        // Requests that reach the LLC and miss it need an LLC MSHR (a merge
+        // with an outstanding DRAM-bound miss does not).
+        if !l1_hit
+            && l1d_merge.is_none()
+            && !self.llc.probe(addr)
+            && self.llc_mshr.outstanding(line, now).is_none()
+            && self.llc_mshr.len(now) >= self.llc_mshr.capacity()
+        {
+            self.stats.rejections += 1;
+            return AccessResult::Rejected(MshrFull {
+                level: MshrLevel::Llc,
+                retry_at: self.llc_mshr.earliest_release(now).unwrap_or(now + 1),
+            });
+        }
+
+        // --- Accepted: count the access exactly once.
         match kind {
             AccessKind::Load => self.stats.demand_loads += 1,
             AccessKind::Store => self.stats.demand_stores += 1,
             AccessKind::InstFetch => self.stats.inst_fetches += 1,
         }
-        let is_write = kind == AccessKind::Store;
-        let is_inst = kind == AccessKind::InstFetch;
 
         // --- L1 ---
         let l1 = if is_inst {
@@ -237,43 +408,19 @@ impl MemoryHierarchy {
             &mut self.l1d
         };
         let l1_info = l1.access(addr, is_write);
+        debug_assert_eq!(l1_info.hit, l1_hit, "probe agrees with access");
         if l1_info.hit {
             return AccessResult::Done(AccessOutcome {
                 ready_at: now + self.cfg.l1_latency,
                 level: HitLevel::L1,
             });
         }
-
-        // L1 miss: check the L1 MSHRs (data side only; the in-order fetch
-        // unit has a single outstanding I-miss by construction).
-        if !is_inst {
-            let line = line_addr(addr);
-            match self.l1d_mshr.outstanding(line, now) {
-                Some(done) => {
-                    // Merge with an in-flight L1 miss.
-                    return AccessResult::Done(AccessOutcome {
-                        ready_at: done,
-                        level: HitLevel::Llc,
-                    });
-                }
-                None => {
-                    if self.l1d_mshr.len(now) >= self.l1d_mshr.capacity() {
-                        self.stats.rejections += 1;
-                        return AccessResult::Rejected(MshrFull {
-                            level: MshrLevel::L1d,
-                            retry_at: self.l1d_mshr.earliest_release(now).unwrap_or(now + 1),
-                        });
-                    }
-                }
-            }
-        }
-
-        // Train the prefetcher on demand L1D misses.
-        if !is_inst {
-            let pf_lines = self.prefetcher.on_demand_miss(addr);
-            for pf in pf_lines {
-                self.issue_prefetch(pf, now, false);
-            }
+        if let Some(done) = l1d_merge {
+            // Merge with an in-flight L1 miss.
+            return AccessResult::Done(AccessOutcome {
+                ready_at: done,
+                level: HitLevel::Llc,
+            });
         }
 
         // --- LLC ---
@@ -289,34 +436,35 @@ impl MemoryHierarchy {
         } else {
             // LLC miss → DRAM, moderated by the LLC MSHRs.
             self.stats.llc_demand_misses += 1;
-            let line = line_addr(addr);
             let issue_at = now + self.cfg.l1_latency + self.cfg.llc_latency;
             if let Some(done) = self.llc_mshr.outstanding(line, now) {
                 ready_at = done.max(issue_at);
                 level = HitLevel::Dram;
-            } else if self.llc_mshr.len(now) >= self.llc_mshr.capacity() {
-                self.stats.rejections += 1;
-                return AccessResult::Rejected(MshrFull {
-                    level: MshrLevel::Llc,
-                    retry_at: self.llc_mshr.earliest_release(now).unwrap_or(now + 1),
-                });
             } else {
-                {
-                    let done = self.dram.read(line, issue_at);
-                    let outcome = self.llc_mshr.try_alloc(line, now, done);
-                    debug_assert_eq!(outcome, MshrOutcome::Allocated);
-                    if wrong_path {
-                        self.stats.wrong_path_reads += 1;
-                    }
-                    self.demand_outstanding.retain(|&d| d > now);
-                    self.demand_outstanding.push(done);
-                    // Fill the LLC now (tag-available model).
-                    if let Some(ev) = self.llc.fill(line, false) {
-                        self.evict_inclusive(ev.line_addr, ev.dirty, done);
-                    }
-                    ready_at = done;
-                    level = HitLevel::Dram;
+                let done = self.dram.read(line, issue_at);
+                let outcome = self.llc_mshr.try_alloc(line, now, done);
+                debug_assert_eq!(outcome, MshrOutcome::Allocated);
+                if wrong_path {
+                    self.stats.wrong_path_reads += 1;
                 }
+                self.demand_outstanding.note(done, now);
+                // Fill the LLC now (tag-available model).
+                if let Some(ev) = self.llc.fill(line, false) {
+                    self.evict_inclusive(ev.line_addr, ev.dirty, done);
+                }
+                ready_at = done;
+                level = HitLevel::Dram;
+            }
+        }
+
+        // Train the prefetcher only on *accepted* L1D demand misses, and
+        // only after the demand request itself has been issued: the demand
+        // DRAM read goes to the memory controller ahead of the prefetch
+        // reads it triggers (demand priority).
+        if !is_inst {
+            let pf_lines = self.prefetcher.on_demand_miss(addr);
+            for pf in pf_lines {
+                self.issue_prefetch(pf, now, false);
             }
         }
 
@@ -329,6 +477,10 @@ impl MemoryHierarchy {
         if let Some(ev) = l1.fill(addr, is_write) {
             if ev.dirty {
                 // Inclusive-ish: push dirty L1 victims down into the LLC.
+                // When the LLC still holds the line, `fill` on the resident
+                // copy is a dirty-merge: it ORs in the dirty bit and
+                // promotes to MRU without allocating a second way (pinned
+                // by `cache::tests::fill_on_resident_line_merges`).
                 if self.llc.probe(ev.line_addr) {
                     self.llc.fill(ev.line_addr, true);
                 } else {
@@ -337,7 +489,7 @@ impl MemoryHierarchy {
             }
         }
         if !is_inst {
-            self.l1d_mshr.try_alloc(line_addr(addr), now, ready_at);
+            self.l1d_mshr.try_alloc(line, now, ready_at);
         }
 
         AccessResult::Done(AccessOutcome { ready_at, level })
@@ -359,14 +511,19 @@ impl MemoryHierarchy {
         if self.llc_mshr.len(now) >= self.llc_mshr.capacity() {
             return false; // prefetches are dropped, never queued
         }
-        let done = self.dram.read(line, now + self.cfg.llc_latency);
+        // Unified issue-time model: every DRAM-bound request — demand or
+        // prefetch — traverses the L1 + LLC lookup path before reaching
+        // the memory controller, so prefetches get no unphysical head
+        // start over the demand misses that triggered them.
+        let done = self
+            .dram
+            .read(line, now + self.cfg.l1_latency + self.cfg.llc_latency);
         self.llc_mshr.try_alloc(line, now, done);
         if runahead {
             self.stats.runahead_reads += 1;
             // Runahead loads count toward measured MLP (the paper's Fig. 14
             // explicitly includes PRE's wrong-path/runahead loads in MLP).
-            self.demand_outstanding.retain(|&d| d > now);
-            self.demand_outstanding.push(done);
+            self.demand_outstanding.note(done, now);
         } else {
             self.stats.prefetch_reads += 1;
         }
@@ -401,9 +558,11 @@ impl MemoryHierarchy {
     }
 
     /// Number of demand LLC misses still outstanding at `now` — the quantity
-    /// averaged for the paper's MLP figure (Fig. 14).
-    pub fn outstanding_demand_misses(&self, now: u64) -> usize {
-        self.demand_outstanding.iter().filter(|&&d| d > now).count()
+    /// averaged for the paper's MLP figure (Fig. 14). Takes `&mut self`
+    /// because the event-driven model retires completed entries here
+    /// instead of rescanning them on every sample.
+    pub fn outstanding_demand_misses(&mut self, now: u64) -> usize {
+        self.demand_outstanding.outstanding(now)
     }
 
     /// Aggregate statistics.
@@ -516,6 +675,98 @@ mod tests {
         ));
     }
 
+    /// The headline PR-6 regression: a reject-then-retry sequence must
+    /// leave exactly the same statistics as an unconstrained run of the
+    /// same logical accesses — a rejected access used to bump the demand
+    /// counters, the cache hit/miss counters, and `llc_demand_misses`
+    /// before bouncing, so every retry double-counted.
+    #[test]
+    fn reject_then_retry_counts_once() {
+        let small = MemConfig {
+            l1d_mshrs: 2,
+            ..no_pf()
+        };
+        let mut constrained = MemoryHierarchy::new(small);
+        let mut unconstrained = MemoryHierarchy::new(no_pf());
+
+        // Three parallel misses to distinct lines: the third bounces off
+        // the 2-entry L1D MSHR file and must be retried.
+        let lines = [0x0u64, 0x10000, 0x20000];
+        for &a in &lines {
+            assert!(!unconstrained
+                .access(a, AccessKind::Load, 0, false)
+                .is_rejected());
+        }
+        assert!(!constrained
+            .access(lines[0], AccessKind::Load, 0, false)
+            .is_rejected());
+        assert!(!constrained
+            .access(lines[1], AccessKind::Load, 0, false)
+            .is_rejected());
+        let full = constrained
+            .access(lines[2], AccessKind::Load, 0, false)
+            .outcome()
+            .expect_err("third miss must bounce");
+        assert!(!constrained
+            .access(lines[2], AccessKind::Load, full.retry_at, false)
+            .is_rejected());
+
+        let mut c = *constrained.stats();
+        assert_eq!(c.rejections, 1);
+        c.rejections = 0;
+        assert_eq!(
+            c,
+            *unconstrained.stats(),
+            "a bounced access must contribute nothing but its rejection tick"
+        );
+        // The cache-level counters agree too: the bounced access never
+        // reached the L1D or the LLC.
+        assert_eq!(constrained.l1d_stats(), unconstrained.l1d_stats());
+        assert_eq!(constrained.llc_stats(), unconstrained.llc_stats());
+    }
+
+    /// Rejected accesses must not train the prefetcher: training a bounced
+    /// access and its mandatory retry used to advance the stream detector
+    /// twice per logical miss.
+    #[test]
+    fn prefetcher_trains_only_on_accepted_accesses() {
+        let small = MemConfig {
+            l1d_mshrs: 8,
+            llc_mshrs: 3,
+            ..MemConfig::default()
+        };
+        let mut constrained = MemoryHierarchy::new(small);
+        let mut unconstrained = MemoryHierarchy::new(MemConfig::default());
+
+        // Two far-apart misses plus the stream head pin all three LLC
+        // MSHRs; the stream's second touch bounces at the LLC level, which
+        // is where the old code had already trained the prefetcher.
+        let (a, b) = (0x40_0000u64, 0x80_0000);
+        let (s0, s1) = (0xC0_0000u64, 0xC0_0000 + LINE_BYTES);
+        for h in [&mut constrained, &mut unconstrained] {
+            assert!(!h.access(a, AccessKind::Load, 0, false).is_rejected());
+            assert!(!h.access(b, AccessKind::Load, 1, false).is_rejected());
+            assert!(!h.access(s0, AccessKind::Load, 2, false).is_rejected());
+        }
+        // s0 trained on both; its prefetches were dropped (constrained) or
+        // issued (unconstrained) — `issued()` counts trained candidates
+        // either way.
+        let r = constrained.access(s1, AccessKind::Load, 3, false);
+        let full = r.outcome().expect_err("LLC MSHRs are pinned");
+        assert_eq!(full.level, MshrLevel::Llc);
+        assert!(!constrained
+            .access(s1, AccessKind::Load, full.retry_at, false)
+            .is_rejected());
+        assert!(!unconstrained
+            .access(s1, AccessKind::Load, 3, false)
+            .is_rejected());
+        assert_eq!(
+            constrained.prefetcher().issued(),
+            unconstrained.prefetcher().issued(),
+            "the bounced access must not have trained the stream detector"
+        );
+    }
+
     #[test]
     fn outstanding_demand_misses_counts_parallel_misses() {
         let mut m = MemoryHierarchy::new(no_pf());
@@ -601,5 +852,66 @@ mod tests {
         assert!(!m.probe_cached(0x5000));
         m.access(0x5000, AccessKind::Load, 0, false);
         assert!(m.probe_cached(0x5000));
+    }
+
+    /// Both bookkeeping models, driven with the identical access sequence,
+    /// agree on every outcome and every statistic (the in-crate smoke
+    /// version of the `cdf-sim equiv --mem` proof).
+    #[test]
+    fn models_agree_on_mixed_sequence() {
+        let cfg = MemConfig {
+            l1d_mshrs: 4,
+            llc_mshrs: 3,
+            ..MemConfig::default()
+        };
+        let mut event = MemoryHierarchy::with_model(cfg.clone(), MemModelKind::EventDriven);
+        let mut lazy = MemoryHierarchy::with_model(cfg, MemModelKind::ReferenceLazy);
+        assert_eq!(event.model(), MemModelKind::EventDriven);
+        assert_eq!(lazy.model(), MemModelKind::ReferenceLazy);
+
+        let mut now = 0u64;
+        let mut x = 0x1234_5678u64;
+        for i in 0..4000u64 {
+            // Deterministic mixed pattern: streams, random lines, stores,
+            // fetches, occasional runahead prefetches; bursty timing so
+            // MSHRs saturate and drain.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            now += x % 7;
+            let addr = match i % 4 {
+                0 => 0x10_0000 + (i / 4) * LINE_BYTES, // ascending stream
+                1 => (x >> 16) & 0x3F_FFC0,            // random line
+                2 => 0x40_0000 + (x & 0xFFF8),         // hot region
+                _ => 0x80_0000 + (i % 512) * 8,        // fetch region
+            };
+            let kind = match i % 4 {
+                3 => AccessKind::InstFetch,
+                2 => AccessKind::Store,
+                _ => AccessKind::Load,
+            };
+            let a = event.access(addr, kind, now, i % 64 == 9);
+            let b = lazy.access(addr, kind, now, i % 64 == 9);
+            assert_eq!(a, b, "access {i} at cycle {now} diverged");
+            if i % 16 == 5 {
+                assert_eq!(
+                    event.runahead_prefetch(addr ^ 0x1_0000, now),
+                    lazy.runahead_prefetch(addr ^ 0x1_0000, now)
+                );
+            }
+            assert_eq!(
+                event.outstanding_demand_misses(now),
+                lazy.outstanding_demand_misses(now),
+                "MLP sample {i} diverged"
+            );
+        }
+        assert_eq!(event.stats(), lazy.stats());
+        assert_eq!(event.l1d_stats(), lazy.l1d_stats());
+        assert_eq!(event.llc_stats(), lazy.llc_stats());
+        assert_eq!(event.dram_stats(), lazy.dram_stats());
+        assert!(
+            event.stats().rejections > 0,
+            "sequence exercised backpressure"
+        );
     }
 }

@@ -13,7 +13,18 @@
 //! access is [`AccessResult::Rejected`] carrying a typed [`MshrFull`] error
 //! (which file was full, and the earliest cycle a slot frees) and the core
 //! must retry — exactly the backpressure that caps memory-level parallelism
-//! in a real machine.
+//! in a real machine. Admission is decided before any state changes, so a
+//! rejected access perturbs nothing but the rejection counter and its
+//! retry replays cleanly (each logical access is counted once and trains
+//! the prefetcher once).
+//!
+//! Outstanding-miss bookkeeping comes in two runtime-selectable, bit-
+//! identical implementations ([`MemModelKind`]): the lazy reference
+//! (`HashMap`/`Vec` rescanned against `now` on every query) and the
+//! event-driven default ([`EventMshr`]/[`EventOutstanding`] min-heaps
+//! popped as completion cycles pass). DRAM bank/channel occupancy and
+//! prefetcher training are already keyed by completion cycles and shared
+//! verbatim between the two.
 //!
 //! ```
 //! use cdf_mem::{MemoryHierarchy, MemConfig, AccessKind};
@@ -38,15 +49,17 @@
 
 mod cache;
 mod dram;
+mod event;
 mod hierarchy;
 mod mshr;
 mod prefetch;
 
 pub use cache::{Cache, CacheConfig, Eviction};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use event::{EventMshr, EventOutstanding};
 pub use hierarchy::{
-    AccessKind, AccessOutcome, AccessResult, HitLevel, MemConfig, MemStats, MemoryHierarchy,
-    MshrFull, MshrLevel,
+    AccessKind, AccessOutcome, AccessResult, HitLevel, MemConfig, MemModelKind, MemStats,
+    MemoryHierarchy, MshrFull, MshrLevel,
 };
 pub use mshr::{Mshr, MshrOutcome};
 pub use prefetch::{PrefetcherConfig, StreamPrefetcher};

@@ -19,7 +19,7 @@
 //!              [--minimize] [--shrink-budget N] [--threads N]
 //!              [--out DIR] [--report FILE]
 //! cdf-sim equiv [--seeds N] [--start N] [--mechs a,b,c] [--threads N]
-//!               [--report FILE]
+//!               [--mem] [--report FILE]
 //! ```
 
 use cdf_core::{CoreConfig, TelemetryConfig};
@@ -70,10 +70,12 @@ fn usage() -> ! {
          --shrink-budget N  shrinker predicate evaluations per failure (default 300)\n  \
          --out DIR          write each failure as a cdf-fuzz-case/1 JSON file\n  \
          --report FILE      write the cdf-fuzz/1 JSON report to FILE\n\nequiv options:\n  \
-         --seeds N          fuzz programs to run under both schedulers (default 500)\n  \
+         --seeds N          fuzz programs to run under both variants (default 500)\n  \
          --start N          first seed (default 1)\n  \
          --mechs a,b,c      mechanisms (default: all seven)\n  \
          --threads N        worker threads (default: all hardware threads)\n  \
+         --mem              compare the memory-model pair (event-driven vs lazy\n                     \
+         reference) instead of the scheduler pair\n  \
          --report FILE      write the cdf-equiv/1 JSON report to FILE"
     );
     exit(2)
@@ -139,6 +141,9 @@ fn run_fuzz_command(args: &[String]) {
 
 fn run_equiv_command(args: &[String]) {
     let mut cfg = cdf_sim::EquivConfig::default();
+    if args.iter().any(|a| a == "--mem") {
+        cfg.axis = cdf_sim::EquivAxis::MemModel;
+    }
     if let Some(v) = flag_value(args, "--seeds") {
         cfg.seeds = v.parse().unwrap_or_else(|_| usage());
     }

@@ -1,21 +1,23 @@
-//! Scheduler-equivalence harness: proves the event-driven wakeup/select
-//! scheduler produces **bit-identical** results to the reference per-cycle
-//! scan scheduler it replaced.
+//! Implementation-equivalence harness: proves an event-driven rewrite
+//! produces **bit-identical** results to the reference implementation it
+//! replaced. Two axes are covered ([`EquivAxis`]): the wakeup/select
+//! scheduler ([`SchedulerKind`], PR 4) and the memory-hierarchy
+//! bookkeeping ([`MemModelKind`], PR 6).
 //!
-//! The core keeps both implementations compiled and runtime-selectable via
-//! [`SchedulerKind`]; this module drives them against each other two ways:
+//! The core keeps both implementations of each axis compiled and
+//! runtime-selectable; this module drives them against each other two ways:
 //!
 //! 1. **Fuzz-seed lockstep** ([`run_equivalence`]): every seed builds one
-//!    random program, which runs to completion under *both* schedulers for
-//!    each requested mechanism — each run with the PR-3 [`OracleLockstep`]
-//!    observer attached, so every retired uop is also checked against the
-//!    functional executor. The two runs must agree on the FNV retirement
-//!    digest, the per-uop comparison count, and the complete final
-//!    [`CoreStats`] struct, field for field.
+//!    random program, which runs to completion under *both* variants of
+//!    the chosen axis for each requested mechanism — each run with the
+//!    PR-3 [`OracleLockstep`] observer attached, so every retired uop is
+//!    also checked against the functional executor. The two runs must
+//!    agree on the FNV retirement digest, the per-uop comparison count,
+//!    and the complete final [`CoreStats`] struct, field for field.
 //! 2. **Workload windows** ([`workload_equivalence`]): full warmup+measure
 //!    windows over the registry kernels, compared [`Measurement`] for
 //!    [`Measurement`] (which folds in DRAM traffic and energy, so a
-//!    scheduler that perturbed the memory-system event order would show up
+//!    variant that perturbed the memory-system event order would show up
 //!    here even if the retirement stream matched).
 //!
 //! Reports serialize as `cdf-equiv/1` JSON for the `cdf-sim equiv`
@@ -23,15 +25,54 @@
 //!
 //! [`OracleLockstep`]: cdf_core::OracleLockstep
 
-use crate::fuzz::{run_lockstep_with, LockstepOutcome};
+use crate::fuzz::{run_lockstep_full, LockstepOutcome};
 use crate::json::{field, Json};
 use crate::run::{try_simulate, EvalConfig, Measurement, Mechanism};
 use crate::sweep::parallel_map;
-use cdf_core::{CoreStats, SchedulerKind};
+use cdf_core::{CoreStats, MemModelKind, SchedulerKind};
 use cdf_workloads::fuzz::FuzzSpec;
 
 /// Schema tag of the equivalence report document.
 pub const EQUIV_SCHEMA: &str = "cdf-equiv/1";
+
+/// Which pair of runtime-selectable implementations a campaign compares.
+/// Each axis flips exactly one implementation while pinning the other to
+/// its default, so a disagreement is attributable to a single swap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EquivAxis {
+    /// Event-driven wakeup/select vs the reference per-cycle RS scan
+    /// ([`SchedulerKind`]).
+    #[default]
+    Scheduler,
+    /// Event-driven memory-hierarchy bookkeeping vs the lazy rescanning
+    /// reference ([`MemModelKind`]).
+    MemModel,
+}
+
+impl EquivAxis {
+    /// Stable machine-readable tag (used in reports and filenames).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EquivAxis::Scheduler => "scheduler",
+            EquivAxis::MemModel => "mem-model",
+        }
+    }
+
+    /// The two `(scheduler, mem model)` configurations compared: the
+    /// event-driven variant first, the reference second.
+    pub fn pair(self) -> [(SchedulerKind, MemModelKind); 2] {
+        match self {
+            EquivAxis::Scheduler => [
+                (SchedulerKind::EventDriven, MemModelKind::default()),
+                (SchedulerKind::ReferenceScan, MemModelKind::default()),
+            ],
+            EquivAxis::MemModel => [
+                (SchedulerKind::default(), MemModelKind::EventDriven),
+                (SchedulerKind::default(), MemModelKind::ReferenceLazy),
+            ],
+        }
+    }
+}
 
 /// Configuration of a fuzz-seed equivalence campaign.
 #[derive(Clone, Debug)]
@@ -44,6 +85,8 @@ pub struct EquivConfig {
     pub mechanisms: Vec<Mechanism>,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Which implementation pair to compare.
+    pub axis: EquivAxis,
 }
 
 impl Default for EquivConfig {
@@ -53,6 +96,7 @@ impl Default for EquivConfig {
             start_seed: 1,
             mechanisms: Mechanism::ALL.to_vec(),
             threads: 0,
+            axis: EquivAxis::Scheduler,
         }
     }
 }
@@ -71,13 +115,15 @@ pub struct EquivMismatch {
 /// Result of an equivalence campaign.
 #[derive(Clone, Debug)]
 pub struct EquivReport {
+    /// The implementation pair compared.
+    pub axis: EquivAxis,
     /// Seeds run.
     pub seeds: u64,
     /// First seed.
     pub start_seed: u64,
     /// Mechanism labels covered.
     pub mechanisms: Vec<String>,
-    /// (seed × mechanism) pairs run under both schedulers.
+    /// (seed × mechanism) pairs run under both variants.
     pub cases: u64,
     /// Retired uops oracle-checked across all event-driven runs.
     pub checked_uops: u64,
@@ -95,6 +141,7 @@ impl EquivReport {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             field("schema", EQUIV_SCHEMA),
+            field("axis", self.axis.as_str()),
             field("seeds", self.seeds),
             field("start_seed", self.start_seed),
             field(
@@ -129,8 +176,9 @@ impl EquivReport {
     /// One-paragraph human summary.
     pub fn render_summary(&self) -> String {
         let mut out = format!(
-            "equivalence: {} seeds x {} mechanisms = {} dual-scheduler cases, \
+            "{} equivalence: {} seeds x {} mechanisms = {} dual-run cases, \
              {} retired uops oracle-checked, {} mismatches",
+            self.axis.as_str(),
             self.seeds,
             self.mechanisms.len(),
             self.cases,
@@ -168,15 +216,20 @@ pub fn stats_divergence(a: &CoreStats, b: &CoreStats) -> Option<String> {
     Some("stats differ but Debug renderings agree (non-Debug field?)".to_string())
 }
 
-/// Runs one fuzz seed under every mechanism with both schedulers and
-/// returns the oracle-checked uop count plus any disagreements.
-pub fn check_seed(seed: u64, mechanisms: &[Mechanism]) -> (u64, Vec<EquivMismatch>) {
+/// Runs one fuzz seed under every mechanism with both variants of `axis`
+/// and returns the oracle-checked uop count plus any disagreements.
+pub fn check_seed(
+    seed: u64,
+    mechanisms: &[Mechanism],
+    axis: EquivAxis,
+) -> (u64, Vec<EquivMismatch>) {
     let fp = FuzzSpec::from_seed(seed).build();
+    let [(ev_sched, ev_mem), (sc_sched, sc_mem)] = axis.pair();
     let mut checked_total = 0u64;
     let mut mismatches = Vec::new();
     for &mech in mechanisms {
-        let (ev, ev_stats) = run_lockstep_with(&fp, mech, SchedulerKind::EventDriven);
-        let (sc, sc_stats) = run_lockstep_with(&fp, mech, SchedulerKind::ReferenceScan);
+        let (ev, ev_stats) = run_lockstep_full(&fp, mech, ev_sched, ev_mem);
+        let (sc, sc_stats) = run_lockstep_full(&fp, mech, sc_sched, sc_mem);
         let mut fail = |detail: String| {
             mismatches.push(EquivMismatch {
                 seed,
@@ -210,13 +263,13 @@ pub fn check_seed(seed: u64, mechanisms: &[Mechanism]) -> (u64, Vec<EquivMismatc
             }
             (LockstepOutcome::Fail { kind, detail }, _) => {
                 fail(format!(
-                    "event scheduler failed ({}): {detail}",
+                    "event variant failed ({}): {detail}",
                     kind.as_str()
                 ));
             }
             (_, LockstepOutcome::Fail { kind, detail }) => {
                 fail(format!(
-                    "scan scheduler failed ({}): {detail}",
+                    "reference variant failed ({}): {detail}",
                     kind.as_str()
                 ));
             }
@@ -229,7 +282,7 @@ pub fn check_seed(seed: u64, mechanisms: &[Mechanism]) -> (u64, Vec<EquivMismatc
 pub fn run_equivalence(cfg: &EquivConfig) -> EquivReport {
     let seeds: Vec<u64> = (cfg.start_seed..cfg.start_seed + cfg.seeds).collect();
     let per_seed = parallel_map(&seeds, cfg.threads, |&seed| {
-        check_seed(seed, &cfg.mechanisms)
+        check_seed(seed, &cfg.mechanisms, cfg.axis)
     });
     let mut checked_uops = 0u64;
     let mut mismatches = Vec::new();
@@ -239,6 +292,7 @@ pub fn run_equivalence(cfg: &EquivConfig) -> EquivReport {
     }
     mismatches.sort_by(|a, b| (a.seed, &a.mechanism).cmp(&(b.seed, &b.mechanism)));
     EquivReport {
+        axis: cfg.axis,
         seeds: cfg.seeds,
         start_seed: cfg.start_seed,
         mechanisms: cfg
@@ -280,10 +334,24 @@ pub fn workload_equivalence(
     mechanisms: &[Mechanism],
     cfg: &EvalConfig,
 ) -> Vec<EquivMismatch> {
+    workload_equivalence_axis(workloads, mechanisms, cfg, EquivAxis::Scheduler)
+}
+
+/// [`workload_equivalence`] over an explicit [`EquivAxis`]: full windows
+/// under both variants of the chosen implementation pair.
+pub fn workload_equivalence_axis(
+    workloads: &[&str],
+    mechanisms: &[Mechanism],
+    cfg: &EvalConfig,
+    axis: EquivAxis,
+) -> Vec<EquivMismatch> {
+    let [(ev_sched, ev_mem), (sc_sched, sc_mem)] = axis.pair();
     let mut event_cfg = cfg.clone();
-    event_cfg.core.scheduler = SchedulerKind::EventDriven;
+    event_cfg.core.scheduler = ev_sched;
+    event_cfg.core.mem_model = ev_mem;
     let mut scan_cfg = cfg.clone();
-    scan_cfg.core.scheduler = SchedulerKind::ReferenceScan;
+    scan_cfg.core.scheduler = sc_sched;
+    scan_cfg.core.mem_model = sc_mem;
     let jobs: Vec<(&str, Mechanism)> = workloads
         .iter()
         .flat_map(|&w| mechanisms.iter().map(move |&m| (w, m)))
@@ -300,12 +368,12 @@ pub fn workload_equivalence(
             (Err(e), _) => Some(EquivMismatch {
                 seed: cfg.gen.seed,
                 mechanism: format!("{w}/{}", m.label()),
-                detail: format!("event scheduler window failed: {e}"),
+                detail: format!("event variant window failed: {e}"),
             }),
             (_, Err(e)) => Some(EquivMismatch {
                 seed: cfg.gen.seed,
                 mechanism: format!("{w}/{}", m.label()),
-                detail: format!("scan scheduler window failed: {e}"),
+                detail: format!("reference variant window failed: {e}"),
             }),
         }
     });
@@ -330,9 +398,24 @@ mod tests {
 
     #[test]
     fn one_seed_both_schedulers_agree() {
-        let (checked, mm) = check_seed(42, &[Mechanism::Baseline, Mechanism::Cdf]);
+        let (checked, mm) = check_seed(
+            42,
+            &[Mechanism::Baseline, Mechanism::Cdf],
+            EquivAxis::Scheduler,
+        );
         assert!(checked > 0, "oracle compared retired uops");
         assert!(mm.is_empty(), "schedulers agree on seed 42: {mm:?}");
+    }
+
+    #[test]
+    fn one_seed_both_mem_models_agree() {
+        let (checked, mm) = check_seed(
+            42,
+            &[Mechanism::Baseline, Mechanism::Cdf],
+            EquivAxis::MemModel,
+        );
+        assert!(checked > 0, "oracle compared retired uops");
+        assert!(mm.is_empty(), "mem models agree on seed 42: {mm:?}");
     }
 
     #[test]
@@ -342,11 +425,13 @@ mod tests {
             start_seed: 7,
             mechanisms: vec![Mechanism::Baseline],
             threads: 1,
+            ..EquivConfig::default()
         });
         assert!(report.clean(), "{}", report.render_summary());
         assert_eq!(report.cases, 2);
         let j = report.to_json();
         assert_eq!(j.get("schema").and_then(Json::as_str), Some(EQUIV_SCHEMA));
+        assert_eq!(j.get("axis").and_then(Json::as_str), Some("scheduler"));
         assert!(j.get("checked_uops").and_then(Json::as_u64).unwrap() > 0);
     }
 }

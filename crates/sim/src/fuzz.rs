@@ -20,7 +20,7 @@ use crate::error::SimError;
 use crate::json::{field, Json};
 use crate::run::Mechanism;
 use crate::sweep::parallel_map;
-use cdf_core::{Core, CoreConfig, CoreStats, OracleLockstep, SchedulerKind};
+use cdf_core::{Core, CoreConfig, CoreStats, MemModelKind, OracleLockstep, SchedulerKind};
 use cdf_isa::Executor;
 use cdf_workloads::fuzz::{FuzzProgram, FuzzSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -167,12 +167,26 @@ pub fn run_lockstep_with(
     mechanism: Mechanism,
     scheduler: SchedulerKind,
 ) -> (LockstepOutcome, Option<CoreStats>) {
+    run_lockstep_full(fp, mechanism, scheduler, MemModelKind::default())
+}
+
+/// The fully explicit lockstep primitive: scheduler *and* memory-model
+/// implementation are chosen by the caller. The equivalence harness pins
+/// one axis to its default while flipping the other, so each campaign
+/// isolates a single implementation swap.
+pub fn run_lockstep_full(
+    fp: &FuzzProgram,
+    mechanism: Mechanism,
+    scheduler: SchedulerKind,
+    mem_model: MemModelKind,
+) -> (LockstepOutcome, Option<CoreStats>) {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let checker = OracleLockstep::new(&fp.program, fp.memory.clone());
         let log = checker.log();
         let cfg = CoreConfig {
             mode: mechanism.mode(),
             scheduler,
+            mem_model,
             ..CoreConfig::default()
         };
         let mut core = Core::new(&fp.program, fp.memory.clone(), cfg);

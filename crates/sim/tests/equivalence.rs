@@ -19,7 +19,7 @@ fn bounded_fuzz_equivalence_all_mechanisms() {
         seeds: 24,
         start_seed: 1,
         mechanisms: Mechanism::ALL.to_vec(),
-        threads: 0,
+        ..EquivConfig::default()
     };
     let report = run_equivalence(&cfg);
     assert!(report.clean(), "{}", report.render_summary());
