@@ -4,6 +4,8 @@
 //! throughput-gate --bless [--full]           # (re)write the baseline JSON
 //! throughput-gate [--full] [--tolerance F]   # measure and compare
 //! throughput-gate --baseline FILE ...        # non-default baseline path
+//! throughput-gate --record [--store FILE]    # also append cdf-result/1
+//!                                            # rows to the results store
 //! ```
 //!
 //! Measures the scheduler + memory-model micro/macro suite (best-of-3,
@@ -60,6 +62,51 @@ fn main() {
     let ratios = speedup_ratios(&rows);
     for (case, ratio) in &ratios {
         println!("{case:32} event/reference = {ratio:.2}x");
+    }
+
+    if args.iter().any(|a| a == "--record") {
+        let store_path = flag_value(&args, "--store")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(cdf_sim::DEFAULT_STORE_PATH));
+        let store = cdf_sim::ResultStore::open(&store_path);
+        let existing = store
+            .load()
+            .unwrap_or_else(|e| panic!("loading {}: {e}", store_path.display()));
+        let prov = cdf_core::Provenance::capture();
+        let run_id = cdf_sim::next_run_id(&existing, &prov);
+        // The sizing is the only configuration axis the gate varies, so it
+        // is the whole config hash: quick vs full rows must not compare as
+        // same-config cells.
+        let config_hash = if quick {
+            "throughput-quick"
+        } else {
+            "throughput-full"
+        };
+        let records: Vec<_> = rows
+            .iter()
+            .enumerate()
+            .map(|(seq, r)| {
+                let (case, variant) = r.name.rsplit_once('/').unwrap_or((r.name.as_str(), ""));
+                cdf_sim::throughput_record(
+                    &run_id,
+                    seq as u64,
+                    &prov,
+                    config_hash,
+                    case,
+                    variant,
+                    r.simulated_cycles,
+                    r.wall_seconds,
+                )
+            })
+            .collect();
+        store
+            .append(&records)
+            .unwrap_or_else(|e| panic!("recording to {}: {e}", store_path.display()));
+        println!(
+            "recorded {} throughput row(s) to {} as run {run_id}",
+            records.len(),
+            store_path.display()
+        );
     }
 
     let mut failures = Vec::new();

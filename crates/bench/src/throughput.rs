@@ -32,8 +32,7 @@ use cdf_sim::Mechanism;
 use cdf_workloads::{registry, GenConfig};
 use std::time::Instant;
 
-/// Schema tag of the throughput-rows document.
-pub const THROUGHPUT_SCHEMA: &str = "cdf-throughput/1";
+pub use cdf_sim::schema::THROUGHPUT as THROUGHPUT_SCHEMA;
 
 /// Which implementation pair a case exercises: the harness varies exactly
 /// one runtime-selectable subsystem per case and pins the other to its

@@ -163,6 +163,16 @@ pub enum SchedulerKind {
     ReferenceScan,
 }
 
+impl SchedulerKind {
+    /// Stable label used in serialized reports and result-store keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedulerKind::EventDriven => "event",
+            SchedulerKind::ReferenceScan => "scan",
+        }
+    }
+}
+
 /// Which mechanism the core runs.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub enum CoreMode {

@@ -374,6 +374,13 @@ impl<'p> Core<'p> {
         self.diag = Some(crate::diag::CdfDiagnostics::new());
     }
 
+    /// Like [`enable_diagnostics`](Self::enable_diagnostics) but with an
+    /// explicit interval-sampling cadence for the coverage/accuracy time
+    /// series.
+    pub fn enable_diagnostics_with(&mut self, cfg: crate::diag::DiagConfig) {
+        self.diag = Some(crate::diag::CdfDiagnostics::with_config(cfg));
+    }
+
     /// The diagnostics collected so far, if enabled.
     pub fn diagnostics(&self) -> Option<&crate::diag::CdfDiagnostics> {
         self.diag.as_ref()
@@ -385,6 +392,7 @@ impl<'p> Core<'p> {
     pub fn take_diagnostics(&mut self) -> Option<crate::diag::CdfDiagnostics> {
         let mut d = self.diag.take();
         if let Some(d) = d.as_mut() {
+            d.sample_interval(self.now);
             d.finalize();
         }
         d
@@ -513,6 +521,9 @@ impl<'p> Core<'p> {
         // interval deltas sum to the aggregates) and close open episodes.
         if let Some(tel) = self.telemetry.as_mut() {
             tel.flush_window(self.now, &self.stats);
+        }
+        if let Some(d) = self.diag.as_mut() {
+            d.sample_interval(self.now);
         }
         self.stats.halted = self.halted;
         self.stats.cycles = self.now;
@@ -2315,6 +2326,11 @@ impl<'p> Core<'p> {
                 if tel.interval_due(now) {
                     tel.sample_interval(now, stats);
                 }
+            }
+        }
+        if let Some(d) = self.diag.as_mut() {
+            if d.interval_due(self.now) {
+                d.sample_interval(self.now);
             }
         }
     }

@@ -30,12 +30,243 @@
 
 use crate::telemetry::Histogram;
 use cdf_isa::Pc;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Cap on distinct chain records kept; later chains still feed the aggregate
 /// counters but are not individually recorded (see
 /// [`CdfDiagnostics::chains_dropped`]).
 pub const MAX_CHAIN_RECORDS: usize = 65_536;
+
+/// Sampling cadence for the per-interval diagnostics series (mirrors
+/// [`TelemetryConfig`](crate::telemetry::TelemetryConfig)'s interval ring).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DiagConfig {
+    /// Cycles per interval sample.
+    pub interval: u64,
+    /// Ring capacity; older samples fold into the running totals.
+    pub ring_capacity: usize,
+}
+
+impl Default for DiagConfig {
+    fn default() -> DiagConfig {
+        DiagConfig {
+            interval: 1024,
+            ring_capacity: 512,
+        }
+    }
+}
+
+/// Point-in-time copy of the cumulative coverage/accuracy counters, used to
+/// form interval deltas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct DiagSnapshot {
+    cycles: u64,
+    walks: u64,
+    installs: u64,
+    cuc_hits: u64,
+    cuc_misses: u64,
+    fetched: u64,
+    consumed: u64,
+    poisoned: u64,
+    squashed: u64,
+    loads_covered: u64,
+    loads_total: u64,
+    branches_covered: u64,
+    branches_total: u64,
+    miss_initiations: u64,
+}
+
+/// One interval's worth of coverage/accuracy activity (deltas, not
+/// cumulative values).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DiagIntervalSample {
+    /// Cycle the interval started at (previous sample point).
+    pub start_cycle: u64,
+    /// Cycle the interval ended at (this sample point).
+    pub end_cycle: u64,
+    /// Interval width in cycles.
+    pub cycles: u64,
+    /// Fill-buffer walks in the interval.
+    pub walks: u64,
+    /// CUC installs in the interval.
+    pub installs: u64,
+    /// Critical-fetch CUC hits in the interval.
+    pub cuc_hits: u64,
+    /// Critical-fetch CUC misses in the interval.
+    pub cuc_misses: u64,
+    /// Critical uops fetched in the interval.
+    pub fetched: u64,
+    /// Fetched uops consumed by replay in the interval.
+    pub consumed: u64,
+    /// Fetched uops poisoned in the interval.
+    pub poisoned: u64,
+    /// Fetched uops squashed in the interval.
+    pub squashed: u64,
+    /// Covered retired LLC-miss loads in the interval.
+    pub loads_covered: u64,
+    /// All retired LLC-miss loads in the interval.
+    pub loads_total: u64,
+    /// Covered retired mispredicted H2P branches in the interval.
+    pub branches_covered: u64,
+    /// All retired mispredicted H2P branches in the interval.
+    pub branches_total: u64,
+    /// Critical-stream LLC-miss initiations in the interval.
+    pub miss_initiations: u64,
+}
+
+impl DiagIntervalSample {
+    fn delta(prev: &DiagSnapshot, cur: &DiagSnapshot) -> DiagIntervalSample {
+        DiagIntervalSample {
+            start_cycle: prev.cycles,
+            end_cycle: cur.cycles,
+            cycles: cur.cycles - prev.cycles,
+            walks: cur.walks - prev.walks,
+            installs: cur.installs - prev.installs,
+            cuc_hits: cur.cuc_hits - prev.cuc_hits,
+            cuc_misses: cur.cuc_misses - prev.cuc_misses,
+            fetched: cur.fetched - prev.fetched,
+            consumed: cur.consumed - prev.consumed,
+            poisoned: cur.poisoned - prev.poisoned,
+            squashed: cur.squashed - prev.squashed,
+            loads_covered: cur.loads_covered - prev.loads_covered,
+            loads_total: cur.loads_total - prev.loads_total,
+            branches_covered: cur.branches_covered - prev.branches_covered,
+            branches_total: cur.branches_total - prev.branches_total,
+            miss_initiations: cur.miss_initiations - prev.miss_initiations,
+        }
+    }
+
+    fn accumulate(&mut self, other: &DiagIntervalSample) {
+        if self.cycles == 0 {
+            self.start_cycle = other.start_cycle;
+        }
+        self.end_cycle = other.end_cycle;
+        self.cycles += other.cycles;
+        self.walks += other.walks;
+        self.installs += other.installs;
+        self.cuc_hits += other.cuc_hits;
+        self.cuc_misses += other.cuc_misses;
+        self.fetched += other.fetched;
+        self.consumed += other.consumed;
+        self.poisoned += other.poisoned;
+        self.squashed += other.squashed;
+        self.loads_covered += other.loads_covered;
+        self.loads_total += other.loads_total;
+        self.branches_covered += other.branches_covered;
+        self.branches_total += other.branches_total;
+        self.miss_initiations += other.miss_initiations;
+    }
+
+    fn is_zero(&self) -> bool {
+        *self
+            == DiagIntervalSample {
+                start_cycle: self.start_cycle,
+                end_cycle: self.end_cycle,
+                ..DiagIntervalSample::default()
+            }
+    }
+
+    /// Accuracy over the interval: consumed / fetched (0 when idle).
+    pub fn accuracy(&self) -> f64 {
+        if self.fetched == 0 {
+            0.0
+        } else {
+            self.consumed as f64 / self.fetched as f64
+        }
+    }
+
+    /// LLC-miss-load coverage over the interval.
+    pub fn load_coverage(&self) -> Coverage {
+        Coverage {
+            covered: self.loads_covered,
+            total: self.loads_total,
+        }
+    }
+
+    /// Mispredicted-H2P-branch coverage over the interval.
+    pub fn branch_coverage(&self) -> Coverage {
+        Coverage {
+            covered: self.branches_covered,
+            total: self.branches_total,
+        }
+    }
+}
+
+/// Ring-buffered coverage/accuracy time series. Samples older than the ring
+/// capacity fold into [`totals`](Self::totals) rather than being lost, so
+/// the series always accounts for the whole run — the same totality
+/// contract as telemetry's [`IntervalSeries`](crate::IntervalSeries),
+/// property-tested in `crates/sim/tests/explain.rs`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DiagIntervalSeries {
+    ring: VecDeque<DiagIntervalSample>,
+    capacity: usize,
+    evicted: DiagIntervalSample,
+    evicted_count: u64,
+    last: DiagSnapshot,
+}
+
+impl Default for DiagIntervalSeries {
+    fn default() -> DiagIntervalSeries {
+        DiagIntervalSeries::new(DiagConfig::default().ring_capacity)
+    }
+}
+
+impl DiagIntervalSeries {
+    fn new(capacity: usize) -> DiagIntervalSeries {
+        DiagIntervalSeries {
+            ring: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            capacity: capacity.max(1),
+            evicted: DiagIntervalSample::default(),
+            evicted_count: 0,
+            last: DiagSnapshot::default(),
+        }
+    }
+
+    fn sample(&mut self, cur: DiagSnapshot) {
+        let delta = DiagIntervalSample::delta(&self.last, &cur);
+        self.last = cur;
+        if delta.cycles == 0 && delta.is_zero() {
+            return; // zero-width flush (window boundary on an interval edge)
+        }
+        if self.ring.len() == self.capacity {
+            let old = self.ring.pop_front().expect("ring non-empty at capacity");
+            self.evicted.accumulate(&old);
+            self.evicted_count += 1;
+        }
+        self.ring.push_back(delta);
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &DiagIntervalSample> {
+        self.ring.iter()
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Samples evicted into the running totals.
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted_count
+    }
+
+    /// Sum of **all** deltas since diagnostics were enabled — evicted and
+    /// retained. Equals the end-of-run aggregate counters.
+    pub fn totals(&self) -> DiagIntervalSample {
+        let mut t = self.evicted;
+        for s in &self.ring {
+            t.accumulate(s);
+        }
+        t
+    }
+}
 
 /// Lifetime counters for one reconstructed chain (one installed CUC trace).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -150,12 +381,61 @@ pub struct CdfDiagnostics {
 
     /// LLC-miss initiations still awaiting their replay (seq → issue cycle).
     pending_leads: HashMap<u64, u64>,
+
+    config: DiagConfig,
+    intervals: DiagIntervalSeries,
 }
 
 impl CdfDiagnostics {
-    /// A fresh, empty collector.
+    /// A fresh, empty collector with the default sampling cadence.
     pub fn new() -> CdfDiagnostics {
         CdfDiagnostics::default()
+    }
+
+    /// A fresh collector with an explicit interval-sampling cadence.
+    pub fn with_config(config: DiagConfig) -> CdfDiagnostics {
+        CdfDiagnostics {
+            config,
+            intervals: DiagIntervalSeries::new(config.ring_capacity),
+            ..CdfDiagnostics::default()
+        }
+    }
+
+    /// The sampling cadence in effect.
+    pub fn config(&self) -> DiagConfig {
+        self.config
+    }
+
+    /// The per-interval coverage/accuracy time series.
+    pub fn intervals(&self) -> &DiagIntervalSeries {
+        &self.intervals
+    }
+
+    /// Whether cycle `now` lands on an interval boundary (the core calls
+    /// [`sample_interval`](Self::sample_interval) then).
+    pub fn interval_due(&self, now: u64) -> bool {
+        now > 0 && now.is_multiple_of(self.config.interval)
+    }
+
+    /// Closes the current interval at cycle `now` and starts the next one.
+    pub fn sample_interval(&mut self, now: u64) {
+        let cur = DiagSnapshot {
+            cycles: now,
+            walks: self.walks,
+            installs: self.installs,
+            cuc_hits: self.cuc_fetch_hits,
+            cuc_misses: self.cuc_fetch_misses,
+            fetched: self.critical_uops_fetched,
+            consumed: self.critical_uops_consumed,
+            poisoned: self.critical_uops_poisoned,
+            squashed: self.critical_uops_squashed,
+            loads_covered: self.load_coverage.covered,
+            loads_total: self.load_coverage.total,
+            branches_covered: self.branch_coverage.covered,
+            branches_total: self.branch_coverage.total,
+            miss_initiations: self.llc_miss_initiations,
+        };
+        self.intervals.sample(cur);
     }
 
     /// All chain records, in walk order.
@@ -381,6 +661,46 @@ mod tests {
         assert_eq!(d.lead_time.samples(), 3);
         assert_eq!(d.lead_time.buckets()[0], 2, "squashed + unconsumed");
         assert_eq!(d.lead_time.buckets()[Histogram::bucket_of(300)], 1);
+    }
+
+    #[test]
+    fn interval_series_totals_equal_cumulative_counters() {
+        let mut d = CdfDiagnostics::with_config(DiagConfig {
+            interval: 10,
+            ring_capacity: 2, // tiny ring: forces evictions into totals
+        });
+        for i in 1..=7u64 {
+            let now = i * 10;
+            d.note_walk();
+            d.note_install(i, Pc::new(16 * i as u32), 8, 3, now - 5);
+            d.note_cuc_hit(i, 3, now - 4);
+            d.note_consumed(i, i, now - 3);
+            d.note_load_retired(true, i % 2 == 0);
+            d.note_h2p_mispredict_retired(true);
+            d.note_miss_initiated(100 + i, now - 2);
+            assert!(d.interval_due(now));
+            d.sample_interval(now);
+        }
+        assert_eq!(d.intervals().len(), 2);
+        assert_eq!(d.intervals().evicted_count(), 5);
+        let t = d.intervals().totals();
+        assert_eq!(t.walks, d.walks);
+        assert_eq!(t.installs, d.installs);
+        assert_eq!(t.cuc_hits, d.cuc_fetch_hits);
+        assert_eq!(t.fetched, d.critical_uops_fetched);
+        assert_eq!(t.consumed, d.critical_uops_consumed);
+        assert_eq!(t.loads_covered, d.load_coverage.covered);
+        assert_eq!(t.loads_total, d.load_coverage.total);
+        assert_eq!(t.branches_covered, d.branch_coverage.covered);
+        assert_eq!(t.branches_total, d.branch_coverage.total);
+        assert_eq!(t.miss_initiations, d.llc_miss_initiations);
+        assert_eq!(t.start_cycle, 0);
+        assert_eq!(t.end_cycle, 70);
+        assert_eq!(t.cycles, 70);
+        // A zero-width, zero-activity flush is dropped, not double-counted.
+        d.sample_interval(70);
+        assert_eq!(d.intervals().len(), 2);
+        assert_eq!(d.intervals().totals(), t);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod mask_cache;
 pub mod observer;
 pub mod partition;
 pub mod pre;
+pub mod provenance;
 pub mod static_chains;
 pub mod telemetry;
 pub mod trace;
@@ -85,7 +86,12 @@ mod types;
 pub use cdf_mem::MemModelKind;
 pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig, SchedulerKind};
 pub use core_impl::Core;
-pub use diag::{CdfDiagnostics, ChainRecord, Coverage, MAX_CHAIN_RECORDS};
+pub use diag::{
+    CdfDiagnostics, ChainRecord, Coverage, DiagConfig, DiagIntervalSample, DiagIntervalSeries,
+    MAX_CHAIN_RECORDS,
+};
+pub use provenance::Provenance;
+
 pub use observer::{
     Divergence, DivergenceKind, LockstepLog, OracleLockstep, RetireObserver, RetiredUop,
 };

@@ -1,0 +1,155 @@
+//! Uniform run provenance: who produced a result, from what source, with
+//! what toolchain, on what machine, when.
+//!
+//! Every serialized report in this repo (sweeps, equivalence campaigns, fuzz
+//! campaigns, explain reports, durable result records, compare reports)
+//! carries the same header so results taken months apart — possibly on
+//! different machines — can still be compared honestly (the bar set by the
+//! benchmark-initiative spec this repo's results store follows). The header
+//! captures:
+//!
+//! * the git commit (and whether the worktree was dirty when the run
+//!   happened — a dirty-tree result is not reproducible from the commit),
+//! * the rustc version and host triple that built/ran the simulator,
+//! * a wall-clock timestamp (unix seconds).
+//!
+//! Capture is best-effort: a missing `git` binary, a non-repo working
+//! directory, or a clock before the epoch degrade the respective field to
+//! `None` rather than failing the run. Each field has an environment
+//! override (`CDF_GIT_COMMIT`, `CDF_GIT_DIRTY`, `CDF_RUSTC`, `CDF_HOST`,
+//! `CDF_TIMESTAMP`) so tests and checked-in fixtures can pin stable values.
+
+use std::process::Command;
+
+/// The uniform provenance header stamped on every serialized report.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Provenance {
+    /// Full git commit hash of the worktree, if discoverable.
+    pub git_commit: Option<String>,
+    /// Whether the worktree had uncommitted changes (`None` when git state
+    /// could not be queried at all).
+    pub git_dirty: Option<bool>,
+    /// `rustc --version` of the toolchain on `PATH`, if discoverable.
+    pub rustc_version: Option<String>,
+    /// Host triple the run executed on (from `rustc -vV`, falling back to
+    /// `arch-os` from `std::env::consts`).
+    pub host: String,
+    /// Unix timestamp (seconds) the provenance was captured at.
+    pub timestamp: Option<u64>,
+}
+
+impl Provenance {
+    /// Captures the current provenance. Shells out to `git` and `rustc`
+    /// (both best-effort); honors the `CDF_*` environment overrides
+    /// documented on the module.
+    pub fn capture() -> Provenance {
+        let (git_commit, git_dirty) = git_state();
+        let (rustc_version, rustc_host) = rustc_state();
+        let host = match std::env::var("CDF_HOST") {
+            Ok(h) if !h.is_empty() => h,
+            _ => rustc_host
+                .unwrap_or_else(|| format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS)),
+        };
+        Provenance {
+            git_commit,
+            git_dirty,
+            rustc_version,
+            host,
+            timestamp: timestamp(),
+        }
+    }
+
+    /// The first `n` characters of the commit hash (the whole hash if it is
+    /// shorter), or `"unknown"` when no commit was captured.
+    pub fn short_commit(&self, n: usize) -> String {
+        match &self.git_commit {
+            Some(c) => c.chars().take(n).collect(),
+            None => "unknown".to_string(),
+        }
+    }
+}
+
+fn git_state() -> (Option<String>, Option<bool>) {
+    // Test/fixture override: CDF_GIT_COMMIT pins the commit (empty disables
+    // capture entirely), CDF_GIT_DIRTY pins the dirty flag ("1"/"0").
+    let commit = match std::env::var("CDF_GIT_COMMIT") {
+        Ok(c) => {
+            if c.is_empty() {
+                None
+            } else {
+                Some(c)
+            }
+        }
+        Err(_) => run_trimmed("git", &["rev-parse", "HEAD"]),
+    };
+    let dirty = match std::env::var("CDF_GIT_DIRTY") {
+        Ok(d) => match d.as_str() {
+            "1" | "true" => Some(true),
+            "0" | "false" => Some(false),
+            _ => None,
+        },
+        Err(_) => {
+            if commit.is_some() {
+                run_trimmed("git", &["status", "--porcelain"]).map(|out| !out.is_empty())
+            } else {
+                None
+            }
+        }
+    };
+    (commit, dirty)
+}
+
+/// (`rustc --version` line, host triple) from one `rustc -vV` invocation.
+fn rustc_state() -> (Option<String>, Option<String>) {
+    if let Ok(v) = std::env::var("CDF_RUSTC") {
+        let v = if v.is_empty() { None } else { Some(v) };
+        return (v, None);
+    }
+    let Some(out) = run_trimmed("rustc", &["-vV"]) else {
+        return (None, None);
+    };
+    let mut version = None;
+    let mut host = None;
+    for line in out.lines() {
+        if line.starts_with("rustc ") && version.is_none() {
+            version = Some(line.trim().to_string());
+        }
+        if let Some(h) = line.strip_prefix("host: ") {
+            host = Some(h.trim().to_string());
+        }
+    }
+    (version, host)
+}
+
+fn timestamp() -> Option<u64> {
+    if let Ok(t) = std::env::var("CDF_TIMESTAMP") {
+        return t.parse().ok();
+    }
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .map(|d| d.as_secs())
+}
+
+fn run_trimmed(bin: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(bin).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_commit_truncates_and_degrades() {
+        let p = Provenance {
+            git_commit: Some("deadbeefcafebabe".into()),
+            ..Provenance::default()
+        };
+        assert_eq!(p.short_commit(8), "deadbeef");
+        assert_eq!(Provenance::default().short_commit(8), "unknown");
+    }
+}

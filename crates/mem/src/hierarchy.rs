@@ -72,6 +72,16 @@ pub enum MemModelKind {
     ReferenceLazy,
 }
 
+impl MemModelKind {
+    /// Stable label used in serialized reports and result-store keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemModelKind::EventDriven => "mem-event",
+            MemModelKind::ReferenceLazy => "mem-lazy",
+        }
+    }
+}
+
 /// An MSHR file, dispatching to the lazy or event-driven implementation.
 /// All methods take `&mut self` because the event model advances its
 /// expiry heap on every query.

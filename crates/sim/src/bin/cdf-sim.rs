@@ -12,8 +12,13 @@
 //! cdf-sim telemetry <workload> [--mech M] [--interval N] [--out FILE]
 //!                   [--trace-out FILE] [sizing flags]
 //! cdf-sim compare <workload> [sizing flags]
+//! cdf-sim compare <refA> <refB> [--store FILE] [--tolerance F] [--out FILE]
+//! cdf-sim record [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
+//!                [--filter SUBSTR] [--store FILE] [--telemetry N]
+//!                [--explain] [sizing flags]
 //! cdf-sim sweep [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
 //!               [--max-cycles N] [--telemetry N] [--explain]
+//!               [--record] [--store FILE]
 //!               [--out results.json] [sizing flags]
 //! cdf-sim fuzz [--seeds N] [--start N] [--budget M] [--mechs a,b,c]
 //!              [--minimize] [--shrink-budget N] [--threads N]
@@ -36,7 +41,9 @@ fn usage() -> ! {
         "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
          cdf-sim report <workload> [options]\n  cdf-sim explain [options]\n  \
          cdf-sim telemetry <workload> [options]\n  \
-         cdf-sim compare <workload> [options]\n  cdf-sim sweep [options]\n  \
+         cdf-sim compare <workload> [options]\n  \
+         cdf-sim compare <refA> <refB> [options]\n  \
+         cdf-sim record [options]\n  cdf-sim sweep [options]\n  \
          cdf-sim fuzz [options]\n  cdf-sim equiv [options]\n\noptions:\n  \
          --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
          mechanism (run/report/telemetry; default cdf)\n  \
@@ -61,7 +68,17 @@ fn usage() -> ! {
          embed it per cell in the JSON records\n  \
          --explain          collect criticality-provenance diagnostics and\n                     \
          embed them per cell in the JSON records\n  \
-         --out FILE         write the stamped JSON records to FILE\n\nfuzz options:\n  \
+         --record           also append one cdf-result/1 record per cell to the\n                     \
+         results store\n  \
+         --store FILE       results store path (default .cdf-results/results.jsonl)\n  \
+         --out FILE         write the stamped JSON records to FILE\n\nrecord options:\n  \
+         --workloads/--mechs/--threads/--telemetry/--explain  as for sweep\n  \
+         --filter SUBSTR    only cells whose workload/mechanism label contains SUBSTR\n  \
+         --store FILE       results store to append to\n\ncompare options (two-ref form):\n  \
+         <refA> <refB>      each: `latest`, `latest~N`, a run id, or a commit prefix\n  \
+         --store FILE       results store to read\n  \
+         --tolerance F      relative tolerance for wall-clock metrics (default 0.25)\n  \
+         --out FILE         write the cdf-compare/1 JSON report to FILE\n\nfuzz options:\n  \
          --seeds N          random programs to run (default 100)\n  \
          --start N          first seed (default 0)\n  \
          --budget M         cap on total dynamic uops across seeds (default: off)\n  \
@@ -366,6 +383,8 @@ fn run_explain_command(args: &[String]) {
             ("--chains", true),
             ("--out", true),
             ("--trace-out", true),
+            ("--record", false),
+            ("--store", true),
         ])
         .collect();
     reject_unknown_flags(args, &allowed);
@@ -408,6 +427,28 @@ fn run_explain_command(args: &[String]) {
             exit(1)
         });
         eprintln!("wrote chain spans to {path}");
+    }
+    if args.iter().any(|a| a == "--record") {
+        let store = cdf_sim::ResultStore::open(store_path(args));
+        let recorded = store
+            .load()
+            .and_then(|existing| {
+                let prov = cdf_core::Provenance::capture();
+                let run_id = cdf_sim::next_run_id(&existing, &prov);
+                let records =
+                    cdf_sim::records_from_explain(&run_id, &prov, &cfg.eval, &report.cells);
+                store.append(&records).map(|()| (run_id, records.len()))
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("recording to {}: {e}", store.path().display());
+                exit(1)
+            });
+        eprintln!(
+            "recorded {} cell(s) to {} as run {}",
+            recorded.1,
+            store.path().display(),
+            recorded.0
+        );
     }
     if report.counts().1 > 0 {
         exit(3);
@@ -452,10 +493,190 @@ fn run_sweep_command(args: &[String]) {
             });
         eprintln!("wrote {path}");
     }
+    if args.iter().any(|a| a == "--record") {
+        let store = store_path(args);
+        let run_id = cdf_sim::record_sweep(&store, &sweep).unwrap_or_else(|e| {
+            eprintln!("recording to {}: {e}", store.display());
+            exit(1)
+        });
+        eprintln!(
+            "recorded {} cell(s) to {} as run {run_id}",
+            sweep.cells.len(),
+            store.display()
+        );
+    }
     // Failed cells are recorded, not fatal — but reflect them in the exit
     // status so scripts notice.
     if sweep.counts().1 > 0 {
         exit(3);
+    }
+}
+
+/// The `--store` flag, defaulting to the standard store location.
+fn store_path(args: &[String]) -> std::path::PathBuf {
+    flag_value(args, "--store")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from(cdf_sim::DEFAULT_STORE_PATH))
+}
+
+fn run_record_command(args: &[String]) {
+    let allowed: Vec<(&str, bool)> = SIZING_FLAGS
+        .iter()
+        .copied()
+        .chain([
+            ("--workloads", true),
+            ("--mechs", true),
+            ("--threads", true),
+            ("--filter", true),
+            ("--store", true),
+            ("--telemetry", true),
+            ("--explain", false),
+        ])
+        .collect();
+    reject_unknown_flags(args, &allowed);
+    let mut eval = parse_eval(args);
+    if let Some(i) = flag_value(args, "--telemetry") {
+        eval.telemetry = Some(TelemetryConfig {
+            interval: i.parse().unwrap_or_else(|_| usage()),
+            ..TelemetryConfig::default()
+        });
+    }
+    eval.diagnostics = args.iter().any(|a| a == "--explain");
+    let mut cfg = cdf_sim::RecordConfig::full_grid(eval);
+    if let Some(list) = flag_value(args, "--workloads") {
+        cfg.workloads = list.split(',').map(str::to_string).collect();
+    }
+    if let Some(list) = flag_value(args, "--mechs") {
+        cfg.mechanisms = list
+            .split(',')
+            .map(|s| {
+                Mechanism::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism `{s}`");
+                    usage()
+                })
+            })
+            .collect();
+    }
+    if let Some(t) = flag_value(args, "--threads") {
+        cfg.threads = t.parse().unwrap_or_else(|_| usage());
+    }
+    cfg.filter = flag_value(args, "--filter").map(str::to_string);
+    cfg.store_path = store_path(args);
+    let run = cdf_sim::run_record(&cfg).unwrap_or_else(|e| {
+        eprintln!("recording to {}: {e}", cfg.store_path.display());
+        exit(1)
+    });
+    println!(
+        "recorded {} cell(s) to {} as run {} ({} failed)",
+        run.records.len(),
+        cfg.store_path.display(),
+        run.run_id,
+        run.failed
+    );
+    if run.records.is_empty() {
+        eprintln!("the filter matched no cells");
+        exit(2);
+    }
+    if run.failed > 0 {
+        exit(3);
+    }
+}
+
+/// Positional (non-`--flag`) arguments, given the flag table in effect.
+fn positionals(args: &[String], flags: &[(&str, bool)]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            if let Some((_, true)) = flags.iter().find(|(name, _)| name == a) {
+                it.next();
+            }
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+const COMPARE_FLAGS: &[(&str, bool)] = &[("--store", true), ("--tolerance", true), ("--out", true)];
+
+/// `cdf-sim compare` front end. One positional: the legacy per-workload
+/// mechanism table. Two positionals: the store-backed cross-run diff.
+fn run_compare_command(args: &[String]) {
+    let flags: Vec<(&str, bool)> = SIZING_FLAGS
+        .iter()
+        .copied()
+        .chain(COMPARE_FLAGS.iter().copied())
+        .collect();
+    match positionals(args, &flags).as_slice() {
+        [workload] => run_compare_workload(workload, args),
+        [ref_a, ref_b] => run_compare_store(ref_a, ref_b, args),
+        _ => usage(),
+    }
+}
+
+/// Legacy form: base/cdf/pre mechanism table for one workload.
+fn run_compare_workload(name: &str, args: &[String]) {
+    let cfg = parse_eval(args);
+    let base = cdf_sim::try_simulate(name, Mechanism::Baseline, &cfg).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    let cdf = simulate(name, Mechanism::Cdf, &cfg);
+    let pre = simulate(name, Mechanism::Pre, &cfg);
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>12} {:>12}",
+        "mech", "IPC", "speedup", "MLP", "DRAM lines", "energy (uJ)"
+    );
+    for m in [&base, &cdf, &pre] {
+        println!(
+            "{:10} {:>8.3} {:>7.1}% {:>8.2} {:>12} {:>12.1}",
+            m.mechanism,
+            m.ipc,
+            (m.ipc / base.ipc - 1.0) * 100.0,
+            m.mlp,
+            m.dram_lines,
+            m.energy_nj / 1000.0
+        );
+    }
+}
+
+/// Store form: join two recorded runs and classify every cell.
+fn run_compare_store(ref_a: &str, ref_b: &str, args: &[String]) {
+    reject_unknown_flags(args, COMPARE_FLAGS);
+    let store = cdf_sim::ResultStore::open(store_path(args));
+    let records = store.load().unwrap_or_else(|e| {
+        eprintln!("loading {}: {e}", store.path().display());
+        exit(1)
+    });
+    let resolve = |wanted: &str| {
+        cdf_sim::resolve_ref(&records, wanted).unwrap_or_else(|e| {
+            eprintln!("resolving {wanted:?} in {}: {e}", store.path().display());
+            exit(1)
+        })
+    };
+    let run_a = resolve(ref_a);
+    let run_b = resolve(ref_b);
+    let mut cfg = cdf_sim::CompareConfig::default();
+    if let Some(t) = flag_value(args, "--tolerance") {
+        cfg.wall_tolerance = t.parse().unwrap_or_else(|_| usage());
+    }
+    let report = cdf_sim::compare_runs(
+        (ref_a, &cdf_sim::records_for_run(&records, &run_a)),
+        (ref_b, &cdf_sim::records_for_run(&records, &run_b)),
+        &cfg,
+    );
+    print!("{}", report.render_summary());
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, report.to_json().render_pretty()).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote {path}");
+    }
+    // Exit 4 on regression, matching the fuzzer's divergence exit.
+    if report.has_regressions() {
+        exit(4);
     }
 }
 
@@ -508,32 +729,8 @@ fn main() {
                 }
             }
         }
-        Some("compare") => {
-            let name = args.get(1).cloned().unwrap_or_else(|| usage());
-            let cfg = parse_eval(&args[2..]);
-            let base =
-                cdf_sim::try_simulate(&name, Mechanism::Baseline, &cfg).unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    exit(1)
-                });
-            let cdf = simulate(&name, Mechanism::Cdf, &cfg);
-            let pre = simulate(&name, Mechanism::Pre, &cfg);
-            println!(
-                "{:10} {:>8} {:>8} {:>8} {:>12} {:>12}",
-                "mech", "IPC", "speedup", "MLP", "DRAM lines", "energy (uJ)"
-            );
-            for m in [&base, &cdf, &pre] {
-                println!(
-                    "{:10} {:>8.3} {:>7.1}% {:>8.2} {:>12} {:>12.1}",
-                    m.mechanism,
-                    m.ipc,
-                    (m.ipc / base.ipc - 1.0) * 100.0,
-                    m.mlp,
-                    m.dram_lines,
-                    m.energy_nj / 1000.0
-                );
-            }
-        }
+        Some("compare") => run_compare_command(&args[1..]),
+        Some("record") => run_record_command(&args[1..]),
         Some("report") => run_report_command(&args[1..]),
         Some("explain") => run_explain_command(&args[1..]),
         Some("telemetry") => run_telemetry_command(&args[1..]),

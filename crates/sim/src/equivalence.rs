@@ -33,7 +33,7 @@ use cdf_core::{CoreStats, MemModelKind, SchedulerKind};
 use cdf_workloads::fuzz::FuzzSpec;
 
 /// Schema tag of the equivalence report document.
-pub const EQUIV_SCHEMA: &str = "cdf-equiv/1";
+pub use crate::schema::EQUIV as EQUIV_SCHEMA;
 
 /// Which pair of runtime-selectable implementations a campaign compares.
 /// Each axis flips exactly one implementation while pinning the other to
@@ -141,6 +141,10 @@ impl EquivReport {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             field("schema", EQUIV_SCHEMA),
+            field(
+                "provenance",
+                crate::provenance::provenance_json(&cdf_core::Provenance::capture()),
+            ),
             field("axis", self.axis.as_str()),
             field("seeds", self.seeds),
             field("start_seed", self.start_seed),

@@ -29,7 +29,7 @@ use cdf_workloads::registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The JSON schema tag stamped on every emitted explain document.
-pub const EXPLAIN_SCHEMA: &str = "cdf-explain/1";
+pub use crate::schema::EXPLAIN as EXPLAIN_SCHEMA;
 
 /// Chain records embedded per cell (the busiest chains by fetched uops);
 /// aggregate counters always cover every chain.
@@ -163,6 +163,10 @@ impl ExplainReport {
         let gen = &self.config.eval.gen;
         Json::Obj(vec![
             field("schema", EXPLAIN_SCHEMA),
+            field(
+                "provenance",
+                crate::provenance::provenance_json(&cdf_core::Provenance::capture()),
+            ),
             field(
                 "gen",
                 Json::Obj(vec![
@@ -425,9 +429,44 @@ pub fn diagnostics_json(d: &CdfDiagnostics, chain_limit: usize) -> Json {
             ]),
         ),
         field(
+            "intervals",
+            Json::Obj(vec![
+                field("interval", d.config().interval),
+                field("evicted_samples", d.intervals().evicted_count()),
+                field("totals", diag_interval_json(&d.intervals().totals())),
+                field(
+                    "samples",
+                    Json::Arr(d.intervals().samples().map(diag_interval_json).collect()),
+                ),
+            ]),
+        ),
+        field(
             "chains",
             Json::Arr(busiest.into_iter().map(chain_json).collect()),
         ),
+    ])
+}
+
+/// One coverage/accuracy interval sample (or the series totals) — the
+/// per-interval time series joining `cdf-core::diag` chain outcomes with
+/// the telemetry interval cadence.
+fn diag_interval_json(s: &cdf_core::DiagIntervalSample) -> Json {
+    Json::Obj(vec![
+        field("start_cycle", s.start_cycle),
+        field("end_cycle", s.end_cycle),
+        field("cycles", s.cycles),
+        field("walks", s.walks),
+        field("installs", s.installs),
+        field("cuc_hits", s.cuc_hits),
+        field("cuc_misses", s.cuc_misses),
+        field("fetched", s.fetched),
+        field("consumed", s.consumed),
+        field("poisoned", s.poisoned),
+        field("squashed", s.squashed),
+        field("accuracy", s.accuracy()),
+        field("load_coverage", coverage_json(&s.load_coverage())),
+        field("branch_coverage", coverage_json(&s.branch_coverage())),
+        field("miss_initiations", s.miss_initiations),
     ])
 }
 

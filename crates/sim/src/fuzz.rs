@@ -27,9 +27,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 /// Schema tag of the fuzz report document.
-pub const FUZZ_SCHEMA: &str = "cdf-fuzz/1";
+pub use crate::schema::FUZZ as FUZZ_SCHEMA;
 /// Schema tag of a single corpus case document.
-pub const FUZZ_CASE_SCHEMA: &str = "cdf-fuzz-case/1";
+pub use crate::schema::FUZZ_CASE as FUZZ_CASE_SCHEMA;
 
 /// How a fuzz case failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -537,6 +537,10 @@ impl FuzzReport {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             field("schema", FUZZ_SCHEMA),
+            field(
+                "provenance",
+                crate::provenance::provenance_json(&cdf_core::Provenance::capture()),
+            ),
             field("cases", self.cases),
             field("seeds_skipped", self.seeds_skipped),
             field("checked_uops", self.checked_uops),

@@ -19,7 +19,7 @@ use cdf_core::{Core, CoreConfig, CoreStats, MemModelKind, RobMix};
 use cdf_workloads::{registry, GenConfig};
 
 /// Schema tag of the golden snapshot document.
-pub const GOLDEN_SCHEMA: &str = "cdf-golden/1";
+pub use crate::schema::GOLDEN as GOLDEN_SCHEMA;
 
 /// What the golden grid covers and how each cell is simulated.
 #[derive(Clone, Debug)]

@@ -212,6 +212,25 @@ impl Json {
         }
     }
 
+    /// The numeric payload as a float (integers widen), or `None` for
+    /// non-numbers. Needed because the serializer renders an integral float
+    /// like `2.0` as `2`, which re-parses as [`Json::U64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, or `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document, rejecting trailing garbage. Numbers parse as
     /// [`Json::U64`] when they are non-negative integers that fit, and as
     /// [`Json::F64`] otherwise, mirroring how the serializer emits them.

@@ -24,6 +24,13 @@
 //! of the retired miss triggers, accuracy of the fetched critical uops, and
 //! the lead-time distribution of critical miss initiations.
 //!
+//! The [`store`] and [`compare`] modules make results durable: `cdf-sim
+//! record` appends provenance-stamped `cdf-result/1` records to an
+//! append-only JSONL store, and `cdf-sim compare` joins two recorded runs
+//! into a `cdf-compare/1` regression report (deterministic metrics exact,
+//! wall-clock metrics tolerance-classified). The [`schema`] module is the
+//! registry of every JSON schema tag the workspace emits.
+//!
 //! ```no_run
 //! use cdf_sim::{run_sweep, simulate, EvalConfig, Mechanism, SweepConfig};
 //!
@@ -39,13 +46,17 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod compare;
 pub mod equivalence;
 pub mod experiments;
 pub mod explain;
 pub mod fuzz;
 pub mod golden;
 pub mod json;
+pub mod provenance;
 pub mod report;
+pub mod schema;
+pub mod store;
 pub mod sweep;
 pub mod telemetry;
 
@@ -53,6 +64,10 @@ mod error;
 mod run;
 mod table1;
 
+pub use compare::{
+    compare_runs, CellClass, CellDiff, CompareConfig, CompareCounts, CompareReport, MetricClass,
+    MetricDelta, COMPARE_SCHEMA, DEFAULT_WALL_TOLERANCE,
+};
 pub use equivalence::{
     run_equivalence, workload_equivalence, workload_equivalence_axis, EquivAxis, EquivConfig,
     EquivMismatch, EquivReport, EQUIV_SCHEMA,
@@ -70,11 +85,18 @@ pub use fuzz::{
 pub use golden::{
     collect as collect_golden, diff_golden, golden_to_json, GoldenConfig, GOLDEN_SCHEMA,
 };
+pub use provenance::{provenance_from_json, provenance_json};
 pub use run::{
     simulate, simulate_workload, try_simulate, try_simulate_workload,
     try_simulate_workload_diagnostics, try_simulate_workload_mode, try_simulate_workload_observed,
     try_simulate_workload_telemetry, EvalConfig, Measurement, Mechanism,
 };
-pub use sweep::{run_sweep, Sweep, SweepCell, SweepConfig};
+pub use store::{
+    next_run_id, record_from_json, record_json, record_sweep, records_for_run, records_from_cells,
+    records_from_explain, resolve_ref, run_ids, run_record, throughput_record, DiagSummary,
+    RecordConfig, RecordPayload, RecordRun, ResultKey, ResultRecord, ResultStore, StoreError,
+    TelemetrySummary, DEFAULT_STORE_PATH, RESULT_SCHEMA,
+};
+pub use sweep::{eval_config_hash, run_sweep, Sweep, SweepCell, SweepConfig};
 pub use table1::table1_text;
 pub use telemetry::{accounting_table, telemetry_json, trace_events_json, TELEMETRY_SCHEMA};

@@ -1,0 +1,101 @@
+//! JSON serialization of the shared [`Provenance`] header (see
+//! [`cdf_core::provenance`]) plus the parser used by the results store.
+//!
+//! Every report serializer in this crate (sweep, equivalence, fuzz,
+//! explain, result records, compare) embeds the same `"provenance"` object:
+//!
+//! ```json
+//! {
+//!   "git_commit": "abc123…" | null,
+//!   "git_dirty": true | false | null,
+//!   "rustc": "rustc 1.xx.0 (…)" | null,
+//!   "host": "x86_64-unknown-linux-gnu",
+//!   "timestamp": 1754600000 | null
+//! }
+//! ```
+
+use crate::json::{field, Json};
+use cdf_core::Provenance;
+
+/// Serializes a provenance header as the uniform `"provenance"` object.
+pub fn provenance_json(p: &Provenance) -> Json {
+    Json::Obj(vec![
+        field("git_commit", p.git_commit.clone()),
+        field("git_dirty", p.git_dirty),
+        field("rustc", p.rustc_version.clone()),
+        field("host", p.host.as_str()),
+        field("timestamp", p.timestamp),
+    ])
+}
+
+/// Parses a `"provenance"` object back. Lenient: absent or null fields
+/// degrade to `None` (matching best-effort capture), but a present field of
+/// the wrong type is an error.
+pub fn provenance_from_json(doc: &Json) -> Result<Provenance, String> {
+    fn opt_str(doc: &Json, key: &str) -> Result<Option<String>, String> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| format!("provenance.{key} is not a string")),
+        }
+    }
+    let git_dirty = match doc.get("git_dirty") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_bool()
+                .ok_or_else(|| "provenance.git_dirty is not a bool".to_string())?,
+        ),
+    };
+    let timestamp = match doc.get("timestamp") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| "provenance.timestamp is not an integer".to_string())?,
+        ),
+    };
+    Ok(Provenance {
+        git_commit: opt_str(doc, "git_commit")?,
+        git_dirty,
+        rustc_version: opt_str(doc, "rustc")?,
+        host: opt_str(doc, "host")?.unwrap_or_default(),
+        timestamp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_own_parser() {
+        let p = Provenance {
+            git_commit: Some("deadbeefcafebabe".into()),
+            git_dirty: Some(false),
+            rustc_version: Some("rustc 1.0.0 (test)".into()),
+            host: "x86_64-unknown-linux-gnu".into(),
+            timestamp: Some(1_754_600_000),
+        };
+        let doc = Json::parse(&provenance_json(&p).render()).unwrap();
+        assert_eq!(provenance_from_json(&doc).unwrap(), p);
+    }
+
+    #[test]
+    fn null_fields_degrade_to_none() {
+        let p = Provenance {
+            host: "unknown".into(),
+            ..Provenance::default()
+        };
+        let doc = Json::parse(&provenance_json(&p).render()).unwrap();
+        assert_eq!(provenance_from_json(&doc).unwrap(), p);
+    }
+
+    #[test]
+    fn wrong_types_are_rejected() {
+        let doc = Json::parse(r#"{"git_commit":7,"host":"h"}"#).unwrap();
+        assert!(provenance_from_json(&doc).is_err());
+        let doc = Json::parse(r#"{"git_dirty":"yes","host":"h"}"#).unwrap();
+        assert!(provenance_from_json(&doc).is_err());
+    }
+}

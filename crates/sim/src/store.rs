@@ -1,0 +1,865 @@
+//! The durable, append-only results store (`cdf-sim record`).
+//!
+//! Every simulation result in this repo is deterministic and
+//! provenance-stamped, but without a store the numbers evaporate when the
+//! process exits. This module makes them durable: an append-only JSONL file
+//! (one [`RESULT_SCHEMA`] record per line, `.cdf-results/results.jsonl` by
+//! default) that accumulates results across commits so questions like *"did
+//! this commit regress mcf/CDF IPC?"* become a [`crate::compare`] query
+//! instead of an archaeology project.
+//!
+//! Each record is keyed by (git commit + dirty flag, config hash, workload,
+//! mechanism, scheduler/mem-model axis) and embeds the full
+//! [`Measurement`], the uniform [`Provenance`] header, the workload
+//! generation parameters, and optional telemetry/diagnostics summaries —
+//! enough metadata that records written months apart, possibly on
+//! different machines, can still be compared honestly. Deterministic
+//! metrics (cycles, IPC, retired, MLP, DRAM traffic, energy, coverage) are
+//! machine-independent; only `wall_ms` / `wall_seconds` carry machine
+//! noise, and the compare engine treats them accordingly.
+//!
+//! Records enter the store three ways:
+//!
+//! * `cdf-sim record` — runs the full (workload × mechanism) grid, or a
+//!   `--filter` subset, and appends one record per cell ([`run_record`]).
+//! * `cdf-sim sweep --record` / `explain --record` — tee the cells of a
+//!   normal sweep/explain run into the store ([`record_sweep`],
+//!   [`records_from_explain`]).
+//! * `throughput-gate --record` — perf rows land in the same store (kind
+//!   `"throughput"`), so stats history and perf history live together.
+//!
+//! The file is append-only by construction: [`ResultStore::append`] opens
+//! with `O_APPEND` and never rewrites existing lines, so the store is also
+//! an audit log — a record, once written, is never edited.
+
+use crate::json::{field, Json};
+use crate::provenance::{provenance_from_json, provenance_json};
+use crate::run::{EvalConfig, Measurement, Mechanism};
+use crate::schema;
+use crate::sweep::{eval_config_hash, measurement_json, parallel_map, run_cell, Sweep, SweepCell};
+use cdf_core::{CdfDiagnostics, Coverage, Provenance, Telemetry};
+use cdf_workloads::{registry, GenConfig};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The JSON schema tag on every store line.
+pub use crate::schema::RESULT as RESULT_SCHEMA;
+
+/// Default store location, relative to the working directory.
+pub const DEFAULT_STORE_PATH: &str = ".cdf-results/results.jsonl";
+
+/// The identity a record is joined on when comparing two runs: what was
+/// measured, under which runtime implementation axis. The configuration
+/// (seed, sizing, core template) is deliberately *not* part of the key —
+/// a perturbed config shows up as changed metrics on the same key (a
+/// classified regression), not as a silently missing cell.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct ResultKey {
+    /// Record kind: `"cell"` (a grid measurement) or `"throughput"` (a
+    /// perf-gate row).
+    pub kind: String,
+    /// Workload (or throughput-case) name.
+    pub workload: String,
+    /// Mechanism label (throughput rows use the variant label, e.g.
+    /// `"event"` / `"mem-lazy"`).
+    pub mechanism: String,
+    /// Scheduler axis label ([`cdf_core::SchedulerKind::as_str`]).
+    pub scheduler: String,
+    /// Memory-model axis label ([`cdf_core::MemModelKind::as_str`]).
+    pub mem_model: String,
+}
+
+impl ResultKey {
+    /// Human-readable `kind:workload/mechanism@scheduler+mem_model` form.
+    pub fn label(&self) -> String {
+        format!(
+            "{}:{}/{}@{}+{}",
+            self.kind, self.workload, self.mechanism, self.scheduler, self.mem_model
+        )
+    }
+}
+
+/// Compact, fully deterministic diagnostics summary embedded in a record
+/// when the producing run had diagnostics enabled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DiagSummary {
+    /// Coverage of retired LLC-miss loads.
+    pub load_coverage: Coverage,
+    /// Coverage of retired mispredicted H2P branches.
+    pub branch_coverage: Coverage,
+    /// Critical uops fetched.
+    pub fetched: u64,
+    /// Fetched uops consumed by replay.
+    pub consumed: u64,
+    /// Fetched uops with no outcome — wasted critical fetch work.
+    pub wasted: u64,
+}
+
+impl DiagSummary {
+    /// Extracts the summary from a full diagnostics collector.
+    pub fn from_diagnostics(d: &CdfDiagnostics) -> DiagSummary {
+        DiagSummary {
+            load_coverage: d.load_coverage,
+            branch_coverage: d.branch_coverage,
+            fetched: d.critical_uops_fetched,
+            consumed: d.critical_uops_consumed,
+            wasted: d.critical_uops_wasted(),
+        }
+    }
+
+    /// Accuracy: consumed / fetched (0 when nothing was fetched).
+    pub fn accuracy(&self) -> f64 {
+        if self.fetched == 0 {
+            0.0
+        } else {
+            self.consumed as f64 / self.fetched as f64
+        }
+    }
+}
+
+/// Compact, fully deterministic telemetry summary: the six-bucket top-down
+/// cycle accounting.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TelemetrySummary {
+    /// `(bucket label, cycles)` in bucket order; sums to observed cycles.
+    pub buckets: Vec<(String, u64)>,
+}
+
+impl TelemetrySummary {
+    /// Extracts the summary from a full telemetry collector.
+    pub fn from_telemetry(t: &Telemetry) -> TelemetrySummary {
+        TelemetrySummary {
+            buckets: t
+                .accounting
+                .breakdown()
+                .into_iter()
+                .map(|(b, cycles, _)| (b.label().to_string(), cycles))
+                .collect(),
+        }
+    }
+}
+
+/// What a record measured: a grid-cell measurement, a throughput-gate row,
+/// or the cell's failure.
+// The `Cell` variant dominates both the size and the population of real
+// stores, so boxing it would add an allocation to the common case to slim
+// the rare ones.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, PartialEq, Debug)]
+pub enum RecordPayload {
+    /// A successful grid cell.
+    Cell {
+        /// The full measurement for the cell.
+        measurement: Measurement,
+        /// Diagnostics summary, when the run had diagnostics enabled.
+        diagnostics: Option<DiagSummary>,
+        /// Telemetry summary, when the run had telemetry enabled.
+        telemetry: Option<TelemetrySummary>,
+    },
+    /// A throughput-gate perf row.
+    Throughput {
+        /// Simulated cycles the case executed (deterministic).
+        simulated_cycles: u64,
+        /// Wall-clock seconds (machine noise; compared with tolerance).
+        wall_seconds: f64,
+    },
+    /// The cell failed; the failure is recorded so a regression from
+    /// "works" to "errors" is visible in compare.
+    Error {
+        /// Stable error kind (see [`crate::SimError::kind`]).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// One line of the store: a single keyed, provenance-stamped result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ResultRecord {
+    /// Identifier of the recording invocation this record belongs to; all
+    /// records appended by one `record`/`--record` run share it.
+    pub run_id: String,
+    /// Position of this record within its run (grid order).
+    pub seq: u64,
+    /// The uniform provenance header.
+    pub provenance: Provenance,
+    /// FNV-1a hash of the cell's full [`EvalConfig`] (or of the gate
+    /// configuration for throughput rows).
+    pub config_hash: String,
+    /// Workload generation parameters, for cell records.
+    pub gen: Option<GenConfig>,
+    /// The join key.
+    pub key: ResultKey,
+    /// Wall-clock milliseconds the cell took (machine noise).
+    pub wall_ms: u64,
+    /// The measured payload.
+    pub payload: RecordPayload,
+}
+
+impl ResultRecord {
+    /// Whether the record is a successful measurement (not an error).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self.payload, RecordPayload::Error { .. })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store I/O.
+// ---------------------------------------------------------------------------
+
+/// A store failure: I/O, or a corrupt line.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error reading or appending the store.
+    Io(std::io::Error),
+    /// A line of the store failed to parse as a [`RESULT_SCHEMA`] record.
+    Parse {
+        /// 1-based line number in the store file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Parse { line, message } => {
+                write!(f, "store line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Handle on one append-only JSONL store file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (without touching the filesystem) the store at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> ResultStore {
+        ResultStore { path: path.into() }
+    }
+
+    /// The store at the default location.
+    pub fn default_store() -> ResultStore {
+        ResultStore::open(DEFAULT_STORE_PATH)
+    }
+
+    /// The file backing this store.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads every record, in append order. A store that does not exist
+    /// yet is an empty store, not an error; a corrupt line is an error
+    /// (the store is an audit log — silent skips would hide damage).
+    pub fn load(&self) -> Result<Vec<ResultRecord>, StoreError> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc = Json::parse(line).map_err(|e| StoreError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            })?;
+            let rec = record_from_json(&doc).map_err(|message| StoreError::Parse {
+                line: i + 1,
+                message,
+            })?;
+            records.push(rec);
+        }
+        Ok(records)
+    }
+
+    /// Appends records (one JSONL line each), creating the parent
+    /// directory and file on first use. Never rewrites existing lines.
+    pub fn append(&self, records: &[ResultRecord]) -> Result<(), StoreError> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut buf = String::new();
+        for r in records {
+            buf.push_str(&record_json(r).render());
+            buf.push('\n');
+        }
+        f.write_all(buf.as_bytes())?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run identity and ref resolution.
+// ---------------------------------------------------------------------------
+
+/// Distinct run ids in first-appearance (append) order.
+pub fn run_ids(records: &[ResultRecord]) -> Vec<String> {
+    let mut ids: Vec<String> = Vec::new();
+    for r in records {
+        if ids.last() != Some(&r.run_id) && !ids.contains(&r.run_id) {
+            ids.push(r.run_id.clone());
+        }
+    }
+    ids
+}
+
+/// The next run id for a store already holding `existing` records:
+/// `r<ordinal>-<short commit>[-dirty]`. The ordinal keeps ids unique when
+/// the same commit records repeatedly.
+pub fn next_run_id(existing: &[ResultRecord], prov: &Provenance) -> String {
+    let ordinal = run_ids(existing).len() + 1;
+    let dirty = if prov.git_dirty == Some(true) {
+        "-dirty"
+    } else {
+        ""
+    };
+    format!("r{:04}-{}{}", ordinal, prov.short_commit(8), dirty)
+}
+
+/// Resolves a user-facing run ref to a concrete run id. Accepted forms,
+/// tried in order: `latest` / `latest~N` (append order), an exact run id,
+/// or a commit-hash prefix (the most recent run recorded at a matching
+/// commit wins).
+pub fn resolve_ref(records: &[ResultRecord], wanted: &str) -> Result<String, String> {
+    let ids = run_ids(records);
+    if ids.is_empty() {
+        return Err("the store holds no runs".to_string());
+    }
+    if let Some(back) = parse_latest(wanted) {
+        return ids
+            .len()
+            .checked_sub(1 + back)
+            .map(|i| ids[i].clone())
+            .ok_or_else(|| {
+                format!(
+                    "ref {wanted:?} reaches past the {} run(s) stored",
+                    ids.len()
+                )
+            });
+    }
+    if ids.iter().any(|id| id == wanted) {
+        return Ok(wanted.to_string());
+    }
+    // Commit prefix: latest run whose records carry a matching commit.
+    let by_commit = records
+        .iter()
+        .filter(|r| {
+            r.provenance
+                .git_commit
+                .as_deref()
+                .is_some_and(|c| c.starts_with(wanted))
+        })
+        .map(|r| r.run_id.clone())
+        .next_back();
+    by_commit.ok_or_else(|| {
+        format!(
+            "ref {wanted:?} matches no run id or commit (runs: {})",
+            ids.join(", ")
+        )
+    })
+}
+
+fn parse_latest(wanted: &str) -> Option<usize> {
+    if wanted == "latest" {
+        return Some(0);
+    }
+    wanted
+        .strip_prefix("latest~")
+        .and_then(|n| n.parse::<usize>().ok())
+}
+
+/// The records of one run, in append order.
+pub fn records_for_run<'a>(records: &'a [ResultRecord], run_id: &str) -> Vec<&'a ResultRecord> {
+    records.iter().filter(|r| r.run_id == run_id).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Producing records.
+// ---------------------------------------------------------------------------
+
+/// Configuration of one `cdf-sim record` invocation.
+#[derive(Clone, Debug)]
+pub struct RecordConfig {
+    /// Workloads to run (default: the full registry).
+    pub workloads: Vec<String>,
+    /// Mechanisms to run (default: all seven).
+    pub mechanisms: Vec<Mechanism>,
+    /// Per-cell evaluation sizing (also determines the scheduler/mem-model
+    /// axis and whether telemetry/diagnostics summaries are captured).
+    pub eval: EvalConfig,
+    /// Worker threads (0 = machine-sized).
+    pub threads: usize,
+    /// Substring filter over `workload/mechanism` cell labels.
+    pub filter: Option<String>,
+    /// Store file to append to.
+    pub store_path: PathBuf,
+}
+
+impl RecordConfig {
+    /// The full registry grid at the given sizing, default store path.
+    pub fn full_grid(eval: EvalConfig) -> RecordConfig {
+        RecordConfig {
+            workloads: registry::NAMES.iter().map(|s| s.to_string()).collect(),
+            mechanisms: Mechanism::ALL.to_vec(),
+            eval,
+            threads: 0,
+            filter: None,
+            store_path: PathBuf::from(DEFAULT_STORE_PATH),
+        }
+    }
+}
+
+/// Outcome of one `record` invocation.
+#[derive(Clone, Debug)]
+pub struct RecordRun {
+    /// The run id the appended records share.
+    pub run_id: String,
+    /// The appended records, in grid order.
+    pub records: Vec<ResultRecord>,
+    /// How many cells failed (their failures are recorded too).
+    pub failed: usize,
+}
+
+/// Runs the configured grid (filtered) and appends one record per cell to
+/// the store. Cells run in parallel with per-cell fault isolation, exactly
+/// like a sweep.
+pub fn run_record(cfg: &RecordConfig) -> Result<RecordRun, StoreError> {
+    let jobs: Vec<(String, Mechanism)> = cfg
+        .workloads
+        .iter()
+        .flat_map(|w| cfg.mechanisms.iter().map(move |&m| (w.clone(), m)))
+        .filter(|(w, m)| match &cfg.filter {
+            Some(f) => format!("{w}/{}", m.label()).contains(f.as_str()),
+            None => true,
+        })
+        .collect();
+    let cells = parallel_map(&jobs, cfg.threads, |(w, m)| run_cell(w, *m, &cfg.eval));
+    let store = ResultStore::open(&cfg.store_path);
+    let existing = store.load()?;
+    let prov = Provenance::capture();
+    let run_id = next_run_id(&existing, &prov);
+    let records = records_from_cells(&run_id, &prov, &cfg.eval, &cells);
+    let failed = records.iter().filter(|r| !r.is_ok()).count();
+    store.append(&records)?;
+    Ok(RecordRun {
+        run_id,
+        records,
+        failed,
+    })
+}
+
+/// Converts finished sweep cells into store records.
+pub fn records_from_cells(
+    run_id: &str,
+    prov: &Provenance,
+    eval: &EvalConfig,
+    cells: &[SweepCell],
+) -> Vec<ResultRecord> {
+    let config_hash = eval_config_hash(eval);
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let payload = match &c.result {
+                Ok(m) => RecordPayload::Cell {
+                    measurement: m.clone(),
+                    diagnostics: c.diagnostics.as_ref().map(DiagSummary::from_diagnostics),
+                    telemetry: c.telemetry.as_ref().map(TelemetrySummary::from_telemetry),
+                },
+                Err(e) => RecordPayload::Error {
+                    kind: e.kind().to_string(),
+                    message: e.to_string(),
+                },
+            };
+            ResultRecord {
+                run_id: run_id.to_string(),
+                seq: i as u64,
+                provenance: prov.clone(),
+                config_hash: config_hash.clone(),
+                gen: Some(eval.gen),
+                key: cell_key(&c.workload, c.mechanism.label(), eval),
+                wall_ms: c.wall_ms,
+                payload,
+            }
+        })
+        .collect()
+}
+
+/// Tees a finished sweep into the store (`cdf-sim sweep --record`).
+/// Returns the run id the records were appended under.
+pub fn record_sweep(store_path: &Path, sweep: &Sweep) -> Result<String, StoreError> {
+    let store = ResultStore::open(store_path);
+    let existing = store.load()?;
+    let run_id = next_run_id(&existing, &sweep.provenance);
+    let records = records_from_cells(&run_id, &sweep.provenance, &sweep.config.eval, &sweep.cells);
+    store.append(&records)?;
+    Ok(run_id)
+}
+
+/// Converts finished explain cells into store records
+/// (`cdf-sim explain --record`).
+pub fn records_from_explain(
+    run_id: &str,
+    prov: &Provenance,
+    eval: &EvalConfig,
+    cells: &[crate::explain::ExplainCell],
+) -> Vec<ResultRecord> {
+    let mut eval = eval.clone();
+    eval.diagnostics = true; // run_explain forces diagnostics on
+    let config_hash = eval_config_hash(&eval);
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let payload = match &c.result {
+                Ok((m, d)) => RecordPayload::Cell {
+                    measurement: m.clone(),
+                    diagnostics: Some(DiagSummary::from_diagnostics(d)),
+                    telemetry: None,
+                },
+                Err(e) => RecordPayload::Error {
+                    kind: e.kind().to_string(),
+                    message: e.to_string(),
+                },
+            };
+            ResultRecord {
+                run_id: run_id.to_string(),
+                seq: i as u64,
+                provenance: prov.clone(),
+                config_hash: config_hash.clone(),
+                gen: Some(eval.gen),
+                key: cell_key(&c.workload, c.mechanism.label(), &eval),
+                wall_ms: 0,
+                payload,
+            }
+        })
+        .collect()
+}
+
+fn cell_key(workload: &str, mechanism: &str, eval: &EvalConfig) -> ResultKey {
+    ResultKey {
+        kind: "cell".to_string(),
+        workload: workload.to_string(),
+        mechanism: mechanism.to_string(),
+        scheduler: eval.core.scheduler.as_str().to_string(),
+        mem_model: eval.core.mem_model.as_str().to_string(),
+    }
+}
+
+/// Builds a throughput record (used by `throughput-gate --record`).
+#[allow(clippy::too_many_arguments)]
+pub fn throughput_record(
+    run_id: &str,
+    seq: u64,
+    prov: &Provenance,
+    config_hash: &str,
+    case: &str,
+    variant: &str,
+    simulated_cycles: u64,
+    wall_seconds: f64,
+) -> ResultRecord {
+    ResultRecord {
+        run_id: run_id.to_string(),
+        seq,
+        provenance: prov.clone(),
+        config_hash: config_hash.to_string(),
+        gen: None,
+        key: ResultKey {
+            kind: "throughput".to_string(),
+            workload: case.to_string(),
+            mechanism: variant.to_string(),
+            scheduler: String::new(),
+            mem_model: String::new(),
+        },
+        wall_ms: (wall_seconds * 1000.0) as u64,
+        payload: RecordPayload::Throughput {
+            simulated_cycles,
+            wall_seconds,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+/// Serializes one record as its [`RESULT_SCHEMA`] JSON line.
+pub fn record_json(r: &ResultRecord) -> Json {
+    let mut fields = vec![
+        field("schema", schema::RESULT),
+        field("run_id", r.run_id.as_str()),
+        field("seq", r.seq),
+        field("provenance", provenance_json(&r.provenance)),
+        field("config_hash", r.config_hash.as_str()),
+    ];
+    if let Some(gen) = &r.gen {
+        fields.push(field(
+            "gen",
+            Json::Obj(vec![
+                field("seed", gen.seed),
+                field("scale", gen.scale),
+                field("iters", gen.iters),
+            ]),
+        ));
+    }
+    fields.push(field(
+        "key",
+        Json::Obj(vec![
+            field("kind", r.key.kind.as_str()),
+            field("workload", r.key.workload.as_str()),
+            field("mechanism", r.key.mechanism.as_str()),
+            field("scheduler", r.key.scheduler.as_str()),
+            field("mem_model", r.key.mem_model.as_str()),
+        ]),
+    ));
+    fields.push(field("wall_ms", r.wall_ms));
+    match &r.payload {
+        RecordPayload::Cell {
+            measurement,
+            diagnostics,
+            telemetry,
+        } => {
+            fields.push(field("status", "ok"));
+            fields.push(field("measurement", measurement_json(measurement)));
+            if let Some(d) = diagnostics {
+                fields.push(field("diagnostics", diag_summary_json(d)));
+            }
+            if let Some(t) = telemetry {
+                fields.push(field("telemetry", telemetry_summary_json(t)));
+            }
+        }
+        RecordPayload::Throughput {
+            simulated_cycles,
+            wall_seconds,
+        } => {
+            fields.push(field("status", "ok"));
+            fields.push(field(
+                "throughput",
+                Json::Obj(vec![
+                    field("simulated_cycles", *simulated_cycles),
+                    field("wall_seconds", *wall_seconds),
+                ]),
+            ));
+        }
+        RecordPayload::Error { kind, message } => {
+            fields.push(field("status", "error"));
+            fields.push(field(
+                "error",
+                Json::Obj(vec![
+                    field("kind", kind.as_str()),
+                    field("message", message.as_str()),
+                ]),
+            ));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn diag_summary_json(d: &DiagSummary) -> Json {
+    Json::Obj(vec![
+        field(
+            "load_coverage",
+            Json::Obj(vec![
+                field("covered", d.load_coverage.covered),
+                field("total", d.load_coverage.total),
+            ]),
+        ),
+        field(
+            "branch_coverage",
+            Json::Obj(vec![
+                field("covered", d.branch_coverage.covered),
+                field("total", d.branch_coverage.total),
+            ]),
+        ),
+        field("fetched", d.fetched),
+        field("consumed", d.consumed),
+        field("wasted", d.wasted),
+    ])
+}
+
+fn telemetry_summary_json(t: &TelemetrySummary) -> Json {
+    Json::Obj(
+        t.buckets
+            .iter()
+            .map(|(label, cycles)| field(label, *cycles))
+            .collect(),
+    )
+}
+
+/// Parses one store line back into a record.
+pub fn record_from_json(doc: &Json) -> Result<ResultRecord, String> {
+    schema::expect_schema(doc, schema::RESULT)?;
+    let run_id = req_str(doc, "run_id")?;
+    let seq = req_u64(doc, "seq")?;
+    let provenance = provenance_from_json(
+        doc.get("provenance")
+            .ok_or_else(|| "missing provenance".to_string())?,
+    )?;
+    let config_hash = req_str(doc, "config_hash")?;
+    let gen = match doc.get("gen") {
+        None => None,
+        Some(g) => Some(GenConfig {
+            seed: req_u64(g, "seed")?,
+            scale: req_f64(g, "scale")?,
+            iters: req_u64(g, "iters")?,
+        }),
+    };
+    let key_doc = doc.get("key").ok_or_else(|| "missing key".to_string())?;
+    let key = ResultKey {
+        kind: req_str(key_doc, "kind")?,
+        workload: req_str(key_doc, "workload")?,
+        mechanism: req_str(key_doc, "mechanism")?,
+        scheduler: req_str(key_doc, "scheduler")?,
+        mem_model: req_str(key_doc, "mem_model")?,
+    };
+    let wall_ms = req_u64(doc, "wall_ms")?;
+    let status = req_str(doc, "status")?;
+    let payload = match status.as_str() {
+        "ok" => {
+            if let Some(t) = doc.get("throughput") {
+                RecordPayload::Throughput {
+                    simulated_cycles: req_u64(t, "simulated_cycles")?,
+                    wall_seconds: req_f64(t, "wall_seconds")?,
+                }
+            } else {
+                let m = doc
+                    .get("measurement")
+                    .ok_or_else(|| "ok record carries no measurement".to_string())?;
+                RecordPayload::Cell {
+                    measurement: measurement_from_json(m, &key.workload, &key.mechanism)?,
+                    diagnostics: doc
+                        .get("diagnostics")
+                        .map(diag_summary_from_json)
+                        .transpose()?,
+                    telemetry: doc.get("telemetry").map(telemetry_summary_from_json),
+                }
+            }
+        }
+        "error" => {
+            let e = doc
+                .get("error")
+                .ok_or_else(|| "error record carries no error".to_string())?;
+            RecordPayload::Error {
+                kind: req_str(e, "kind")?,
+                message: req_str(e, "message")?,
+            }
+        }
+        other => return Err(format!("unknown status {other:?}")),
+    };
+    Ok(ResultRecord {
+        run_id,
+        seq,
+        provenance,
+        config_hash,
+        gen,
+        key,
+        wall_ms,
+        payload,
+    })
+}
+
+/// Parses a serialized measurement, reattaching the workload/mechanism the
+/// key carries (the embedded object stores only the metric fields).
+pub fn measurement_from_json(
+    doc: &Json,
+    workload: &str,
+    mechanism: &str,
+) -> Result<Measurement, String> {
+    Ok(Measurement {
+        workload: workload.to_string(),
+        mechanism: mechanism.to_string(),
+        instructions: req_u64(doc, "instructions")?,
+        cycles: req_u64(doc, "cycles")?,
+        ipc: req_f64(doc, "ipc")?,
+        mlp: req_f64(doc, "mlp")?,
+        dram_lines: req_u64(doc, "dram_lines")?,
+        energy_nj: req_f64(doc, "energy_nj")?,
+        cdf_energy_nj: req_f64(doc, "cdf_energy_nj")?,
+        branch_mpki: req_f64(doc, "branch_mpki")?,
+        llc_mpki: req_f64(doc, "llc_mpki")?,
+        rob_critical_fraction: req_f64(doc, "rob_critical_fraction")?,
+        full_window_stall_cycles: req_u64(doc, "full_window_stall_cycles")?,
+        cdf_mode_cycles: req_u64(doc, "cdf_mode_cycles")?,
+        critical_uops: req_u64(doc, "critical_uops")?,
+        runahead_uops: req_u64(doc, "runahead_uops")?,
+        dependence_violations: req_u64(doc, "dependence_violations")?,
+    })
+}
+
+fn diag_summary_from_json(doc: &Json) -> Result<DiagSummary, String> {
+    fn coverage(doc: &Json, key: &str) -> Result<Coverage, String> {
+        let c = doc.get(key).ok_or_else(|| format!("missing {key}"))?;
+        Ok(Coverage {
+            covered: req_u64(c, "covered")?,
+            total: req_u64(c, "total")?,
+        })
+    }
+    Ok(DiagSummary {
+        load_coverage: coverage(doc, "load_coverage")?,
+        branch_coverage: coverage(doc, "branch_coverage")?,
+        fetched: req_u64(doc, "fetched")?,
+        consumed: req_u64(doc, "consumed")?,
+        wasted: req_u64(doc, "wasted")?,
+    })
+}
+
+fn telemetry_summary_from_json(doc: &Json) -> TelemetrySummary {
+    let buckets = match doc {
+        Json::Obj(fields) => fields
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|c| (k.clone(), c)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    TelemetrySummary { buckets }
+}
+
+fn req_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string {key}"))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer {key}"))
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric {key}"))
+}
+
+/// The `(kind, message)` of an error record, if it is one.
+pub fn error_parts(r: &ResultRecord) -> Option<(&str, &str)> {
+    match &r.payload {
+        RecordPayload::Error { kind, message } => Some((kind, message)),
+        _ => None,
+    }
+}

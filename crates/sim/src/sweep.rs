@@ -13,16 +13,18 @@
 //!   aborts.
 //! * **Provenance** — emitted JSON records are stamped with a hash of the
 //!   full sweep configuration, the workload generation parameters, and the
-//!   git commit, so any result file can be traced back to the exact
+//!   shared [`Provenance`] header (commit, dirty flag, toolchain, host,
+//!   timestamp), so any result file can be traced back to the exact
 //!   experiment that produced it.
 
 use crate::error::SimError;
 use crate::explain::diagnostics_json;
 use crate::json::{field, Json};
+use crate::provenance::provenance_json;
 use crate::report::Table;
 use crate::run::{try_simulate_workload_observed, EvalConfig, Measurement, Mechanism};
 use crate::telemetry::telemetry_json;
-use cdf_core::{CdfDiagnostics, Telemetry};
+use cdf_core::{CdfDiagnostics, Provenance, Telemetry};
 use cdf_workloads::registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,7 +32,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// The JSON schema tag stamped on every emitted sweep document.
-pub const SWEEP_SCHEMA: &str = "cdf-sweep/1";
+pub use crate::schema::SWEEP as SWEEP_SCHEMA;
 
 /// The grid and sizing of one sweep.
 #[derive(Clone, Debug)]
@@ -108,9 +110,9 @@ pub struct Sweep {
     pub threads_used: usize,
     /// FNV-1a hash (hex) of the full configuration.
     pub config_hash: String,
-    /// `git rev-parse HEAD` of the working tree, if available
-    /// (`CDF_GIT_COMMIT` overrides; `None` outside a repository).
-    pub git_commit: Option<String>,
+    /// The uniform provenance header (commit, dirty flag, toolchain, host,
+    /// timestamp) captured when the sweep ran.
+    pub provenance: Provenance,
 }
 
 /// Runs the sweep. Results are identical — stat for stat — to running every
@@ -130,7 +132,7 @@ pub fn run_sweep(config: &SweepConfig) -> Sweep {
         cells,
         threads_used,
         config_hash: config_hash(config),
-        git_commit: git_commit(),
+        provenance: Provenance::capture(),
     }
 }
 
@@ -208,7 +210,7 @@ impl Sweep {
         Json::Obj(vec![
             field("schema", SWEEP_SCHEMA),
             field("config_hash", self.config_hash.as_str()),
-            field("git_commit", self.git_commit.clone()),
+            field("provenance", provenance_json(&self.provenance)),
             field("threads", self.threads_used),
             field(
                 "gen",
@@ -415,13 +417,8 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// FNV-1a over the debug rendering of the full configuration: changing any
-/// knob — grid, seed, windows, core template, watchdog — changes the hash.
-fn config_hash(config: &SweepConfig) -> String {
-    let canon = format!(
-        "{:?}|{:?}|{:?}",
-        config.workloads, config.mechanisms, config.eval
-    );
+/// FNV-1a (hex) over an arbitrary canonical string.
+pub(crate) fn fnv1a_hex(canon: &str) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in canon.bytes() {
         h ^= b as u64;
@@ -430,19 +427,20 @@ fn config_hash(config: &SweepConfig) -> String {
     format!("{h:016x}")
 }
 
-fn git_commit() -> Option<String> {
-    if let Ok(v) = std::env::var("CDF_GIT_COMMIT") {
-        return if v.is_empty() { None } else { Some(v) };
-    }
-    let out = std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()?;
-    if !out.status.success() {
-        return None;
-    }
-    let commit = String::from_utf8_lossy(&out.stdout).trim().to_string();
-    (!commit.is_empty()).then_some(commit)
+/// FNV-1a over the debug rendering of the full configuration: changing any
+/// knob — grid, seed, windows, core template, watchdog — changes the hash.
+fn config_hash(config: &SweepConfig) -> String {
+    fnv1a_hex(&format!(
+        "{:?}|{:?}|{:?}",
+        config.workloads, config.mechanisms, config.eval
+    ))
+}
+
+/// FNV-1a over the debug rendering of one cell's evaluation config (the
+/// per-record config hash in the results store): seed, scale, windows, core
+/// template — everything but the workload/mechanism key itself.
+pub fn eval_config_hash(eval: &EvalConfig) -> String {
+    fnv1a_hex(&format!("{eval:?}"))
 }
 
 #[cfg(test)]
@@ -574,13 +572,17 @@ mod tests {
         let json = sweep.to_json().render();
         assert!(json.contains("\"schema\":\"cdf-sweep/1\""));
         assert!(json.contains(&format!("\"config_hash\":\"{}\"", sweep.config_hash)));
+        assert!(json.contains("\"provenance\""));
         assert!(json.contains("\"git_commit\":\"deadbeef\""));
+        assert!(json.contains("\"host\":"));
         assert!(json.contains("\"seed\":7"));
         assert!(json.contains("\"measurement\""));
         assert!(json.contains("\"ipc\""));
-        // Different seed → different hash.
+        // Different seed → different hash, both for the sweep and the
+        // per-cell eval hash the results store keys on.
         let mut other = cfg.clone();
         other.eval.gen.seed = 8;
         assert_ne!(config_hash(&cfg), config_hash(&other));
+        assert_ne!(eval_config_hash(&cfg.eval), eval_config_hash(&other.eval));
     }
 }

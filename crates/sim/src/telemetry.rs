@@ -20,7 +20,7 @@ use crate::report::Table;
 use cdf_core::{CycleAccounting, EventPhase, Histogram, IntervalSample, Telemetry};
 
 /// The schema tag stamped on every [`telemetry_json`] document.
-pub const TELEMETRY_SCHEMA: &str = "cdf-telemetry/1";
+pub use crate::schema::TELEMETRY as TELEMETRY_SCHEMA;
 
 /// Encodes one interval sample (or the running totals, which share the
 /// shape).

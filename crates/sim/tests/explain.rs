@@ -110,6 +110,49 @@ fn diagnostics_core_stats_are_bit_identical_to_plain() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
+    /// Interval-series totality on arbitrary programs: no matter where the
+    /// interval boundaries land or how many samples the ring evicts, the
+    /// sum of every per-interval delta must equal the end-of-run cumulative
+    /// counters — the time series is a decomposition of the totals, never a
+    /// lossy view.
+    #[test]
+    fn interval_series_sums_to_cumulative_totals(seed in 0u64..200, interval in 64u64..2048, ring in 2usize..16) {
+        let fp = FuzzSpec::from_seed(seed).build();
+        let mut core = Core::new(
+            &fp.program,
+            fp.memory.clone(),
+            CoreConfig {
+                mode: CoreMode::Cdf(aggressive_cdf()),
+                ..CoreConfig::default()
+            },
+        );
+        core.enable_diagnostics_with(cdf_core::DiagConfig {
+            interval,
+            ring_capacity: ring,
+        });
+        core.run(fp.fuel + 8);
+        let d = core.take_diagnostics().expect("collector returned");
+        let t = d.intervals().totals();
+        prop_assert_eq!(t.walks, d.walks);
+        prop_assert_eq!(t.installs, d.installs);
+        prop_assert_eq!(t.cuc_hits, d.cuc_fetch_hits);
+        prop_assert_eq!(t.cuc_misses, d.cuc_fetch_misses);
+        prop_assert_eq!(t.fetched, d.critical_uops_fetched);
+        prop_assert_eq!(t.consumed, d.critical_uops_consumed);
+        prop_assert_eq!(t.poisoned, d.critical_uops_poisoned);
+        prop_assert_eq!(t.squashed, d.critical_uops_squashed);
+        prop_assert_eq!(t.load_coverage(), d.load_coverage);
+        prop_assert_eq!(t.branch_coverage(), d.branch_coverage);
+        prop_assert_eq!(t.miss_initiations, d.llc_miss_initiations);
+        // Retained + evicted = everything: the ring never drops a sample
+        // without folding it into the running totals first.
+        prop_assert!(d.intervals().len() <= ring);
+        for s in d.intervals().samples() {
+            prop_assert!(s.loads_covered <= s.loads_total);
+            prop_assert!(s.branches_covered <= s.branches_total);
+        }
+    }
+
     /// Totality over arbitrary programs: lead-time samples partition the
     /// critical LLC-miss initiations exactly; coverage numerators are
     /// bounded by their denominators; and every fetched critical uop has at
@@ -271,6 +314,55 @@ fn full_grid_emits_valid_explain_json_for_every_cell() {
             .and_then(Json::as_u64)
             .unwrap();
         assert_eq!(samples, initiations, "lead-time totality in the document");
+    }
+}
+
+#[test]
+fn explain_json_carries_the_interval_time_series() {
+    let w = registry::lookup("mcf_like", &small_gen()).expect("registered");
+    let mut core = Core::new(
+        &w.program,
+        w.memory.clone(),
+        CoreConfig {
+            mode: CoreMode::Cdf(aggressive_cdf()),
+            ..CoreConfig::default()
+        },
+    );
+    core.enable_diagnostics_with(cdf_core::DiagConfig {
+        interval: 512,
+        ring_capacity: 8,
+    });
+    core.run(30_000);
+    let d = core.take_diagnostics().expect("collector returned");
+    let doc = Json::parse(&diagnostics_json(&d, 4).render()).expect("valid JSON");
+
+    let iv = doc.get("intervals").expect("intervals family");
+    assert_eq!(iv.get("interval").and_then(Json::as_u64), Some(512));
+    assert_eq!(
+        iv.get("evicted_samples").and_then(Json::as_u64),
+        Some(d.intervals().evicted_count())
+    );
+    let samples = iv.get("samples").and_then(Json::as_arr).expect("samples");
+    assert_eq!(samples.len(), d.intervals().len());
+    // The serialized totals equal the end-of-run cumulative counters —
+    // the document alone is enough to check the totality contract.
+    let totals = iv.get("totals").expect("totals");
+    assert_eq!(
+        totals.get("fetched").and_then(Json::as_u64),
+        Some(d.critical_uops_fetched)
+    );
+    assert_eq!(totals.get("walks").and_then(Json::as_u64), Some(d.walks));
+    assert_eq!(
+        totals
+            .get("load_coverage")
+            .and_then(|c| c.get("covered"))
+            .and_then(Json::as_u64),
+        Some(d.load_coverage.covered)
+    );
+    for s in samples {
+        let start = s.get("start_cycle").and_then(Json::as_u64).unwrap();
+        let end = s.get("end_cycle").and_then(Json::as_u64).unwrap();
+        assert!(start <= end, "samples are ordered spans");
     }
 }
 
