@@ -1,0 +1,247 @@
+//! Configuration-grid expansion over the core's sensitivity knobs.
+//!
+//! The campaign engine in `cdf-sim` sweeps sensitivity surfaces over the
+//! sizing axes the paper varies: the instruction window (ROB and the
+//! structures scaled with it), the Critical Uop Cache geometry, and the
+//! dynamic-partitioning step. This module owns the *expansion*: a
+//! [`ConfigGrid`] names the values per axis, [`ConfigGrid::points`] turns it
+//! into a deterministic row-major list of [`ConfigPoint`]s, and each point
+//! knows how to apply itself to a [`CoreConfig`] / [`CoreMode`] pair.
+//!
+//! A point equal to [`ConfigPoint::default`] applies as the identity — it
+//! returns the input configuration untouched, so a default-grid campaign
+//! cell runs byte-for-byte the same simulation as the plain sweep path
+//! (asserted by the campaign metamorphic tests in `cdf-sim`).
+
+use crate::config::{CoreConfig, CoreMode};
+
+/// One point in a core-configuration grid: the knob values a campaign cell
+/// runs under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConfigPoint {
+    /// Reorder-buffer entries; the RS/LQ/SQ/PRF scale with it via
+    /// [`CoreConfig::with_scaled_window`]. Table 1's default is 352.
+    pub rob: usize,
+    /// Critical Uop Cache sets ([`crate::CdfConfig::uop_cache_sets`]);
+    /// default 64.
+    pub cuc_sets: usize,
+    /// Dynamic ROB/RS partition step ([`crate::CdfConfig::rob_step`]);
+    /// default 8.
+    pub partition_step: usize,
+}
+
+impl Default for ConfigPoint {
+    fn default() -> ConfigPoint {
+        ConfigPoint {
+            rob: 352,
+            cuc_sets: 64,
+            partition_step: 8,
+        }
+    }
+}
+
+impl ConfigPoint {
+    /// Whether this point is the Table 1 default (application is the
+    /// identity).
+    pub fn is_default(&self) -> bool {
+        *self == ConfigPoint::default()
+    }
+
+    /// Stable label used in cell keys and reports, e.g.
+    /// `rob352+cuc64+part8`.
+    pub fn label(&self) -> String {
+        format!(
+            "rob{}+cuc{}+part{}",
+            self.rob, self.cuc_sets, self.partition_step
+        )
+    }
+
+    /// Parses a [`label`](Self::label) back into a point.
+    pub fn parse(s: &str) -> Option<ConfigPoint> {
+        let mut parts = s.split('+');
+        let rob = parts.next()?.strip_prefix("rob")?.parse().ok()?;
+        let cuc_sets = parts.next()?.strip_prefix("cuc")?.parse().ok()?;
+        let partition_step = parts.next()?.strip_prefix("part")?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(ConfigPoint {
+            rob,
+            cuc_sets,
+            partition_step,
+        })
+    }
+
+    /// Applies the window knob to a core configuration. A default-ROB point
+    /// returns the template unchanged (identity), so campaign cells at the
+    /// default point reuse the caller's template byte for byte.
+    pub fn apply_core(&self, base: &CoreConfig) -> CoreConfig {
+        if self.rob == ConfigPoint::default().rob {
+            return base.clone();
+        }
+        base.clone().with_scaled_window(self.rob)
+    }
+
+    /// Applies the CDF-structure knobs (CUC geometry, partition step) to a
+    /// mechanism mode. Baseline modes carry no CDF structures and pass
+    /// through; default knob values are the identity.
+    pub fn apply_mode(&self, mode: CoreMode) -> CoreMode {
+        let d = ConfigPoint::default();
+        if self.cuc_sets == d.cuc_sets && self.partition_step == d.partition_step {
+            return mode;
+        }
+        let patch = |mut cdf: crate::config::CdfConfig| {
+            cdf.uop_cache_sets = self.cuc_sets;
+            cdf.rob_step = self.partition_step;
+            cdf
+        };
+        match mode {
+            CoreMode::Cdf(c) => CoreMode::Cdf(patch(c)),
+            CoreMode::Pre(mut p) => {
+                p.cdf = patch(p.cdf);
+                CoreMode::Pre(p)
+            }
+            passthrough => passthrough,
+        }
+    }
+}
+
+/// The axes of a configuration grid. Each axis lists the values to sweep;
+/// an empty axis means "the default only". Expansion is row-major over
+/// (rob, cuc_sets, partition_step), so the cell order — and everything
+/// derived from it, like campaign cell ids — is deterministic.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ConfigGrid {
+    /// ROB sizes (with the window scaled alongside).
+    pub rob: Vec<usize>,
+    /// Critical Uop Cache set counts.
+    pub cuc_sets: Vec<usize>,
+    /// Dynamic-partitioning ROB/RS steps.
+    pub partition_step: Vec<usize>,
+}
+
+impl ConfigGrid {
+    /// Whether every axis is empty (the grid is the single default point).
+    pub fn is_default(&self) -> bool {
+        self.rob.is_empty() && self.cuc_sets.is_empty() && self.partition_step.is_empty()
+    }
+
+    /// Expands the grid into its points, row-major over
+    /// (rob, cuc_sets, partition_step). Empty axes contribute the default
+    /// value, so the default grid expands to exactly one default point.
+    pub fn points(&self) -> Vec<ConfigPoint> {
+        let d = ConfigPoint::default();
+        let axis = |vals: &[usize], default: usize| -> Vec<usize> {
+            if vals.is_empty() {
+                vec![default]
+            } else {
+                vals.to_vec()
+            }
+        };
+        let robs = axis(&self.rob, d.rob);
+        let cucs = axis(&self.cuc_sets, d.cuc_sets);
+        let steps = axis(&self.partition_step, d.partition_step);
+        let mut out = Vec::with_capacity(robs.len() * cucs.len() * steps.len());
+        for &rob in &robs {
+            for &cuc_sets in &cucs {
+                for &partition_step in &steps {
+                    out.push(ConfigPoint {
+                        rob,
+                        cuc_sets,
+                        partition_step,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CdfConfig, PreConfig};
+
+    #[test]
+    fn default_grid_is_one_identity_point() {
+        let grid = ConfigGrid::default();
+        assert!(grid.is_default());
+        let points = grid.points();
+        assert_eq!(points, vec![ConfigPoint::default()]);
+        assert!(points[0].is_default());
+
+        let base = CoreConfig::default();
+        let applied = points[0].apply_core(&base);
+        assert_eq!(applied.rob, base.rob);
+        assert_eq!(applied.rs, base.rs);
+        let mode = CoreMode::Cdf(CdfConfig::default());
+        assert_eq!(points[0].apply_mode(mode.clone()), mode);
+    }
+
+    #[test]
+    fn expansion_is_row_major_and_sized() {
+        let grid = ConfigGrid {
+            rob: vec![256, 352],
+            cuc_sets: vec![32, 64],
+            partition_step: vec![8],
+        };
+        let points = grid.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!((points[0].rob, points[0].cuc_sets), (256, 32));
+        assert_eq!((points[1].rob, points[1].cuc_sets), (256, 64));
+        assert_eq!((points[2].rob, points[2].cuc_sets), (352, 32));
+        assert_eq!((points[3].rob, points[3].cuc_sets), (352, 64));
+    }
+
+    #[test]
+    fn apply_core_scales_the_window() {
+        let p = ConfigPoint {
+            rob: 704,
+            ..ConfigPoint::default()
+        };
+        let cfg = p.apply_core(&CoreConfig::default());
+        assert_eq!(cfg.rob, 704);
+        assert_eq!(cfg.rs, 320);
+        assert!(cfg.phys_regs >= 704 + 64);
+    }
+
+    #[test]
+    fn apply_mode_patches_cdf_and_pre_but_not_baseline() {
+        let p = ConfigPoint {
+            cuc_sets: 16,
+            partition_step: 4,
+            ..ConfigPoint::default()
+        };
+        match p.apply_mode(CoreMode::Cdf(CdfConfig::default())) {
+            CoreMode::Cdf(c) => {
+                assert_eq!(c.uop_cache_sets, 16);
+                assert_eq!(c.rob_step, 4);
+            }
+            other => panic!("expected Cdf, got {other:?}"),
+        }
+        match p.apply_mode(CoreMode::Pre(PreConfig::default())) {
+            CoreMode::Pre(pre) => {
+                assert_eq!(pre.cdf.uop_cache_sets, 16);
+                assert!(!pre.cdf.mark_branches, "PRE semantics preserved");
+            }
+            other => panic!("expected Pre, got {other:?}"),
+        }
+        assert_eq!(p.apply_mode(CoreMode::Baseline), CoreMode::Baseline);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in [
+            ConfigPoint::default(),
+            ConfigPoint {
+                rob: 512,
+                cuc_sets: 128,
+                partition_step: 2,
+            },
+        ] {
+            assert_eq!(ConfigPoint::parse(&p.label()), Some(p), "{}", p.label());
+        }
+        assert_eq!(ConfigPoint::parse("rob352"), None);
+        assert_eq!(ConfigPoint::parse("rob352+cuc64+part8+x1"), None);
+    }
+}

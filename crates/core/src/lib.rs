@@ -61,6 +61,7 @@
 pub mod cct;
 pub mod diag;
 pub mod fill_buffer;
+pub mod grid;
 pub mod mask_cache;
 pub mod observer;
 pub mod partition;
@@ -90,6 +91,7 @@ pub use diag::{
     CdfDiagnostics, ChainRecord, Coverage, DiagConfig, DiagIntervalSample, DiagIntervalSeries,
     MAX_CHAIN_RECORDS,
 };
+pub use grid::{ConfigGrid, ConfigPoint};
 pub use provenance::Provenance;
 
 pub use observer::{

@@ -25,6 +25,12 @@
 //!              [--out DIR] [--report FILE]
 //! cdf-sim equiv [--seeds N] [--start N] [--mechs a,b,c] [--threads N]
 //!               [--mem] [--report FILE]
+//! cdf-sim campaign run --spec FILE [--dir DIR] [--shards N] [--threads N]
+//!                      [--store FILE] [--no-record]
+//! cdf-sim campaign resume --dir DIR [--threads N] [--store FILE] [--no-record]
+//! cdf-sim campaign status --dir DIR
+//! cdf-sim campaign shard --dir DIR --shard I [--threads N] [--batch N]
+//!                        [--abort-after N]
 //! ```
 
 use cdf_core::{CoreConfig, TelemetryConfig};
@@ -44,7 +50,8 @@ fn usage() -> ! {
          cdf-sim compare <workload> [options]\n  \
          cdf-sim compare <refA> <refB> [options]\n  \
          cdf-sim record [options]\n  cdf-sim sweep [options]\n  \
-         cdf-sim fuzz [options]\n  cdf-sim equiv [options]\n\noptions:\n  \
+         cdf-sim fuzz [options]\n  cdf-sim equiv [options]\n  \
+         cdf-sim campaign run|resume|status|shard [options]\n\noptions:\n  \
          --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
          mechanism (run/report/telemetry; default cdf)\n  \
          --rob N        scale the window to N ROB entries\n  \
@@ -93,7 +100,20 @@ fn usage() -> ! {
          --threads N        worker threads (default: all hardware threads)\n  \
          --mem              compare the memory-model pair (event-driven vs lazy\n                     \
          reference) instead of the scheduler pair\n  \
-         --report FILE      write the cdf-equiv/1 JSON report to FILE"
+         --report FILE      write the cdf-equiv/1 JSON report to FILE\n\ncampaign options:\n  \
+         run    --spec FILE   TOML/JSON experiment spec; initializes the campaign\n                       \
+         directory and runs it to completion\n  \
+         resume --dir DIR     restart a killed campaign exactly where it stopped\n  \
+         status --dir DIR     streaming aggregate of the journals, usable mid-run\n  \
+         shard  --dir DIR --shard I   run one shard in this process (what `run`\n                       \
+         spawns; also the crash-injection point for tests)\n  \
+         --dir DIR          campaign directory (default .cdf-campaigns/<name>)\n  \
+         --shards N         worker processes (default 1)\n  \
+         --threads N        total worker threads, split across shards\n  \
+         --store FILE       results store sweep/explain cells are appended to\n  \
+         --no-record        skip the results store\n  \
+         --batch N          cells per checkpoint append (shard; default auto)\n  \
+         --abort-after N    stop the shard after N new cells (crash injection)"
     );
     exit(2)
 }
@@ -430,11 +450,10 @@ fn run_explain_command(args: &[String]) {
     }
     if args.iter().any(|a| a == "--record") {
         let store = cdf_sim::ResultStore::open(store_path(args));
+        let prov = cdf_core::Provenance::capture();
         let recorded = store
-            .load()
-            .and_then(|existing| {
-                let prov = cdf_core::Provenance::capture();
-                let run_id = cdf_sim::next_run_id(&existing, &prov);
+            .reserve_run_id(&prov)
+            .and_then(|run_id| {
                 let records =
                     cdf_sim::records_from_explain(&run_id, &prov, &cfg.eval, &report.cells);
                 store.append(&records).map(|()| (run_id, records.len()))
@@ -680,6 +699,199 @@ fn run_compare_store(ref_a: &str, ref_b: &str, args: &[String]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// campaign subcommands
+// ---------------------------------------------------------------------------
+
+/// Exit codes: 2 spec/journal/state errors, 3 failed cells, 4 divergence.
+fn run_campaign_command(args: &[String]) {
+    match args.first().map(|s| s.as_str()) {
+        Some("run") => campaign_run(&args[1..]),
+        Some("resume") => campaign_resume(&args[1..]),
+        Some("status") => campaign_status_cmd(&args[1..]),
+        Some("shard") => campaign_shard(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn campaign_dir(args: &[String]) -> std::path::PathBuf {
+    flag_value(args, "--dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| usage())
+}
+
+fn campaign_load(args: &[String]) -> cdf_sim::Campaign {
+    cdf_sim::load_campaign(&campaign_dir(args)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    })
+}
+
+fn campaign_threads(args: &[String]) -> usize {
+    flag_value(args, "--threads")
+        .map(|t| t.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0)
+}
+
+fn campaign_run(args: &[String]) {
+    reject_unknown_flags(
+        args,
+        &[
+            ("--spec", true),
+            ("--dir", true),
+            ("--shards", true),
+            ("--threads", true),
+            ("--store", true),
+            ("--no-record", false),
+        ],
+    );
+    let spec_path = flag_value(args, "--spec").unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+        eprintln!("reading {spec_path}: {e}");
+        exit(2)
+    });
+    let spec = cdf_sim::CampaignSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{spec_path}: {e}");
+        exit(2)
+    });
+    let dir = flag_value(args, "--dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from(".cdf-campaigns").join(&spec.name));
+    let shards: u64 = flag_value(args, "--shards")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1);
+    let c = cdf_sim::init_campaign(&dir, spec, shards, cdf_core::Provenance::capture())
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        });
+    eprintln!(
+        "campaign {}: {} cells across {} shard(s) in {}",
+        c.spec.name,
+        c.spec.cell_count(),
+        c.shards,
+        c.dir.display()
+    );
+    campaign_execute(&c, args);
+}
+
+fn campaign_resume(args: &[String]) {
+    reject_unknown_flags(
+        args,
+        &[
+            ("--dir", true),
+            ("--threads", true),
+            ("--store", true),
+            ("--no-record", false),
+        ],
+    );
+    campaign_execute(&campaign_load(args), args);
+}
+
+/// Runs every shard to completion (in-process for one shard, one spawned
+/// `campaign shard` process each otherwise), then finalizes: report,
+/// store append, exit status.
+fn campaign_execute(c: &cdf_sim::Campaign, args: &[String]) {
+    let threads = campaign_threads(args);
+    if c.shards == 1 {
+        cdf_sim::run_shard(
+            c,
+            0,
+            &cdf_sim::ShardOptions {
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        });
+    } else {
+        let exe = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("resolving own executable: {e}");
+            exit(2)
+        });
+        let codes = cdf_sim::campaign::spawn_shards(c, &exe, threads).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        });
+        for (shard, code) in codes {
+            if code != Some(0) {
+                eprintln!(
+                    "shard {shard} exited with {} — resume with `cdf-sim campaign resume --dir {}`",
+                    code.map_or("signal".to_string(), |c| c.to_string()),
+                    c.dir.display()
+                );
+            }
+        }
+    }
+    let record = !args.iter().any(|a| a == "--no-record");
+    let store = store_path(args);
+    let (status, recorded) = cdf_sim::finalize_campaign(c, record.then_some(store.as_path()))
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        });
+    print!("{}", status.render_text());
+    if let Some(run_id) = &recorded {
+        eprintln!(
+            "recorded {} cell(s) to {} as run {run_id}",
+            status.done,
+            store.display()
+        );
+    }
+    eprintln!("report: {}", c.report_path().display());
+    if status.failed > 0 {
+        exit(3);
+    }
+    if status.divergent > 0 {
+        exit(4);
+    }
+}
+
+fn campaign_status_cmd(args: &[String]) {
+    reject_unknown_flags(args, &[("--dir", true)]);
+    let c = campaign_load(args);
+    let status = cdf_sim::campaign_status(&c).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    });
+    print!("{}", status.render_text());
+}
+
+fn campaign_shard(args: &[String]) {
+    reject_unknown_flags(
+        args,
+        &[
+            ("--dir", true),
+            ("--shard", true),
+            ("--threads", true),
+            ("--batch", true),
+            ("--abort-after", true),
+        ],
+    );
+    let c = campaign_load(args);
+    let shard: u64 = flag_value(args, "--shard")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or_else(|| usage());
+    let opts = cdf_sim::ShardOptions {
+        threads: campaign_threads(args),
+        batch: flag_value(args, "--batch")
+            .map(|b| b.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(0),
+        abort_after: flag_value(args, "--abort-after")
+            .map(|n| n.parse().unwrap_or_else(|_| usage())),
+    };
+    let run = cdf_sim::run_shard(&c, shard, &opts).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    });
+    eprintln!(
+        "shard {shard}: {} cell(s) completed, {} remaining",
+        run.completed, run.remaining
+    );
+}
+
 fn print_measurement(m: &cdf_sim::Measurement) {
     println!("workload      : {}", m.workload);
     println!("mechanism     : {}", m.mechanism);
@@ -737,6 +949,7 @@ fn main() {
         Some("sweep") => run_sweep_command(&args[1..]),
         Some("fuzz") => run_fuzz_command(&args[1..]),
         Some("equiv") => run_equiv_command(&args[1..]),
+        Some("campaign") => run_campaign_command(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,0 +1,387 @@
+//! Streaming aggregation over campaign journals.
+//!
+//! Aggregation never waits for the campaign to finish: it reads whatever
+//! cell records the per-shard journals hold *right now*, so `cdf-sim
+//! campaign status` can answer mid-run from the same code path that builds
+//! the final report. The aggregate carries a deterministic digest — FNV-1a
+//! over the canonical (wall-clock-free) rendering of every completed cell
+//! in cell-id order — which is the bit-identity witness the crash/resume
+//! suite compares: a killed-and-resumed campaign must produce the same
+//! digest as an uninterrupted one.
+
+use super::checkpoint::{CellOutcome, CellRecord};
+use super::spec::{CampaignSpec, CellMode};
+use crate::json::{field, Json};
+use crate::schema;
+use crate::sweep::fnv1a_hex;
+use std::collections::HashMap;
+
+/// Per-shard completion counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardProgress {
+    /// Shard index.
+    pub shard: u64,
+    /// Cells assigned to this shard.
+    pub assigned: u64,
+    /// Cells this shard has journaled.
+    pub done: u64,
+}
+
+/// One row of the mean-IPC surface: a (mechanism, config-point) slice of
+/// the grid (sweep/explain campaigns only).
+#[derive(Clone, PartialEq, Debug)]
+pub struct AggregateRow {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Config-point label ([`cdf_core::ConfigPoint::label`]).
+    pub point: String,
+    /// Completed, successfully measured cells in the slice.
+    pub cells: u64,
+    /// Mean IPC over those cells.
+    pub mean_ipc: f64,
+}
+
+/// The aggregate state of a campaign: totals, per-shard progress, the
+/// mean-IPC surface, and the bit-identity digest.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CampaignStatus {
+    /// Campaign name.
+    pub name: String,
+    /// The spec's hypothesis, carried into every report.
+    pub hypothesis: String,
+    /// Cell mode.
+    pub mode: CellMode,
+    /// The spec's grid hash.
+    pub grid_hash: String,
+    /// Total cells in the grid.
+    pub total: u64,
+    /// Cells completed so far (across all shards).
+    pub done: u64,
+    /// Completed cells that measured/checked successfully.
+    pub ok: u64,
+    /// Completed cells that failed to run.
+    pub failed: u64,
+    /// Completed fuzz/equiv cells that found a divergence.
+    pub divergent: u64,
+    /// Units compared by fuzz/equiv cells (uops / events).
+    pub checked: u64,
+    /// Per-shard progress, in shard order.
+    pub shards: Vec<ShardProgress>,
+    /// Mean-IPC surface rows (mechanism-major, then grid-point order);
+    /// empty for fuzz/equiv campaigns.
+    pub rows: Vec<AggregateRow>,
+    /// FNV-1a digest over the canonical rendering of every completed cell,
+    /// in cell-id order. Excludes wall-clock, shard assignment, and
+    /// completion order — equal digests mean equal results.
+    pub digest: String,
+}
+
+impl CampaignStatus {
+    /// Whether every cell of the grid has completed.
+    pub fn complete(&self) -> bool {
+        self.done == self.total
+    }
+
+    /// Serializes the [`schema::CAMPAIGN`] report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            field("schema", schema::CAMPAIGN),
+            field("name", self.name.as_str()),
+            field("hypothesis", self.hypothesis.as_str()),
+            field("mode", self.mode.as_str()),
+            field("grid_hash", self.grid_hash.as_str()),
+            field("total", self.total),
+            field("done", self.done),
+            field("ok", self.ok),
+            field("failed", self.failed),
+            field("divergent", self.divergent),
+            field("checked", self.checked),
+            field(
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                field("shard", s.shard),
+                                field("assigned", s.assigned),
+                                field("done", s.done),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            field(
+                "surface",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                field("mechanism", r.mechanism.as_str()),
+                                field("point", r.point.as_str()),
+                                field("cells", r.cells),
+                                field("mean_ipc", r.mean_ipc),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            field("digest", self.digest.as_str()),
+        ])
+    }
+
+    /// Human-readable status block (`cdf-sim campaign status`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign {} ({}): {}/{} cells done, {} ok, {} failed",
+            self.name,
+            self.mode.as_str(),
+            self.done,
+            self.total,
+            self.ok,
+            self.failed
+        ));
+        if matches!(self.mode, CellMode::Fuzz | CellMode::Equiv) {
+            out.push_str(&format!(
+                ", {} divergent, {} units checked",
+                self.divergent, self.checked
+            ));
+        }
+        out.push('\n');
+        if !self.hypothesis.is_empty() {
+            out.push_str(&format!("hypothesis: {}\n", self.hypothesis));
+        }
+        for s in &self.shards {
+            out.push_str(&format!(
+                "  shard {:>2}: {:>5}/{:<5}\n",
+                s.shard, s.done, s.assigned
+            ));
+        }
+        if !self.rows.is_empty() {
+            let width = self
+                .rows
+                .iter()
+                .map(|r| r.point.len())
+                .max()
+                .unwrap_or(5)
+                .max("point".len());
+            out.push_str(&format!(
+                "  {:<14} {:<width$} {:>5} {:>9}\n",
+                "mechanism", "point", "cells", "mean-ipc"
+            ));
+            for r in &self.rows {
+                out.push_str(&format!(
+                    "  {:<14} {:<width$} {:>5} {:>9.4}\n",
+                    r.mechanism, r.point, r.cells, r.mean_ipc
+                ));
+            }
+        }
+        out.push_str(&format!("digest: {}\n", self.digest));
+        out
+    }
+}
+
+/// Aggregates whatever the journals hold so far. `journals` pairs each
+/// shard index with its replayed records; completeness is judged against
+/// the spec's full enumeration.
+pub fn aggregate(spec: &CampaignSpec, journals: &[(u64, Vec<CellRecord>)]) -> CampaignStatus {
+    let cells = spec.cells();
+    let total = cells.len() as u64;
+    let shard_count = journals.len() as u64;
+
+    let mut shards = Vec::new();
+    let mut by_id: Vec<(u64, &CellRecord)> = Vec::new();
+    for &(shard, ref records) in journals {
+        let assigned = cells.iter().filter(|c| c.id % shard_count == shard).count() as u64;
+        shards.push(ShardProgress {
+            shard,
+            assigned,
+            done: records.len() as u64,
+        });
+        for r in records {
+            by_id.push((r.cell, r));
+        }
+    }
+    by_id.sort_by_key(|&(id, _)| id);
+
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut divergent = 0u64;
+    let mut checked = 0u64;
+    // (mechanism, point) → (measured cells, summed IPC).
+    let mut surface: HashMap<(String, String), (u64, f64)> = HashMap::new();
+    let mut canon = String::new();
+    for &(id, r) in &by_id {
+        canon.push_str(&r.canonical());
+        canon.push('\n');
+        match &r.outcome {
+            CellOutcome::Measured { measurement, .. } => {
+                ok += 1;
+                let params = &cells[id as usize];
+                let mech = params
+                    .mechanism
+                    .map(|m| m.label().to_string())
+                    .unwrap_or_default();
+                let e = surface
+                    .entry((mech, params.point.label()))
+                    .or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += measurement.ipc;
+            }
+            CellOutcome::Checked {
+                checked: n, clean, ..
+            } => {
+                ok += 1;
+                checked += n;
+                if !clean {
+                    divergent += 1;
+                }
+            }
+            CellOutcome::Failed { .. } => failed += 1,
+        }
+    }
+
+    // Deterministic row order: spec mechanism order, then grid-point order.
+    let mut rows = Vec::new();
+    if spec.mode.measures() {
+        for m in &spec.mechanisms {
+            for p in spec.grid.points() {
+                if let Some(&(cells, ipc_sum)) = surface.get(&(m.label().to_string(), p.label())) {
+                    rows.push(AggregateRow {
+                        mechanism: m.label().to_string(),
+                        point: p.label(),
+                        cells,
+                        mean_ipc: ipc_sum / cells as f64,
+                    });
+                }
+            }
+        }
+    }
+
+    CampaignStatus {
+        name: spec.name.clone(),
+        hypothesis: spec.hypothesis.clone(),
+        mode: spec.mode,
+        grid_hash: spec.grid_hash(),
+        total,
+        done: by_id.len() as u64,
+        ok,
+        failed,
+        divergent,
+        checked,
+        shards,
+        rows,
+        digest: fnv1a_hex(&canon),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::checkpoint::CellOutcome;
+    use crate::run::{EvalConfig, Measurement, Mechanism};
+    use crate::EquivAxis;
+    use cdf_core::ConfigGrid;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "agg".to_string(),
+            hypothesis: "CDF wins".to_string(),
+            mode: CellMode::Sweep,
+            workloads: vec!["astar_like".to_string()],
+            mechanisms: vec![Mechanism::Baseline, Mechanism::Cdf],
+            seeds: vec![1, 2],
+            grid: ConfigGrid::default(),
+            eval: EvalConfig::default(),
+            equiv_axis: EquivAxis::Scheduler,
+        }
+    }
+
+    fn measured(cell: u64, ipc: f64) -> CellRecord {
+        CellRecord {
+            cell,
+            wall_ms: cell * 3 + 1,
+            outcome: CellOutcome::Measured {
+                measurement: Measurement {
+                    ipc,
+                    ..Measurement::default()
+                },
+                diagnostics: None,
+            },
+        }
+    }
+
+    #[test]
+    fn digest_ignores_sharding_order_and_wall_clock() {
+        let s = spec();
+        let one = aggregate(&s, &[(0, vec![measured(0, 1.0), measured(1, 2.0)])]);
+        let mut a = measured(1, 2.0);
+        a.wall_ms = 777;
+        let two = aggregate(&s, &[(0, vec![measured(0, 1.0)]), (1, vec![a])]);
+        assert_eq!(one.digest, two.digest);
+        assert_eq!(one.done, 2);
+        assert!(!one.complete(), "grid has 4 cells");
+        let other = aggregate(&s, &[(0, vec![measured(0, 1.5), measured(1, 2.0)])]);
+        assert_ne!(one.digest, other.digest, "different IPC, different digest");
+    }
+
+    #[test]
+    fn surface_rows_group_by_mechanism_and_point() {
+        let s = spec();
+        // Cells: (base,seed1)=0 (base,seed2)=1 (cdf,seed1)=2 (cdf,seed2)=3.
+        let status = aggregate(
+            &s,
+            &[(
+                0,
+                vec![
+                    measured(0, 1.0),
+                    measured(1, 2.0),
+                    measured(2, 3.0),
+                    measured(3, 5.0),
+                ],
+            )],
+        );
+        assert!(status.complete());
+        assert_eq!(status.rows.len(), 2);
+        assert_eq!(status.rows[0].mechanism, "base");
+        assert_eq!(status.rows[0].cells, 2);
+        assert!((status.rows[0].mean_ipc - 1.5).abs() < 1e-12);
+        assert!((status.rows[1].mean_ipc - 4.0).abs() < 1e-12);
+        let text = status.render_text();
+        assert!(text.contains("4/4 cells done"), "{text}");
+        assert!(text.contains("digest:"), "{text}");
+    }
+
+    #[test]
+    fn failures_and_divergences_are_counted() {
+        let mut s = spec();
+        s.mode = CellMode::Fuzz;
+        s.workloads.clear();
+        let cells = vec![
+            CellRecord {
+                cell: 0,
+                wall_ms: 1,
+                outcome: CellOutcome::Checked {
+                    checked: 50,
+                    clean: true,
+                    detail: String::new(),
+                },
+            },
+            CellRecord {
+                cell: 1,
+                wall_ms: 1,
+                outcome: CellOutcome::Checked {
+                    checked: 20,
+                    clean: false,
+                    detail: "digest mismatch".to_string(),
+                },
+            },
+        ];
+        let status = aggregate(&s, &[(0, cells)]);
+        assert_eq!((status.ok, status.divergent, status.checked), (2, 1, 70));
+        assert!(status.complete(), "fuzz grid is one cell per seed");
+        assert!(status.rows.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! A minimal TOML-subset reader for campaign specs.
+//!
+//! Hand-rolled for the same reason as [`crate::json`]: the build vendors no
+//! external parser crates. The subset covers what a declarative experiment
+//! spec needs — top-level and one-level `[section]` tables, `key = value`
+//! pairs, strings, unsigned integers, floats, booleans, and single-line
+//! arrays of those scalars — and maps it onto the crate's own [`Json`]
+//! model, so [`super::spec`] has exactly one document shape to validate.
+//! Anything outside the subset is a hard error with a line number, never a
+//! silent skip: a typo in an experiment spec must not quietly change the
+//! grid.
+
+use crate::json::Json;
+
+/// Parses TOML-subset text into a [`Json::Obj`] (sections become nested
+/// objects). Duplicate keys and duplicate section names are errors.
+pub fn toml_to_json(text: &str) -> Result<Json, String> {
+    let mut root: Vec<(String, Json)> = Vec::new();
+    // Index into `root` of the section currently being filled.
+    let mut section: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated section header"))?
+                .trim();
+            if name.is_empty() || name.contains('[') || name.contains('.') {
+                return Err(format!(
+                    "line {lineno}: unsupported section name {name:?} (one-level tables only)"
+                ));
+            }
+            if root.iter().any(|(k, _)| k == name) {
+                return Err(format!("line {lineno}: duplicate section [{name}]"));
+            }
+            root.push((name.to_string(), Json::Obj(Vec::new())));
+            section = Some(root.len() - 1);
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || key.contains(' ') {
+            return Err(format!("line {lineno}: bad key {key:?}"));
+        }
+        let value = parse_value(value.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+        let target = match section {
+            None => &mut root,
+            Some(idx) => match &mut root[idx].1 {
+                Json::Obj(fields) => fields,
+                _ => unreachable!("sections are always objects"),
+            },
+        };
+        if target.iter().any(|(k, _)| k == key) {
+            return Err(format!("line {lineno}: duplicate key {key:?}"));
+        }
+        target.push((key.to_string(), value));
+    }
+    Ok(Json::Obj(root))
+}
+
+/// Strips a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Result<Json, String> {
+    if s.is_empty() {
+        return Err("missing value".to_string());
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or("unterminated array (single-line arrays only)")?;
+        let mut items = Vec::new();
+        for item in split_array_items(body)? {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let v = parse_value(item)?;
+            if matches!(v, Json::Arr(_)) {
+                return Err("nested arrays are not supported".to_string());
+            }
+            items.push(v);
+        }
+        return Ok(Json::Arr(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body.strip_suffix('"').ok_or("unterminated string")?;
+        if body.contains('"') || body.contains('\\') {
+            return Err("escapes inside strings are not supported".to_string());
+        }
+        return Ok(Json::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Json::Bool(true)),
+        "false" => return Ok(Json::Bool(false)),
+        _ => {}
+    }
+    let digits: String = s.chars().filter(|&c| c != '_').collect();
+    if digits.starts_with('-') {
+        // Every spec quantity (sizes, seeds, windows, scales) is
+        // non-negative; a minus sign is a typo, not a value.
+        return Err(format!("negative values are not supported: {s:?}"));
+    }
+    if let Ok(n) = digits.parse::<u64>() {
+        return Ok(Json::U64(n));
+    }
+    if let Ok(f) = digits.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Json::F64(f));
+        }
+    }
+    Err(format!("unsupported value {s:?}"))
+}
+
+/// Splits the inside of a single-line array on top-level commas (commas
+/// inside quoted strings do not split).
+fn split_array_items(body: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            '[' if !in_str => return Err("nested arrays are not supported".to_string()),
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string in array".to_string());
+    }
+    items.push(&body[start..]);
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_sections_and_arrays() {
+        let doc = toml_to_json(
+            r#"
+# a campaign
+name = "rob-surface"   # inline comment
+mode = "sweep"
+enabled = true
+seeds = [1, 2, 3]
+workloads = ["astar_like", "mcf_like"]
+
+[grid]
+rob = [256, 352]
+
+[eval]
+scale = 0.0625
+warmup = 30_000
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("rob-surface"));
+        assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("seeds").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        let grid = doc.get("grid").expect("section");
+        assert_eq!(
+            grid.get("rob").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        let eval = doc.get("eval").expect("section");
+        assert_eq!(eval.get("scale").and_then(Json::as_f64), Some(0.0625));
+        assert_eq!(eval.get("warmup").and_then(Json::as_u64), Some(30_000));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("key value", "line 1"),
+            ("a = 1\nb =", "line 2"),
+            ("[grid\nrob = [1]", "unterminated section"),
+            ("x = \"abc", "unterminated string"),
+            ("x = [1, [2]]", "nested arrays"),
+            ("x = 1\nx = 2", "duplicate key"),
+            ("[g]\na = 1\n[g]", "duplicate section"),
+            ("x = -3", "negative values"),
+            ("[a.b]", "unsupported section"),
+        ] {
+            let err = toml_to_json(text).expect_err(text);
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn comment_hash_inside_string_is_preserved() {
+        let doc = toml_to_json("name = \"a#b\"").expect("parses");
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("a#b"));
+    }
+}

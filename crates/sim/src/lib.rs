@@ -31,6 +31,13 @@
 //! wall-clock metrics tolerance-classified). The [`schema`] module is the
 //! registry of every JSON schema tag the workspace emits.
 //!
+//! The [`campaign`] module scales all of the above to sharded,
+//! checkpointed experiment campaigns: a declarative TOML/JSON spec expands
+//! to a deterministic cell grid, shards run as separate processes
+//! journaling every completed cell, `campaign status` aggregates
+//! mid-run, and a killed campaign resumes exactly where it stopped with a
+//! final aggregate bit-identical to an uninterrupted run.
+//!
 //! ```no_run
 //! use cdf_sim::{run_sweep, simulate, EvalConfig, Mechanism, SweepConfig};
 //!
@@ -46,6 +53,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod compare;
 pub mod equivalence;
 pub mod experiments;
@@ -64,6 +72,11 @@ mod error;
 mod run;
 mod table1;
 
+pub use campaign::{
+    finalize as finalize_campaign, init_campaign, load_campaign, run_shard,
+    status as campaign_status, Campaign, CampaignError, CampaignSpec, CampaignStatus, CellMode,
+    CellOutcome, CellParams, CellRecord, ShardOptions,
+};
 pub use compare::{
     compare_runs, CellClass, CellDiff, CompareConfig, CompareCounts, CompareReport, MetricClass,
     MetricDelta, COMPARE_SCHEMA, DEFAULT_WALL_TOLERANCE,

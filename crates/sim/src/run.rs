@@ -97,7 +97,7 @@ impl Mechanism {
 /// this harness defaults to a laptop-scale window with the same structure
 /// (warmup trains caches, predictor, CCTs and traces; measurement starts
 /// after).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct EvalConfig {
     /// Workload generation parameters.
     pub gen: GenConfig,
@@ -167,7 +167,7 @@ impl EvalConfig {
 /// measurement window.
 ///
 /// Derives `PartialEq` so sweep determinism can be asserted stat-for-stat.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Measurement {
     /// Workload name.
     pub workload: String,
@@ -331,6 +331,21 @@ pub fn try_simulate_workload_observed(
     cfg: &EvalConfig,
 ) -> Result<(Measurement, Option<Telemetry>, Option<CdfDiagnostics>), SimError> {
     simulate_windows(w, mechanism.mode(), mechanism.label(), cfg)
+}
+
+/// Simulates an already-built workload on an explicit [`CoreMode`] and
+/// returns every observation layer, like [`try_simulate_workload_observed`]
+/// — the campaign engine's cell runner, where grid points may override CDF
+/// structure knobs inside the mode. With an unmodified mechanism mode this
+/// is exactly the sweep's code path, so default-point campaign cells are
+/// bit-identical to sweep cells.
+pub fn try_simulate_workload_observed_mode(
+    w: &Workload,
+    mode: CoreMode,
+    label: &str,
+    cfg: &EvalConfig,
+) -> Result<(Measurement, Option<Telemetry>, Option<CdfDiagnostics>), SimError> {
+    simulate_windows(w, mode, label, cfg)
 }
 
 /// Simulates an already-built workload on an explicit [`CoreMode`] with a

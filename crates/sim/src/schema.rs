@@ -33,10 +33,31 @@ pub const THROUGHPUT: &str = "cdf-throughput/1";
 pub const RESULT: &str = "cdf-result/1";
 /// Cross-run comparison reports (`cdf-sim compare`).
 pub const COMPARE: &str = "cdf-compare/1";
+/// Campaign reports (`cdf-sim campaign run|status|resume`): the aggregate
+/// of one sharded, checkpointed experiment campaign.
+pub const CAMPAIGN: &str = "cdf-campaign/1";
+/// Normalized campaign experiment specs persisted into the campaign
+/// directory (the JSON form of the TOML/JSON spec the user wrote).
+pub const CAMPAIGN_SPEC: &str = "cdf-campaign-spec/1";
+/// Per-shard campaign progress journals: line 1 is a header carrying the
+/// spec's grid hash, every further line is one completed cell.
+pub const CAMPAIGN_JOURNAL: &str = "cdf-campaign-journal/1";
 
 /// Every schema tag the workspace emits, for exhaustiveness checks.
 pub const ALL: &[&str] = &[
-    SWEEP, TELEMETRY, FUZZ, FUZZ_CASE, EQUIV, EXPLAIN, GOLDEN, THROUGHPUT, RESULT, COMPARE,
+    SWEEP,
+    TELEMETRY,
+    FUZZ,
+    FUZZ_CASE,
+    EQUIV,
+    EXPLAIN,
+    GOLDEN,
+    THROUGHPUT,
+    RESULT,
+    COMPARE,
+    CAMPAIGN,
+    CAMPAIGN_SPEC,
+    CAMPAIGN_JOURNAL,
 ];
 
 /// Checks that `doc` is an object whose `"schema"` field equals `tag`.

@@ -289,6 +289,53 @@ impl ResultStore {
         Ok(records)
     }
 
+    /// Atomically reserves the next run id against both the store contents
+    /// and every id previously reserved through this method — safe when N
+    /// processes (campaign shards, parallel CI jobs) allocate against one
+    /// store concurrently.
+    ///
+    /// [`next_run_id`] computes the same id by *reading* the store, which
+    /// is race-free only for a single writer: two processes that load the
+    /// same store state would mint the same ordinal and their interleaved
+    /// appends would merge into one run. This method closes the race by
+    /// reserving the ordinal as a `create_new` marker file under
+    /// `<store>.runs/` — creation is atomic, so exactly one process wins
+    /// each ordinal and the loser retries with the next one.
+    pub fn reserve_run_id(&self, prov: &Provenance) -> Result<String, StoreError> {
+        let existing = self.load()?;
+        let dir = self.runs_dir();
+        std::fs::create_dir_all(&dir)?;
+        let reserved_max = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| run_ordinal(&e.file_name().to_string_lossy()))
+            .max()
+            .unwrap_or(0);
+        let stored_max = max_ordinal(&existing);
+        let mut ordinal = reserved_max.max(stored_max) + 1;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(dir.join(format!("r{ordinal:04}")))
+            {
+                Ok(_) => return Ok(run_id_for(ordinal, prov)),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => ordinal += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// The sidecar directory holding reserved-run-id markers.
+    fn runs_dir(&self) -> PathBuf {
+        let mut name = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "store".to_string());
+        name.push_str(".runs");
+        self.path.with_file_name(name)
+    }
+
     /// Appends records (one JSONL line each), creating the parent
     /// directory and file on first use. Never rewrites existing lines.
     pub fn append(&self, records: &[ResultRecord]) -> Result<(), StoreError> {
@@ -315,7 +362,11 @@ impl ResultStore {
 // Run identity and ref resolution.
 // ---------------------------------------------------------------------------
 
-/// Distinct run ids in first-appearance (append) order.
+/// Distinct run ids in run-ordinal order (ties and unparseable ids keep
+/// first-appearance order). Ordinal order — not raw append order — is what
+/// `latest~N` means: concurrent runs (campaign shards, parallel recorders)
+/// interleave their appends, so the file position of a run's *first* record
+/// says nothing about which run was allocated first.
 pub fn run_ids(records: &[ResultRecord]) -> Vec<String> {
     let mut ids: Vec<String> = Vec::new();
     for r in records {
@@ -323,20 +374,43 @@ pub fn run_ids(records: &[ResultRecord]) -> Vec<String> {
             ids.push(r.run_id.clone());
         }
     }
+    ids.sort_by_key(|id| run_ordinal(id).unwrap_or(u64::MAX));
     ids
 }
 
-/// The next run id for a store already holding `existing` records:
-/// `r<ordinal>-<short commit>[-dirty]`. The ordinal keeps ids unique when
-/// the same commit records repeatedly.
-pub fn next_run_id(existing: &[ResultRecord], prov: &Provenance) -> String {
-    let ordinal = run_ids(existing).len() + 1;
+/// The ordinal parsed from a `rNNNN-…` run id (or bare `rNNNN` marker name).
+fn run_ordinal(id: &str) -> Option<u64> {
+    id.strip_prefix('r')?
+        .split('-')
+        .next()?
+        .parse::<u64>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+fn max_ordinal(records: &[ResultRecord]) -> u64 {
+    records
+        .iter()
+        .filter_map(|r| run_ordinal(&r.run_id))
+        .max()
+        .unwrap_or(0)
+}
+
+fn run_id_for(ordinal: u64, prov: &Provenance) -> String {
     let dirty = if prov.git_dirty == Some(true) {
         "-dirty"
     } else {
         ""
     };
     format!("r{:04}-{}{}", ordinal, prov.short_commit(8), dirty)
+}
+
+/// The next run id for a store already holding `existing` records:
+/// `r<ordinal>-<short commit>[-dirty]`. The ordinal keeps ids unique when
+/// the same commit records repeatedly. Race-free only for a single writer —
+/// concurrent producers must use [`ResultStore::reserve_run_id`].
+pub fn next_run_id(existing: &[ResultRecord], prov: &Provenance) -> String {
+    run_id_for(max_ordinal(existing) + 1, prov)
 }
 
 /// Resolves a user-facing run ref to a concrete run id. Accepted forms,
@@ -458,9 +532,8 @@ pub fn run_record(cfg: &RecordConfig) -> Result<RecordRun, StoreError> {
         .collect();
     let cells = parallel_map(&jobs, cfg.threads, |(w, m)| run_cell(w, *m, &cfg.eval));
     let store = ResultStore::open(&cfg.store_path);
-    let existing = store.load()?;
     let prov = Provenance::capture();
-    let run_id = next_run_id(&existing, &prov);
+    let run_id = store.reserve_run_id(&prov)?;
     let records = records_from_cells(&run_id, &prov, &cfg.eval, &cells);
     let failed = records.iter().filter(|r| !r.is_ok()).count();
     store.append(&records)?;
@@ -512,8 +585,7 @@ pub fn records_from_cells(
 /// Returns the run id the records were appended under.
 pub fn record_sweep(store_path: &Path, sweep: &Sweep) -> Result<String, StoreError> {
     let store = ResultStore::open(store_path);
-    let existing = store.load()?;
-    let run_id = next_run_id(&existing, &sweep.provenance);
+    let run_id = store.reserve_run_id(&sweep.provenance)?;
     let records = records_from_cells(&run_id, &sweep.provenance, &sweep.config.eval, &sweep.cells);
     store.append(&records)?;
     Ok(run_id)
@@ -678,7 +750,7 @@ pub fn record_json(r: &ResultRecord) -> Json {
     Json::Obj(fields)
 }
 
-fn diag_summary_json(d: &DiagSummary) -> Json {
+pub(crate) fn diag_summary_json(d: &DiagSummary) -> Json {
     Json::Obj(vec![
         field(
             "load_coverage",
@@ -809,7 +881,7 @@ pub fn measurement_from_json(
     })
 }
 
-fn diag_summary_from_json(doc: &Json) -> Result<DiagSummary, String> {
+pub(crate) fn diag_summary_from_json(doc: &Json) -> Result<DiagSummary, String> {
     fn coverage(doc: &Json, key: &str) -> Result<Coverage, String> {
         let c = doc.get(key).ok_or_else(|| format!("missing {key}"))?;
         Ok(Coverage {

@@ -22,7 +22,7 @@ use crate::explain::diagnostics_json;
 use crate::json::{field, Json};
 use crate::provenance::provenance_json;
 use crate::report::Table;
-use crate::run::{try_simulate_workload_observed, EvalConfig, Measurement, Mechanism};
+use crate::run::{EvalConfig, Measurement, Mechanism};
 use crate::telemetry::telemetry_json;
 use cdf_core::{CdfDiagnostics, Provenance, Telemetry};
 use cdf_workloads::registry;
@@ -138,11 +138,24 @@ pub fn run_sweep(config: &SweepConfig) -> Sweep {
 
 /// Runs one grid cell, capturing every failure mode as a [`SimError`].
 pub fn run_cell(workload: &str, mechanism: Mechanism, eval: &EvalConfig) -> SweepCell {
+    run_cell_mode(workload, mechanism, mechanism.mode(), eval)
+}
+
+/// [`run_cell`] with an explicit [`cdf_core::CoreMode`] — the campaign
+/// engine's cell runner, where a grid point may have patched the mode's CDF
+/// structure knobs. The `mechanism` still names the cell; passing
+/// `mechanism.mode()` unmodified makes this exactly [`run_cell`].
+pub fn run_cell_mode(
+    workload: &str,
+    mechanism: Mechanism,
+    mode: cdf_core::CoreMode,
+    eval: &EvalConfig,
+) -> SweepCell {
     let t0 = Instant::now();
     let (result, telemetry, diagnostics) = match registry::lookup(workload, &eval.gen) {
         Err(e) => (Err(SimError::from(e)), None, None),
         Ok(w) => match catch_unwind(AssertUnwindSafe(|| {
-            try_simulate_workload_observed(&w, mechanism, eval)
+            crate::run::try_simulate_workload_observed_mode(&w, mode, mechanism.label(), eval)
         })) {
             Ok(Ok((m, tel, diag))) => (Ok(m), tel, diag),
             Ok(Err(e)) => (Err(e), None, None),

@@ -248,6 +248,110 @@ fn corrupt_store_line_is_a_hard_error() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite: N campaign shards allocating against one store concurrently
+/// must mint distinct, gap-free run ordinals. `next_run_id` computes the
+/// same ordinal for every reader of one store state; `reserve_run_id`
+/// closes that race with atomic marker-file creation.
+#[test]
+fn concurrent_reservations_mint_distinct_sequential_run_ids() {
+    let dir = std::env::temp_dir().join(format!("cdf-store-reserve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("results.jsonl");
+
+    let ids: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(|| {
+                    ResultStore::open(&path)
+                        .reserve_run_id(&provenance("aaaa0000"))
+                        .expect("reservation succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut ordinals: Vec<u64> = ids
+        .iter()
+        .map(|id| id[1..5].parse().expect("rNNNN- prefix"))
+        .collect();
+    ordinals.sort_unstable();
+    assert_eq!(ordinals, (1..=8).collect::<Vec<u64>>(), "ids: {ids:?}");
+
+    // A later reservation continues past everything reserved so far, even
+    // though the store file itself still does not exist.
+    let next = ResultStore::open(&path)
+        .reserve_run_id(&provenance("aaaa0000"))
+        .unwrap();
+    assert_eq!(next, "r0009-aaaa0000");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: two shards appending their halves of two runs in the worst
+/// interleaving concurrent writers can produce still yield a store where
+/// `latest`/`latest~1` resolve to the reserved runs — `run_ids` orders by
+/// reserved ordinal, not by line position.
+#[test]
+fn interleaved_two_shard_appends_resolve_via_compare_latest() {
+    let dir = std::env::temp_dir().join(format!("cdf-store-interleave-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("results.jsonl");
+    let store = ResultStore::open(&path);
+
+    let id_a = store.reserve_run_id(&provenance("aaaa0000")).unwrap();
+    let id_b = store.reserve_run_id(&provenance("bbbb0000")).unwrap();
+    assert_eq!(
+        (id_a.as_str(), id_b.as_str()),
+        ("r0001-aaaa0000", "r0002-bbbb0000")
+    );
+
+    // Shard 1 of run A lands first, then run B's shards sandwich the rest.
+    store
+        .append(&[cell_record(&id_a, 1, "aaaa0000", "mcf_like", 90_000)])
+        .unwrap();
+    store
+        .append(&[cell_record(&id_b, 0, "bbbb0000", "astar_like", 45_000)])
+        .unwrap();
+    store
+        .append(&[cell_record(&id_a, 0, "aaaa0000", "astar_like", 45_000)])
+        .unwrap();
+    store
+        .append(&[cell_record(&id_b, 1, "bbbb0000", "mcf_like", 90_000)])
+        .unwrap();
+
+    let records = store.load().unwrap();
+    assert_eq!(resolve_ref(&records, "latest").unwrap(), id_b);
+    assert_eq!(resolve_ref(&records, "latest~1").unwrap(), id_a);
+
+    let report = compare_runs(
+        ("latest~1", &records_for_run(&records, &id_a)),
+        ("latest", &records_for_run(&records, &id_b)),
+        &CompareConfig::default(),
+    );
+    assert!(!report.has_regressions());
+    assert_eq!(report.counts().unchanged, 2, "both cells join across runs");
+
+    // The CLI path agrees end-to-end.
+    let out = cdf_sim(
+        &[
+            "compare",
+            "latest~1",
+            "latest",
+            "--store",
+            path.to_str().unwrap(),
+        ],
+        "cccc0000",
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------------
 // CLI acceptance loop.
 // ---------------------------------------------------------------------------
