@@ -9,10 +9,11 @@
 //! workload and mode.
 
 use crate::cdf_engine::{CdfEngine, CmqEntry, DbqEntry};
-use crate::config::{CoreConfig, CoreMode, SchedulerKind};
+use crate::config::{BoundaryKind, CoreConfig, CoreMode, SchedulerKind};
 use crate::fill_buffer::FbEntry;
 use crate::frontend::{DecodePipe, FetchedUop};
 use crate::lsq::{ForwardResult, LqEntry, Lsq, SqEntry};
+use crate::memport::{MemSide, MessagePort};
 use crate::partition::{PartitionController, Resize};
 use crate::pre::RunaheadState;
 use crate::regfile::{Rat, RatKind, RegFile, RenameLog, RenameLogEntry};
@@ -24,8 +25,10 @@ use crate::types::{DynUop, InstrPool, PhysReg, Seq, Stream, UopState};
 use cdf_bpred::{Btb, BtbConfig, DirectionPredictor, Prediction, TageScL};
 use cdf_energy::{Activity, EnergyModel, EnergyParams};
 use cdf_isa::{AluOp, ArchReg, ArchState, MemoryImage, Op, Pc, Program, NUM_ARCH_REGS};
-use cdf_mem::{AccessKind, AccessResult, HitLevel, MemoryHierarchy};
+use cdf_mem::{AccessKind, AccessResult, HitLevel, MemoryHierarchy, MultiCoreMemory};
+use std::cell::RefCell;
 use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
 
 /// A flush request raised during a cycle; the oldest target wins.
 #[derive(Clone, Debug)]
@@ -57,7 +60,7 @@ pub struct Core<'p> {
 
     // Architectural + memory substrate.
     mem_image: MemoryImage,
-    hierarchy: MemoryHierarchy,
+    memsys: MemSide,
     predictor: TageScL,
     btb: Btb,
     energy: EnergyModel,
@@ -166,7 +169,41 @@ pub struct Core<'p> {
 
 impl<'p> Core<'p> {
     /// Builds a core over `program` with the given initial data memory.
+    /// The private memory system sits behind the boundary selected by
+    /// `cfg.boundary` (request/response by default; the direct-call
+    /// reference for equivalence runs).
     pub fn new(program: &'p Program, mem: MemoryImage, cfg: CoreConfig) -> Core<'p> {
+        let hierarchy = MemoryHierarchy::with_model(cfg.mem.clone(), cfg.mem_model);
+        let memsys = match cfg.boundary {
+            BoundaryKind::RequestResponse => MemSide::Message(MessagePort::new(hierarchy)),
+            BoundaryKind::ReferenceDirect => MemSide::Direct(hierarchy),
+        };
+        Core::with_memsys(program, mem, cfg, memsys)
+    }
+
+    /// Builds core `core_id` of a multi-core system: its memory requests go
+    /// to `sys`, the [`MultiCoreMemory`] it shares with its co-runners
+    /// (private L1 slice, shared LLC/MSHR pool/DRAM). `cfg.mem` geometry
+    /// must match the one `sys` was built with; `cfg.boundary`/`cfg.mem_model`
+    /// are ignored (the shared system is event-driven message-passing by
+    /// construction).
+    pub fn new_shared(
+        program: &'p Program,
+        mem: MemoryImage,
+        cfg: CoreConfig,
+        core_id: usize,
+        sys: Rc<RefCell<MultiCoreMemory>>,
+    ) -> Core<'p> {
+        let memsys = MemSide::shared(core_id, sys);
+        Core::with_memsys(program, mem, cfg, memsys)
+    }
+
+    fn with_memsys(
+        program: &'p Program,
+        mem: MemoryImage,
+        cfg: CoreConfig,
+        memsys: MemSide,
+    ) -> Core<'p> {
         let mut prf = RegFile::new(cfg.phys_regs, cfg.phys_regs / 2);
         let mut init = [PhysReg(0); NUM_ARCH_REGS];
         for slot in init.iter_mut() {
@@ -190,7 +227,7 @@ impl<'p> Core<'p> {
         let cdf_cfg = cfg.cdf_config().cloned().unwrap_or_default();
         let energy = EnergyModel::new(EnergyParams::default().scaled_for_window(cfg.rob));
         Core {
-            hierarchy: MemoryHierarchy::with_model(cfg.mem.clone(), cfg.mem_model),
+            memsys,
             predictor: TageScL::new(cfg.tage.clone()),
             btb: Btb::new(BtbConfig::default()),
             energy,
@@ -262,9 +299,17 @@ impl<'p> Core<'p> {
         &self.stats
     }
 
-    /// The memory hierarchy (traffic and cache statistics).
+    /// The private memory hierarchy (traffic and cache statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a core built with [`new_shared`](Self::new_shared) —
+    /// shared-system statistics are per-core-attributed on the
+    /// [`MultiCoreMemory`] itself.
     pub fn hierarchy(&self) -> &MemoryHierarchy {
-        &self.hierarchy
+        self.memsys
+            .hierarchy()
+            .expect("private memory system (shared cores expose stats via MultiCoreMemory)")
     }
 
     /// The Critical Uop Cache, when the mode has one (inspection/examples).
@@ -449,15 +494,14 @@ impl<'p> Core<'p> {
     /// CDF-engine activity counts are folded in at call time).
     pub fn energy_report(&self) -> cdf_energy::EnergyReport {
         let mut model = self.energy.clone();
-        let m = self.hierarchy.stats();
+        let v = self.memsys.view();
+        let m = &v.stats;
         model.record(
             Activity::L1Access,
             m.demand_loads + m.demand_stores + m.inst_fetches,
         );
-        let (_, l1d_miss) = self.hierarchy.l1d_stats();
-        model.record(Activity::LlcAccess, l1d_miss + m.prefetch_reads);
-        let d = self.hierarchy.dram_stats();
-        model.record(Activity::DramAccess, d.reads + d.writes);
+        model.record(Activity::LlcAccess, v.l1d_misses + m.prefetch_reads);
+        model.record(Activity::DramAccess, v.dram_reads + v.dram_writes);
         if let Some(cdf) = &self.cdf {
             model.record(Activity::CctOp, cdf.activity.cct_ops);
             model.record(
@@ -495,6 +539,32 @@ impl<'p> Core<'p> {
     /// [`run`](Self::run).
     pub fn run_bounded(&mut self, max_instructions: u64, cycle_budget: u64) -> CoreStats {
         while !self.halted && self.stats.retired < max_instructions && self.now < cycle_budget {
+            self.step();
+        }
+        self.finalize_stats()
+    }
+
+    /// Whether the program has halted (fetch hit `Halt` and the pipeline
+    /// drained).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The core clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the core by exactly one cycle — the primitive the
+    /// round-robin multi-core driver interleaves. [`run_bounded`](Self::run_bounded)
+    /// is `step` in a loop followed by [`finalize_stats`](Self::finalize_stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the 200k-cycle no-retirement watchdog described at
+    /// [`run`](Self::run).
+    pub fn step(&mut self) {
+        {
             self.cycle();
             assert!(
                 self.now - self.last_retire_cycle < 200_000,
@@ -517,6 +587,13 @@ impl<'p> Core<'p> {
                 self.reg_renamed_upto,
             );
         }
+    }
+
+    /// Closes a run window and returns the statistics: flushes partial
+    /// telemetry/diagnostic intervals and folds end-of-run fields into
+    /// [`CoreStats`]. Called by [`run_bounded`](Self::run_bounded); multi-core
+    /// drivers call it once per core after the lockstep loop.
+    pub fn finalize_stats(&mut self) -> CoreStats {
         // End of a run window: flush the partial telemetry interval (so
         // interval deltas sum to the aggregates) and close open episodes.
         if let Some(tel) = self.telemetry.as_mut() {
@@ -645,10 +722,10 @@ impl<'p> Core<'p> {
             let addr = uop.mem_addr.expect("store retired with address");
             let data = uop.result.expect("store retired with data");
             self.mem_image.store(addr, data);
-            // Commit the write into the hierarchy (traffic + dirty state);
-            // retirement does not wait for it.
-            self.hierarchy
-                .access(addr, AccessKind::Store, self.now, false);
+            // Commit the write into the memory system (traffic + dirty
+            // state); retirement does not wait for it.
+            self.memsys
+                .access(addr, AccessKind::Store, self.now, false, uop.chain);
         }
         let mispredicted = if let Op::Branch(_) = op {
             self.stats.branches += 1;
@@ -1105,7 +1182,11 @@ impl<'p> Core<'p> {
                 // Critical-stream loads are exempt — running ahead of
                 // unresolved non-critical stores is the mechanism (§3.5),
                 // and its mis-speculations have their own recovery.
-                let is_critical = self.pool.get(seq.0).map(|u| u.critical).unwrap_or(false);
+                let (is_critical, chain) = self
+                    .pool
+                    .get(seq.0)
+                    .map(|u| (u.critical, u.chain))
+                    .unwrap_or((false, 0));
                 if !is_critical
                     && self.mdp[pc.index() & 0xFF] >= 2
                     && self.lsq.older_store_addr_unknown(seq)
@@ -1129,8 +1210,8 @@ impl<'p> Core<'p> {
                     }
                     ForwardResult::Miss => {
                         match self
-                            .hierarchy
-                            .access(addr, AccessKind::Load, self.now, false)
+                            .memsys
+                            .access(addr, AccessKind::Load, self.now, false, chain)
                         {
                             AccessResult::Rejected(_) => return, // MSHRs full: retry
                             AccessResult::Done(out) => {
@@ -1834,11 +1915,12 @@ impl<'p> Core<'p> {
             // I-cache.
             let line = self.byte_addr(pc) / 64;
             if Some(line) != self.last_fetch_line {
-                match self.hierarchy.access(
+                match self.memsys.access(
                     self.byte_addr(pc),
                     AccessKind::InstFetch,
                     self.now,
                     false,
+                    0,
                 ) {
                     AccessResult::Rejected(_) => break,
                     AccessResult::Done(out) => {
@@ -2278,7 +2360,7 @@ impl<'p> Core<'p> {
         }
 
         // MLP sampling (Fig. 14).
-        let out = self.hierarchy.outstanding_demand_misses(self.now) as u64;
+        let out = self.memsys.outstanding_demand_misses(self.now) as u64;
         if out > 0 {
             self.stats.mlp_cycles += 1;
             self.stats.mlp_sum += out;
@@ -2431,13 +2513,13 @@ impl<'p> Core<'p> {
                 let upc = self.runahead.queue.pop_front().expect("checked");
                 let uop = *self.program.uop(upc);
                 let now = self.now;
-                let hierarchy = &mut self.hierarchy;
+                let memsys = &mut self.memsys;
                 let img = &self.mem_image;
                 self.runahead.eval(&uop, |addr| {
                     // Runahead loads prefetch into the LLC without occupying
                     // the demand L1D MSHRs: the prefetch benefit plus the
                     // extra DRAM traffic the paper charges PRE.
-                    hierarchy.runahead_prefetch(addr, now);
+                    memsys.runahead_prefetch(addr, now);
                     Some(img.load(addr))
                 });
                 self.energy.record(Activity::Rename, 1);

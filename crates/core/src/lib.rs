@@ -63,6 +63,8 @@ pub mod diag;
 pub mod fill_buffer;
 pub mod grid;
 pub mod mask_cache;
+pub mod memport;
+pub mod multicore;
 pub mod observer;
 pub mod partition;
 pub mod pre;
@@ -84,14 +86,18 @@ mod sched;
 mod stats;
 mod types;
 
-pub use cdf_mem::MemModelKind;
-pub use config::{CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig, SchedulerKind};
+pub use cdf_mem::{CoreShareStats, DramStats, MemModelKind, MultiCoreMemory, SharedMemConfig};
+pub use config::{
+    BoundaryKind, CdfConfig, CoreConfig, CoreMode, ExecPorts, PreConfig, SchedulerKind,
+};
 pub use core_impl::Core;
 pub use diag::{
     CdfDiagnostics, ChainRecord, Coverage, DiagConfig, DiagIntervalSample, DiagIntervalSeries,
     MAX_CHAIN_RECORDS,
 };
 pub use grid::{ConfigGrid, ConfigPoint};
+pub use memport::{MemReqKind, MemRequest, MemResponse, MemSide, MemView, MessagePort};
+pub use multicore::{CoreOutcome, MultiCore, SharedStatsReport};
 pub use provenance::Provenance;
 
 pub use observer::{

@@ -111,6 +111,9 @@ pub struct Dram {
     banks: Vec<Bank>,
     /// Per-channel cycle at which the data bus frees up.
     bus_free: Vec<u64>,
+    /// Per-channel cycles of data-bus occupancy accumulated so far (every
+    /// burst adds `cfg.burst`) — the numerator of channel utilization.
+    busy: Vec<u64>,
     stats: DramStats,
 }
 
@@ -120,6 +123,7 @@ impl Dram {
         Dram {
             banks: vec![Bank::default(); cfg.total_banks()],
             bus_free: vec![0; cfg.channels],
+            busy: vec![0; cfg.channels],
             cfg,
             stats: DramStats::default(),
         }
@@ -181,12 +185,20 @@ impl Dram {
         let data_ready = start + access;
         let bus_start = data_ready.max(self.bus_free[ch]);
         self.bus_free[ch] = bus_start + self.cfg.burst;
+        self.busy[ch] += self.cfg.burst;
         bus_start + self.cfg.burst
     }
 
     /// Counters since construction.
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// Accumulated data-bus busy cycles per channel. Dividing by elapsed
+    /// cycles gives channel utilization — the bandwidth-contention signal
+    /// multi-core mixes report.
+    pub fn channel_busy(&self) -> &[u64] {
+        &self.busy
     }
 }
 
@@ -263,6 +275,21 @@ mod tests {
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().total(), 2);
+    }
+
+    #[test]
+    fn channel_busy_accumulates_bursts() {
+        let mut d = Dram::new(cfg());
+        let c = cfg();
+        d.read(0x0, 0); // even line → channel 0
+        d.read(LINE_BYTES, 0); // odd line → channel 1
+        d.read(0x0, 1000);
+        assert_eq!(d.channel_busy(), &[2 * c.burst, c.burst]);
+        assert_eq!(
+            d.channel_busy().iter().sum::<u64>(),
+            d.stats().total() * c.burst,
+            "every request occupies exactly one burst on exactly one channel"
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod event;
 mod hierarchy;
 mod mshr;
 mod prefetch;
+mod shared;
 
 pub use cache::{Cache, CacheConfig, Eviction};
 pub use dram::{Dram, DramConfig, DramStats};
@@ -63,6 +64,7 @@ pub use hierarchy::{
 };
 pub use mshr::{Mshr, MshrOutcome};
 pub use prefetch::{PrefetcherConfig, StreamPrefetcher};
+pub use shared::{CoreShareStats, MultiCoreMemory, SharedMemConfig};
 
 /// Cache line size in bytes used throughout the hierarchy (Table 1: 64B).
 pub const LINE_BYTES: u64 = 64;

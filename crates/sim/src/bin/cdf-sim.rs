@@ -24,7 +24,9 @@
 //!              [--minimize] [--shrink-budget N] [--threads N]
 //!              [--out DIR] [--report FILE]
 //! cdf-sim equiv [--seeds N] [--start N] [--mechs a,b,c] [--threads N]
-//!               [--mem] [--report FILE]
+//!               [--mem] [--boundary] [--report FILE]
+//! cdf-sim mix --workloads a,b[,c,...] [--mechs base,cdf,...] [--fast]
+//!             [--out FILE] [--record] [--store FILE] [sizing flags]
 //! cdf-sim campaign run --spec FILE [--dir DIR] [--shards N] [--threads N]
 //!                      [--store FILE] [--no-record]
 //! cdf-sim campaign resume --dir DIR [--threads N] [--store FILE] [--no-record]
@@ -51,6 +53,7 @@ fn usage() -> ! {
          cdf-sim compare <refA> <refB> [options]\n  \
          cdf-sim record [options]\n  cdf-sim sweep [options]\n  \
          cdf-sim fuzz [options]\n  cdf-sim equiv [options]\n  \
+         cdf-sim mix --workloads a,b [options]\n  \
          cdf-sim campaign run|resume|status|shard [options]\n\noptions:\n  \
          --mech base|cdf|pre|classify|cdf-nobr|cdf-static|cdf-nomask\n                 \
          mechanism (run/report/telemetry; default cdf)\n  \
@@ -100,7 +103,14 @@ fn usage() -> ! {
          --threads N        worker threads (default: all hardware threads)\n  \
          --mem              compare the memory-model pair (event-driven vs lazy\n                     \
          reference) instead of the scheduler pair\n  \
-         --report FILE      write the cdf-equiv/1 JSON report to FILE\n\ncampaign options:\n  \
+         --boundary         compare the core-memory boundary pair (request/\n                     \
+         response vs direct-call reference)\n  \
+         --report FILE      write the cdf-equiv/1 JSON report to FILE\n\nmix options:\n  \
+         --workloads a,b    one workload per core, in core order (2+ cores)\n  \
+         --mechs a,b        one mechanism per core, or one for all (default cdf)\n  \
+         --out FILE         write the cdf-mix/1 JSON document to FILE\n  \
+         --record           append per-core cdf-result/1 records to the store\n  \
+         --store FILE       results store path (default .cdf-results/results.jsonl)\n\ncampaign options:\n  \
          run    --spec FILE   TOML/JSON experiment spec; initializes the campaign\n                       \
          directory and runs it to completion\n  \
          resume --dir DIR     restart a killed campaign exactly where it stopped\n  \
@@ -180,6 +190,9 @@ fn run_equiv_command(args: &[String]) {
     let mut cfg = cdf_sim::EquivConfig::default();
     if args.iter().any(|a| a == "--mem") {
         cfg.axis = cdf_sim::EquivAxis::MemModel;
+    }
+    if args.iter().any(|a| a == "--boundary") {
+        cfg.axis = cdf_sim::EquivAxis::Boundary;
     }
     if let Some(v) = flag_value(args, "--seeds") {
         cfg.seeds = v.parse().unwrap_or_else(|_| usage());
@@ -528,6 +541,119 @@ fn run_sweep_command(args: &[String]) {
     // status so scripts notice.
     if sweep.counts().1 > 0 {
         exit(3);
+    }
+}
+
+fn run_mix_command(args: &[String]) {
+    let allowed: Vec<(&str, bool)> = SIZING_FLAGS
+        .iter()
+        .copied()
+        .chain([
+            ("--workloads", true),
+            ("--mechs", true),
+            ("--out", true),
+            ("--record", false),
+            ("--store", true),
+        ])
+        .collect();
+    reject_unknown_flags(args, &allowed);
+    let eval = parse_eval(args);
+    let workloads: Vec<String> = flag_value(args, "--workloads")
+        .unwrap_or_else(|| {
+            eprintln!("mix needs --workloads a,b[,c,...] (one per core)");
+            usage()
+        })
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    if workloads.len() < 2 {
+        eprintln!("a mix needs at least two cores (got {})", workloads.len());
+        usage();
+    }
+    let mechs: Vec<Mechanism> = match flag_value(args, "--mechs") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                Mechanism::parse(s).unwrap_or_else(|| {
+                    eprintln!("unknown mechanism `{s}`");
+                    usage()
+                })
+            })
+            .collect(),
+        None => vec![Mechanism::Cdf],
+    };
+    if mechs.len() != 1 && mechs.len() != workloads.len() {
+        eprintln!(
+            "--mechs needs one mechanism (for every core) or one per core ({} cores, {} mechanisms)",
+            workloads.len(),
+            mechs.len()
+        );
+        usage();
+    }
+    let mut cfg = cdf_sim::MixConfig::new(workloads, mechs);
+    if let Some(budget) = eval.max_cycles {
+        cfg.cycle_budget = budget;
+    }
+    cfg.eval = eval;
+    let report = cdf_sim::run_mix(&cfg).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+
+    println!(
+        "{} cores, {} cycles, {} MSHR steals, channel utilization [{}]",
+        report.cores.len(),
+        report.shared.cycles,
+        report.shared.total_steals,
+        report
+            .channel_utilization
+            .iter()
+            .map(|u| format!("{u:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for c in &report.cores {
+        println!(
+            "  c{} {:12} {:12} ipc {:.4}  dram {:6}  llc-share {:.3}  rejections {:5}  steals -{}/+{}",
+            c.core,
+            c.workload,
+            c.mechanism.label(),
+            c.measurement.ipc,
+            c.measurement.dram_lines,
+            c.llc_occupancy_share,
+            c.share.llc_rejections,
+            c.share.mshr_steals_suffered,
+            c.share.mshr_steals_caused,
+        );
+    }
+
+    if let Some(path) = flag_value(args, "--out") {
+        let mut body = cdf_sim::mix_json(&report).render();
+        body.push('\n');
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote {path}");
+    }
+    if args.iter().any(|a| a == "--record") {
+        let store = cdf_sim::ResultStore::open(store_path(args));
+        let run_id = store
+            .reserve_run_id(&report.provenance)
+            .unwrap_or_else(|e| {
+                eprintln!("recording to {}: {e}", store.path().display());
+                exit(1)
+            });
+        let records = cdf_sim::records_from_mix(&run_id, &report.provenance, &report);
+        store.append(&records).unwrap_or_else(|e| {
+            eprintln!("recording to {}: {e}", store.path().display());
+            exit(1)
+        });
+        eprintln!(
+            "recorded {} core(s) to {} as run {run_id}",
+            records.len(),
+            store.path().display()
+        );
     }
 }
 
@@ -947,6 +1073,7 @@ fn main() {
         Some("explain") => run_explain_command(&args[1..]),
         Some("telemetry") => run_telemetry_command(&args[1..]),
         Some("sweep") => run_sweep_command(&args[1..]),
+        Some("mix") => run_mix_command(&args[1..]),
         Some("fuzz") => run_fuzz_command(&args[1..]),
         Some("equiv") => run_equiv_command(&args[1..]),
         Some("campaign") => run_campaign_command(&args[1..]),

@@ -380,6 +380,7 @@ impl CampaignSpec {
         let equiv_axis = match doc.get("equiv_axis").and_then(Json::as_str) {
             None | Some("scheduler") => EquivAxis::Scheduler,
             Some("mem_model") | Some("mem-model") => EquivAxis::MemModel,
+            Some("boundary") => EquivAxis::Boundary,
             Some(other) => return Err(format!("unknown equiv_axis {other:?}")),
         };
         let spec = CampaignSpec {

@@ -1,8 +1,9 @@
-//! Implementation-equivalence harness: proves an event-driven rewrite
+//! Implementation-equivalence harness: proves a hot-path rewrite
 //! produces **bit-identical** results to the reference implementation it
-//! replaced. Two axes are covered ([`EquivAxis`]): the wakeup/select
-//! scheduler ([`SchedulerKind`], PR 4) and the memory-hierarchy
-//! bookkeeping ([`MemModelKind`], PR 6).
+//! replaced. Three axes are covered ([`EquivAxis`]): the wakeup/select
+//! scheduler ([`SchedulerKind`], PR 4), the memory-hierarchy bookkeeping
+//! ([`MemModelKind`], PR 6), and the request/response core↔memory
+//! boundary ([`BoundaryKind`], PR 9).
 //!
 //! The core keeps both implementations of each axis compiled and
 //! runtime-selectable; this module drives them against each other two ways:
@@ -29,7 +30,7 @@ use crate::fuzz::{run_lockstep_full, LockstepOutcome};
 use crate::json::{field, Json};
 use crate::run::{try_simulate, EvalConfig, Measurement, Mechanism};
 use crate::sweep::parallel_map;
-use cdf_core::{CoreStats, MemModelKind, SchedulerKind};
+use cdf_core::{BoundaryKind, CoreStats, MemModelKind, SchedulerKind};
 use cdf_workloads::fuzz::FuzzSpec;
 
 /// Schema tag of the equivalence report document.
@@ -47,6 +48,9 @@ pub enum EquivAxis {
     /// Event-driven memory-hierarchy bookkeeping vs the lazy rescanning
     /// reference ([`MemModelKind`]).
     MemModel,
+    /// Request/response core↔memory boundary vs the synchronous direct
+    /// call ([`BoundaryKind`]).
+    Boundary,
 }
 
 impl EquivAxis {
@@ -55,20 +59,30 @@ impl EquivAxis {
         match self {
             EquivAxis::Scheduler => "scheduler",
             EquivAxis::MemModel => "mem-model",
+            EquivAxis::Boundary => "boundary",
         }
     }
 
-    /// The two `(scheduler, mem model)` configurations compared: the
-    /// event-driven variant first, the reference second.
-    pub fn pair(self) -> [(SchedulerKind, MemModelKind); 2] {
+    /// The two `(scheduler, mem model, boundary)` configurations compared:
+    /// the default/new variant first, the reference second.
+    pub fn pair(self) -> [(SchedulerKind, MemModelKind, BoundaryKind); 2] {
+        let d = (
+            SchedulerKind::default(),
+            MemModelKind::default(),
+            BoundaryKind::default(),
+        );
         match self {
             EquivAxis::Scheduler => [
-                (SchedulerKind::EventDriven, MemModelKind::default()),
-                (SchedulerKind::ReferenceScan, MemModelKind::default()),
+                (SchedulerKind::EventDriven, d.1, d.2),
+                (SchedulerKind::ReferenceScan, d.1, d.2),
             ],
             EquivAxis::MemModel => [
-                (SchedulerKind::default(), MemModelKind::EventDriven),
-                (SchedulerKind::default(), MemModelKind::ReferenceLazy),
+                (d.0, MemModelKind::EventDriven, d.2),
+                (d.0, MemModelKind::ReferenceLazy, d.2),
+            ],
+            EquivAxis::Boundary => [
+                (d.0, d.1, BoundaryKind::RequestResponse),
+                (d.0, d.1, BoundaryKind::ReferenceDirect),
             ],
         }
     }
@@ -228,12 +242,12 @@ pub fn check_seed(
     axis: EquivAxis,
 ) -> (u64, Vec<EquivMismatch>) {
     let fp = FuzzSpec::from_seed(seed).build();
-    let [(ev_sched, ev_mem), (sc_sched, sc_mem)] = axis.pair();
+    let [(ev_sched, ev_mem, ev_bound), (sc_sched, sc_mem, sc_bound)] = axis.pair();
     let mut checked_total = 0u64;
     let mut mismatches = Vec::new();
     for &mech in mechanisms {
-        let (ev, ev_stats) = run_lockstep_full(&fp, mech, ev_sched, ev_mem);
-        let (sc, sc_stats) = run_lockstep_full(&fp, mech, sc_sched, sc_mem);
+        let (ev, ev_stats) = run_lockstep_full(&fp, mech, ev_sched, ev_mem, ev_bound);
+        let (sc, sc_stats) = run_lockstep_full(&fp, mech, sc_sched, sc_mem, sc_bound);
         let mut fail = |detail: String| {
             mismatches.push(EquivMismatch {
                 seed,
@@ -349,13 +363,15 @@ pub fn workload_equivalence_axis(
     cfg: &EvalConfig,
     axis: EquivAxis,
 ) -> Vec<EquivMismatch> {
-    let [(ev_sched, ev_mem), (sc_sched, sc_mem)] = axis.pair();
+    let [(ev_sched, ev_mem, ev_bound), (sc_sched, sc_mem, sc_bound)] = axis.pair();
     let mut event_cfg = cfg.clone();
     event_cfg.core.scheduler = ev_sched;
     event_cfg.core.mem_model = ev_mem;
+    event_cfg.core.boundary = ev_bound;
     let mut scan_cfg = cfg.clone();
     scan_cfg.core.scheduler = sc_sched;
     scan_cfg.core.mem_model = sc_mem;
+    scan_cfg.core.boundary = sc_bound;
     let jobs: Vec<(&str, Mechanism)> = workloads
         .iter()
         .flat_map(|&w| mechanisms.iter().map(move |&m| (w, m)))

@@ -20,7 +20,9 @@ use crate::error::SimError;
 use crate::json::{field, Json};
 use crate::run::Mechanism;
 use crate::sweep::parallel_map;
-use cdf_core::{Core, CoreConfig, CoreStats, MemModelKind, OracleLockstep, SchedulerKind};
+use cdf_core::{
+    BoundaryKind, Core, CoreConfig, CoreStats, MemModelKind, OracleLockstep, SchedulerKind,
+};
 use cdf_isa::Executor;
 use cdf_workloads::fuzz::{FuzzProgram, FuzzSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -167,18 +169,25 @@ pub fn run_lockstep_with(
     mechanism: Mechanism,
     scheduler: SchedulerKind,
 ) -> (LockstepOutcome, Option<CoreStats>) {
-    run_lockstep_full(fp, mechanism, scheduler, MemModelKind::default())
+    run_lockstep_full(
+        fp,
+        mechanism,
+        scheduler,
+        MemModelKind::default(),
+        BoundaryKind::default(),
+    )
 }
 
-/// The fully explicit lockstep primitive: scheduler *and* memory-model
-/// implementation are chosen by the caller. The equivalence harness pins
-/// one axis to its default while flipping the other, so each campaign
-/// isolates a single implementation swap.
+/// The fully explicit lockstep primitive: scheduler, memory-model, and
+/// core↔memory boundary implementation are all chosen by the caller. The
+/// equivalence harness pins two axes to their defaults while flipping the
+/// third, so each campaign isolates a single implementation swap.
 pub fn run_lockstep_full(
     fp: &FuzzProgram,
     mechanism: Mechanism,
     scheduler: SchedulerKind,
     mem_model: MemModelKind,
+    boundary: BoundaryKind,
 ) -> (LockstepOutcome, Option<CoreStats>) {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let checker = OracleLockstep::new(&fp.program, fp.memory.clone());
@@ -187,6 +196,7 @@ pub fn run_lockstep_full(
             mode: mechanism.mode(),
             scheduler,
             mem_model,
+            boundary,
             ..CoreConfig::default()
         };
         let mut core = Core::new(&fp.program, fp.memory.clone(), cfg);

@@ -15,7 +15,7 @@
 use crate::json::{field, Json};
 use crate::run::Mechanism;
 use crate::sweep::parallel_map;
-use cdf_core::{Core, CoreConfig, CoreStats, MemModelKind, RobMix};
+use cdf_core::{BoundaryKind, Core, CoreConfig, CoreStats, MemModelKind, RobMix};
 use cdf_workloads::{registry, GenConfig};
 
 /// Schema tag of the golden snapshot document.
@@ -40,6 +40,11 @@ pub struct GoldenConfig {
     /// snapshot is collected with the default; collecting with the other
     /// kind and diffing is the grid-level mem-equivalence proof.
     pub mem_model: MemModelKind,
+    /// Core↔memory boundary each cell runs under (tagged request/response
+    /// messages vs direct calls). Same proof structure as
+    /// [`mem_model`](Self::mem_model): collect under the non-default
+    /// boundary, diff against the blessed snapshot.
+    pub boundary: BoundaryKind,
 }
 
 impl Default for GoldenConfig {
@@ -56,6 +61,7 @@ impl Default for GoldenConfig {
             cycle_budget: 2_000_000,
             threads: 0,
             mem_model: MemModelKind::default(),
+            boundary: BoundaryKind::default(),
         }
     }
 }
@@ -85,6 +91,7 @@ pub fn collect(cfg: &GoldenConfig) -> Vec<GoldenCell> {
         let core_cfg = CoreConfig {
             mode: m.mode(),
             mem_model: cfg.mem_model,
+            boundary: cfg.boundary,
             ..CoreConfig::default()
         };
         let mut core = Core::new(&workload.program, workload.memory.clone(), core_cfg);

@@ -61,6 +61,7 @@ pub mod explain;
 pub mod fuzz;
 pub mod golden;
 pub mod json;
+pub mod mix;
 pub mod provenance;
 pub mod report;
 pub mod schema;
@@ -97,6 +98,10 @@ pub use fuzz::{
 };
 pub use golden::{
     collect as collect_golden, diff_golden, golden_to_json, GoldenConfig, GOLDEN_SCHEMA,
+};
+pub use mix::{
+    mix_from_json, mix_json, records_from_mix, run_mix, MixConfig, MixCoreResult, MixReport,
+    MixSummary,
 };
 pub use provenance::{provenance_from_json, provenance_json};
 pub use run::{

@@ -42,6 +42,9 @@ pub const CAMPAIGN_SPEC: &str = "cdf-campaign-spec/1";
 /// Per-shard campaign progress journals: line 1 is a header carrying the
 /// spec's grid hash, every further line is one completed cell.
 pub const CAMPAIGN_JOURNAL: &str = "cdf-campaign-journal/1";
+/// Multi-core co-scheduled mix reports (`cdf-sim mix`): per-core
+/// measurements plus shared LLC/MSHR/DRAM contention statistics.
+pub const MIX: &str = "cdf-mix/1";
 
 /// Every schema tag the workspace emits, for exhaustiveness checks.
 pub const ALL: &[&str] = &[
@@ -58,6 +61,7 @@ pub const ALL: &[&str] = &[
     CAMPAIGN,
     CAMPAIGN_SPEC,
     CAMPAIGN_JOURNAL,
+    MIX,
 ];
 
 /// Checks that `doc` is an object whose `"schema"` field equals `tag`.

@@ -1,0 +1,98 @@
+//! Core↔memory boundary equivalence suite: routing every memory access
+//! through the tagged request/response message port must be
+//! **bit-identical** to the direct-call reference path it replaced — same
+//! retirement digest, same oracle-checked uop count, same complete
+//! [`CoreStats`], same [`Measurement`] — on every mechanism, and the full
+//! 98-cell golden grid must agree cell for cell.
+//!
+//! The equivalence argument (DESIGN.md, "Multi-core boundary"): the
+//! message envelope reorders *code*, not *events* — a request is serviced
+//! at submit time with the same clock the direct call would have used, and
+//! completion time travels in the response. These tests are the proof.
+//!
+//! The in-tree tests run bounded campaigns; the full acceptance campaign
+//! (500 seeds × all seven mechanisms) is the `#[ignore]`d
+//! `full_boundary_equivalence_campaign`, run in CI release mode or via
+//! `cdf-sim equiv --boundary`.
+//!
+//! [`CoreStats`]: cdf_core::CoreStats
+//! [`Measurement`]: cdf_sim::Measurement
+
+use cdf_core::BoundaryKind;
+use cdf_sim::{
+    collect_golden, run_equivalence, workload_equivalence_axis, EquivAxis, EquivConfig, EvalConfig,
+    GoldenConfig, Mechanism,
+};
+use cdf_workloads::registry;
+
+#[test]
+fn bounded_fuzz_boundary_equivalence_all_mechanisms() {
+    let cfg = EquivConfig {
+        seeds: 24,
+        start_seed: 1,
+        mechanisms: Mechanism::ALL.to_vec(),
+        axis: EquivAxis::Boundary,
+        ..EquivConfig::default()
+    };
+    let report = run_equivalence(&cfg);
+    assert!(report.clean(), "{}", report.render_summary());
+    assert_eq!(report.cases, 24 * 7);
+    assert!(report.checked_uops > 0, "oracle compared retired uops");
+}
+
+/// Full warmup+measure windows compared [`cdf_sim::Measurement`]-for-
+/// measurement over the **entire 98-cell grid** (every workload × every
+/// mechanism) under both boundaries: DRAM line traffic and energy are
+/// folded in, so a boundary that reordered memory-system events would
+/// fail here even with a clean retirement stream.
+#[test]
+fn workload_windows_bit_identical_across_boundaries_full_grid() {
+    let mut cfg = EvalConfig::quick();
+    cfg.warmup_instructions = 5_000;
+    cfg.measure_instructions = 10_000;
+    let workloads: Vec<&str> = registry::NAMES.to_vec();
+    let mismatches =
+        workload_equivalence_axis(&workloads, &Mechanism::ALL, &cfg, EquivAxis::Boundary);
+    assert!(mismatches.is_empty(), "windows diverged: {mismatches:#?}");
+}
+
+/// The complete golden grid (every workload × every mechanism), collected
+/// under both boundaries and compared cell for cell — the grid-level
+/// version of the `cdf-sim equiv --boundary` proof.
+#[test]
+fn golden_grid_bit_identical_across_boundaries() {
+    let msg = collect_golden(&GoldenConfig {
+        boundary: BoundaryKind::RequestResponse,
+        ..GoldenConfig::default()
+    });
+    let direct = collect_golden(&GoldenConfig {
+        boundary: BoundaryKind::ReferenceDirect,
+        ..GoldenConfig::default()
+    });
+    assert_eq!(msg.len(), direct.len());
+    assert_eq!(msg.len(), registry::NAMES.len() * Mechanism::ALL.len());
+    for (m, d) in msg.iter().zip(&direct) {
+        assert_eq!(m.workload, d.workload);
+        assert_eq!(m.mechanism, d.mechanism);
+        assert_eq!(
+            m.stats, d.stats,
+            "boundaries diverged on {}/{}",
+            m.workload, m.mechanism
+        );
+    }
+}
+
+/// The full acceptance campaign: 500 seeds × all seven mechanisms, each
+/// seed run to completion under both boundaries with per-retired-uop
+/// oracle checking.
+/// `cargo test -p cdf-sim --release --test boundary_equivalence -- --ignored`
+#[test]
+#[ignore = "full 3500-case campaign; run explicitly in release mode"]
+fn full_boundary_equivalence_campaign() {
+    let report = run_equivalence(&EquivConfig {
+        axis: EquivAxis::Boundary,
+        ..EquivConfig::default()
+    });
+    assert_eq!(report.cases, 3500);
+    assert!(report.clean(), "{}", report.render_summary());
+}

@@ -834,6 +834,101 @@ pub(crate) fn parest_like(cfg: &GenConfig) -> Workload {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Contention roles for `cdf-sim mix` (registry EXTRA_NAMES, not part of the
+// default figure suite): a latency-bound victim, a bandwidth hog, and an
+// idle ALU spinner.
+// ---------------------------------------------------------------------------
+
+/// A pure dependent pointer chase: every load address comes from the
+/// previous load, so progress is bound by round-trip memory latency while
+/// consuming almost no bandwidth. The latency-sensitive *victim* in
+/// contention mixes — exactly the access pattern CDF's critical stream is
+/// built to keep fed.
+pub(crate) fn ptr_chase(cfg: &GenConfig) -> Workload {
+    let nodes = cfg.scaled_pow2(1 << 17, 64); // 8MB of 64B nodes at scale 1
+    let mut mem = MemoryImage::new();
+    let start = chain_permutation(&mut mem, A_BASE as u64, nodes, 64, &mut cfg.rng(0));
+
+    let mut b = ProgramBuilder::named("ptr_chase");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, start as i64); // p
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.load(R3, R3, 0); // p = p->next   ← the entire serial chain
+    b.addi(R20, R20, 1);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "ptr_chase",
+        stands_in_for: "latency-bound mix victim (contention role)",
+        description: "pure dependent pointer chase; one serialized LLC miss per iteration",
+        program: b.build().expect("ptr_chase assembles"),
+        memory: mem,
+    }
+}
+
+/// A streaming bandwidth hog: touches one *new* 64B line per iteration on
+/// both the read and the write stream, saturating DRAM channels and
+/// churning the shared LLC. The *aggressor* in contention mixes.
+pub(crate) fn stream_hog(cfg: &GenConfig) -> Workload {
+    let words = cfg.scaled_pow2(1 << 21, 4096); // 16MB per array at scale 1
+    let mut mem = MemoryImage::new();
+    fill_random_words(&mut mem, A_BASE as u64, words.min(1 << 16), &mut cfg.rng(0));
+
+    let mut b = ProgramBuilder::named("stream_hog");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R3, A_BASE);
+    b.movi(R4, B_BASE);
+    b.movi(R9, (words - 1) as i64);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    b.alu_imm(AluOp::Shl, R10, R1, 3); // 8 words = one fresh line per iter
+    b.alu(AluOp::And, R10, R10, R9);
+    b.load_idx(R5, R3, R10, 8, 0); // stream read (line fetch)
+    b.addi(R5, R5, 1);
+    b.store_idx(R5, R4, R10, 8, 0); // stream write (fetch + later writeback)
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "stream_hog",
+        stands_in_for: "streaming bandwidth hog (contention role)",
+        description: "line-strided read+write streams; saturates DRAM channels and churns the LLC",
+        program: b.build().expect("stream_hog assembles"),
+        memory: mem,
+    }
+}
+
+/// An ALU-only spin loop that never touches data memory: the *idle*
+/// co-runner. Its only shared-resource footprint is a handful of cold
+/// instruction fetches, making it the control arm for "does an inert
+/// neighbour perturb a core's metrics?" metamorphic tests.
+pub(crate) fn nop_loop(cfg: &GenConfig) -> Workload {
+    let mut b = ProgramBuilder::named("nop_loop");
+    b.movi(R1, 0);
+    b.movi(R2, cfg.iters as i64);
+    b.movi(R20, 1)
+        .movi(R21, 7)
+        .movi(R22, 3)
+        .movi(R23, 9)
+        .movi(R24, 2)
+        .movi(R25, 5);
+    let top = b.label("top");
+    b.bind(top).unwrap();
+    filler(&mut b, 8);
+    loop_epilogue(&mut b, top);
+
+    Workload {
+        name: "nop_loop",
+        stands_in_for: "idle ALU spinner (contention role)",
+        description: "register-only loop with zero data-memory traffic",
+        program: b.build().expect("nop_loop assembles"),
+        memory: MemoryImage::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,8 +2,9 @@
 //!
 //! The paper evaluates on the memory-intensive subset of SPEC CPU2006/2017
 //! via SimPoints. Those binaries and traces are not redistributable, so this
-//! crate provides **seventeen synthetic kernels** (fourteen in the default
-//! figure suite plus three finer-grained extras), each engineered to the
+//! crate provides **twenty synthetic kernels** (fourteen in the default
+//! figure suite, three finer-grained extras, and three contention roles
+//! for `cdf-sim mix`), each engineered to the
 //! behavioural property the paper's §4.2 analysis attributes to the
 //! benchmark it stands in for (random-index LLC misses for astar, pointer
 //! chasing for mcf, streaming with short stalls for lbm, far-apart misses for

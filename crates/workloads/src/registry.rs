@@ -23,11 +23,20 @@ pub const NAMES: &[&str] = &[
     "omnetpp_like",
 ];
 
-/// Additional finer-grained kernels, usable by name but not part of the
-/// default figure suite (the paper groups their originals with sphinx as
-/// "does not do well with either CDF or PRE"; the default suite keeps one
-/// representative to match the figure layout).
-pub const EXTRA_NAMES: &[&str] = &["leslie_like", "wrf_like", "parest_like"];
+/// Additional kernels, usable by name but not part of the default figure
+/// suite: three finer-grained SPEC stand-ins (the paper groups their
+/// originals with sphinx as "does not do well with either CDF or PRE"; the
+/// default suite keeps one representative to match the figure layout) and
+/// three contention roles for `cdf-sim mix` — a latency-bound pointer-chase
+/// victim, a streaming bandwidth hog, and an idle ALU spinner.
+pub const EXTRA_NAMES: &[&str] = &[
+    "leslie_like",
+    "wrf_like",
+    "parest_like",
+    "ptr_chase",
+    "stream_hog",
+    "nop_loop",
+];
 
 /// Error returned by [`lookup`] for a name not in the registry. Its
 /// `Display` lists every available workload so a typo'd sweep or CLI
@@ -94,6 +103,9 @@ pub fn by_name(name: &str, cfg: &GenConfig) -> Option<Workload> {
         "leslie_like" => kernels::leslie_like(cfg),
         "wrf_like" => kernels::wrf_like(cfg),
         "parest_like" => kernels::parest_like(cfg),
+        "ptr_chase" => kernels::ptr_chase(cfg),
+        "stream_hog" => kernels::stream_hog(cfg),
+        "nop_loop" => kernels::nop_loop(cfg),
         _ => return None,
     };
     Some(w)
