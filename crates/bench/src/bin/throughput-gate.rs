@@ -6,6 +6,8 @@
 //! throughput-gate --baseline FILE ...        # non-default baseline path
 //! throughput-gate --record [--store FILE]    # also append cdf-result/1
 //!                                            # rows to the results store
+//! throughput-gate --profile-out FILE         # also write per-case
+//!                                            # cdf-profile/1 documents
 //! ```
 //!
 //! Measures the scheduler + memory-model micro/macro suite (best-of-3,
@@ -23,10 +25,17 @@
 //! * the event-driven variant must not be slower than its reference on
 //!   any case by more than the tolerance.
 
-use cdf_bench::throughput::{measure, rows_from_json, rows_json, speedup_ratios, throughput_cases};
-use cdf_sim::json::Json;
+use cdf_bench::throughput::{
+    measure, profile_once, rows_from_json, rows_json, speedup_ratios, throughput_cases,
+};
+use cdf_sim::json::{field, Json};
 use std::path::PathBuf;
 use std::process::exit;
+
+/// Counting allocator so `--profile-out` attributes allocation counts and
+/// bytes to pipeline stages; free when profiling is off.
+#[global_allocator]
+static ALLOC: cdf_core::CountingAlloc = cdf_core::CountingAlloc;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -107,6 +116,27 @@ fn main() {
             records.len(),
             store_path.display()
         );
+    }
+
+    if let Some(path) = flag_value(&args, "--profile-out") {
+        // One profiled pass per case (event-driven variant) so the gate's
+        // own wall time is attributable to pipeline stages and subsystems.
+        let cases = throughput_cases(quick);
+        let profiles: Vec<Json> = cases
+            .iter()
+            .map(|case| {
+                let p = profile_once(case);
+                cdf_sim::profile_json(&p, &case.name, "event")
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            field("schema", cdf_sim::schema::PROFILE_SET),
+            field("quick", quick),
+            field("profiles", Json::Arr(profiles)),
+        ]);
+        std::fs::write(&path, doc.render_pretty())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {} case profile(s) to {path}", cases.len());
     }
 
     let mut failures = Vec::new();

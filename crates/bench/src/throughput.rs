@@ -264,6 +264,25 @@ pub fn run_once(
     (stats.cycles, start.elapsed().as_secs_f64())
 }
 
+/// Runs one case once under the event-driven variant of its axis with the
+/// host self-profiler attached; returns the finalized [`cdf_core::HostProfile`].
+/// Backs `throughput-gate --profile-out`, which attributes the gate's own
+/// wall time to pipeline stages and subsystems per case.
+pub fn profile_once(case: &ThroughputCase) -> cdf_core::HostProfile {
+    let (_, scheduler, mem_model) = case.axis.variants()[0];
+    let cfg = CoreConfig {
+        scheduler,
+        mem_model,
+        ..case.cfg.clone()
+    };
+    let mut core = Core::new(&case.program, case.memory.clone(), cfg);
+    core.enable_prof();
+    let start = Instant::now();
+    core.run(case.instructions);
+    core.take_profile(start.elapsed().as_nanos() as u64)
+        .expect("profiling was enabled")
+}
+
 /// Measures every case under both variants of its axis, best wall time of
 /// `repeats` runs each, asserting the equivalence contract (identical
 /// cycle counts) along the way.

@@ -149,6 +149,10 @@ pub struct Core<'p> {
     /// `None` — the default — keeps every pipeline stage free of provenance
     /// observation work; enabling it never perturbs simulated state.
     diag: Option<crate::diag::CdfDiagnostics>,
+    /// Optional host-side self-profiler (see [`crate::prof`]). `None` — the
+    /// default — costs one null check per stage per cycle; enabling it only
+    /// reads the monotonic clock, never simulated state.
+    prof: Option<Box<crate::prof::HostProf>>,
     /// Optional lockstep retirement observer (see [`crate::observer`]).
     /// `None` — the default — keeps the retire path free of observer work
     /// and of the structural invariant sweep entirely.
@@ -275,6 +279,7 @@ impl<'p> Core<'p> {
             pipe_trace: None,
             telemetry: None,
             diag: None,
+            prof: None,
             observer: None,
             dispatched_this_cycle: false,
             flush_recovery_until: 0,
@@ -441,6 +446,44 @@ impl<'p> Core<'p> {
             d.finalize();
         }
         d
+    }
+
+    /// Enables host-side self-profiling (see [`crate::prof`]): per-stage
+    /// wall-clock attribution, per-subsystem heap/port timers in the memory
+    /// system, and per-stage allocation deltas. Call before
+    /// [`run`](Self::run).
+    ///
+    /// Profiling observes only the host — the monotonic clock and the
+    /// process allocation counters — and never reads or writes simulated
+    /// state: an enabled run produces bit-identical [`CoreStats`] to a
+    /// disabled one, and a core without profiling pays one null check per
+    /// stage per cycle.
+    pub fn enable_prof(&mut self) {
+        self.prof = Some(Box::new(crate::prof::HostProf::new()));
+        self.memsys.enable_prof();
+    }
+
+    /// Detaches the raw profiling collector (disabling further collection),
+    /// folding the memory system's heap timers into it. Use this when an
+    /// outer driver merges several cores' collectors before finalizing;
+    /// single-core harnesses usually want [`take_profile`](Self::take_profile).
+    pub fn take_prof(&mut self) -> Option<crate::prof::HostProf> {
+        let mut p = self.prof.take()?;
+        if let Some(m) = self.memsys.take_prof() {
+            p.fold_mem(&m);
+        }
+        Some(*p)
+    }
+
+    /// Detaches the profiler and finalizes it into a [`crate::prof::HostProfile`]
+    /// against `total_wall_ns`, the harness-measured wall time of the run —
+    /// the profile's totality invariant (stages + untracked == total) is
+    /// established here.
+    pub fn take_profile(&mut self, total_wall_ns: u64) -> Option<crate::prof::HostProfile> {
+        let cycles = self.now;
+        let retired = self.stats.retired;
+        self.take_prof()
+            .map(|p| p.into_profile(cycles, retired, total_wall_ns))
     }
 
     /// Attaches a lockstep retirement observer (see [`crate::observer`]):
@@ -626,19 +669,78 @@ impl<'p> Core<'p> {
     // ------------------------------------------------------------------
 
     fn cycle(&mut self) {
+        use crate::prof::Stage;
         self.now += 1;
         let retired_before = self.stats.retired;
+        let t = self.prof_begin();
         self.retire();
+        let t = self.prof_stage(Stage::Retire, t);
         self.complete();
+        let t = self.prof_stage(Stage::Complete, t);
         self.schedule_execute();
+        let t = self.prof_stage(Stage::Schedule, t);
         self.rename_dispatch();
+        let t = self.prof_stage(Stage::Rename, t);
         if self.pending_flush.is_some() {
             self.apply_flush();
+            let t = self.prof_stage(Stage::Flush, t);
+            self.post_cycle(retired_before);
+            self.prof_stage(Stage::PostCycle, t);
         } else {
             self.fetch_critical();
             self.fetch_regular();
+            let t = self.prof_stage(Stage::Fetch, t);
+            self.post_cycle(retired_before);
+            self.prof_stage(Stage::PostCycle, t);
         }
-        self.post_cycle(retired_before);
+    }
+
+    /// Starts a profiling scope: one null check when profiling is off.
+    #[inline]
+    fn prof_begin(&self) -> Option<crate::prof::ProfToken> {
+        self.prof.as_ref().map(|_| crate::prof::HostProf::begin())
+    }
+
+    /// Closes a stage scope and opens the next one — stages within a cycle
+    /// are contiguous, so the end token of one is the start of the next.
+    #[inline]
+    fn prof_stage(
+        &mut self,
+        stage: crate::prof::Stage,
+        t: Option<crate::prof::ProfToken>,
+    ) -> Option<crate::prof::ProfToken> {
+        match (self.prof.as_mut(), t) {
+            (Some(p), Some(t)) => {
+                p.end_stage(stage, t);
+                Some(crate::prof::HostProf::begin())
+            }
+            _ => None,
+        }
+    }
+
+    /// Closes a subsystem scope opened with [`prof_begin`](Self::prof_begin).
+    #[inline]
+    fn prof_sub(&mut self, sub: crate::prof::Subsystem, t: Option<crate::prof::ProfToken>) {
+        if let (Some(p), Some(t)) = (self.prof.as_mut(), t) {
+            p.end_sub(sub, t);
+        }
+    }
+
+    /// Memory-port envelope: times the synchronous [`MemSide::access`] call
+    /// under [`crate::prof::Subsystem::MemPort`] when profiling is on.
+    #[inline]
+    fn mem_access(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+        wrong_path: bool,
+        chain: u64,
+    ) -> AccessResult {
+        let t = self.prof_begin();
+        let r = self.memsys.access(addr, kind, now, wrong_path, chain);
+        self.prof_sub(crate::prof::Subsystem::MemPort, t);
+        r
     }
 
     // ------------------------------------------------------------------
@@ -724,8 +826,7 @@ impl<'p> Core<'p> {
             self.mem_image.store(addr, data);
             // Commit the write into the memory system (traffic + dirty
             // state); retirement does not wait for it.
-            self.memsys
-                .access(addr, AccessKind::Store, self.now, false, uop.chain);
+            self.mem_access(addr, AccessKind::Store, self.now, false, uop.chain);
         }
         let mispredicted = if let Op::Branch(_) = op {
             self.stats.branches += 1;
@@ -981,6 +1082,7 @@ impl<'p> Core<'p> {
     /// `complete` — so the ready queues always hold exactly the uops the
     /// reference scan would find ready.
     fn wake_reg(&mut self, p: PhysReg) {
+        let t = self.prof_begin();
         let mut buf = std::mem::take(&mut self.wake_buf);
         self.sched.drain_waiters(p, &mut buf);
         for &(seq, uid) in &buf {
@@ -993,6 +1095,7 @@ impl<'p> Core<'p> {
             self.sched.enqueue_ready(u.critical, (seq, uid));
         }
         self.wake_buf = buf;
+        self.prof_sub(crate::prof::Subsystem::SchedWake, t);
     }
 
     // ------------------------------------------------------------------
@@ -1044,6 +1147,7 @@ impl<'p> Core<'p> {
         // attempt that must retry: MSHR rejection, store-forward stall,
         // memory-dependence wait) are deferred and requeued for next cycle,
         // exactly matching the scan's retry-every-cycle behaviour.
+        let t = self.prof_begin();
         'select: for crit in [true, false] {
             while let Some((seq, uid)) = self.sched.pop_ready(crit) {
                 let Some(u) = self.pool.get(seq) else {
@@ -1076,6 +1180,7 @@ impl<'p> Core<'p> {
             }
         }
         self.sched.requeue_deferred();
+        self.prof_sub(crate::prof::Subsystem::SchedSelect, t);
     }
 
     /// The original per-cycle O(RS) scan, selectable via
@@ -1209,10 +1314,7 @@ impl<'p> Core<'p> {
                         self.lsq.set_load_state(seq, addr, true);
                     }
                     ForwardResult::Miss => {
-                        match self
-                            .memsys
-                            .access(addr, AccessKind::Load, self.now, false, chain)
-                        {
+                        match self.mem_access(addr, AccessKind::Load, self.now, false, chain) {
                             AccessResult::Rejected(_) => return, // MSHRs full: retry
                             AccessResult::Done(out) => {
                                 let v = self.mem_image.load(addr);
@@ -1915,7 +2017,7 @@ impl<'p> Core<'p> {
             // I-cache.
             let line = self.byte_addr(pc) / 64;
             if Some(line) != self.last_fetch_line {
-                match self.memsys.access(
+                match self.mem_access(
                     self.byte_addr(pc),
                     AccessKind::InstFetch,
                     self.now,
@@ -2360,7 +2462,9 @@ impl<'p> Core<'p> {
         }
 
         // MLP sampling (Fig. 14).
+        let t = self.prof_begin();
         let out = self.memsys.outstanding_demand_misses(self.now) as u64;
+        self.prof_sub(crate::prof::Subsystem::MemPort, t);
         if out > 0 {
             self.stats.mlp_cycles += 1;
             self.stats.mlp_sum += out;
@@ -2515,11 +2619,16 @@ impl<'p> Core<'p> {
                 let now = self.now;
                 let memsys = &mut self.memsys;
                 let img = &self.mem_image;
+                let prof = &mut self.prof;
                 self.runahead.eval(&uop, |addr| {
                     // Runahead loads prefetch into the LLC without occupying
                     // the demand L1D MSHRs: the prefetch benefit plus the
                     // extra DRAM traffic the paper charges PRE.
+                    let t = prof.as_ref().map(|_| crate::prof::HostProf::begin());
                     memsys.runahead_prefetch(addr, now);
+                    if let (Some(p), Some(t)) = (prof.as_mut(), t) {
+                        p.end_sub(crate::prof::Subsystem::MemPort, t);
+                    }
                     Some(img.load(addr))
                 });
                 self.energy.record(Activity::Rename, 1);

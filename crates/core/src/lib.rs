@@ -68,6 +68,7 @@ pub mod multicore;
 pub mod observer;
 pub mod partition;
 pub mod pre;
+pub mod prof;
 pub mod provenance;
 pub mod static_chains;
 pub mod telemetry;
@@ -98,6 +99,9 @@ pub use diag::{
 pub use grid::{ConfigGrid, ConfigPoint};
 pub use memport::{MemReqKind, MemRequest, MemResponse, MemSide, MemView, MessagePort};
 pub use multicore::{CoreOutcome, MultiCore, SharedStatsReport};
+pub use prof::{
+    CountingAlloc, HostProf, HostProfile, Stage, StageSample, Subsystem, SubsystemSample,
+};
 pub use provenance::Provenance;
 
 pub use observer::{

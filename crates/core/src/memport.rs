@@ -273,6 +273,30 @@ impl MemSide {
         }
     }
 
+    /// Enables host-side timing of the memory system's event structures
+    /// (MSHR/MLP heaps; for shared systems, the shared-LLC access path).
+    /// Observation-only: simulated results are bit-identical either way.
+    pub fn enable_prof(&mut self) {
+        match self {
+            MemSide::Direct(h) => h.enable_prof(),
+            MemSide::Message(port) => port.hierarchy.enable_prof(),
+            MemSide::Shared(p) => p.sys.borrow_mut().enable_prof(),
+        }
+    }
+
+    /// Detaches the memory system's host timers. For a shared system this
+    /// returns `None` — the shared timers belong to the whole system, so
+    /// the mix driver drains them once via
+    /// [`MultiCoreMemory::take_prof`](cdf_mem::MultiCoreMemory::take_prof)
+    /// instead of attributing them to whichever core asks first.
+    pub fn take_prof(&mut self) -> Option<cdf_mem::MemProfReport> {
+        match self {
+            MemSide::Direct(h) => h.take_prof(),
+            MemSide::Message(port) => port.hierarchy.take_prof(),
+            MemSide::Shared(_) => None,
+        }
+    }
+
     /// Uniform counter snapshot for the energy report.
     pub fn view(&self) -> MemView {
         match self {

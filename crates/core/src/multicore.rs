@@ -107,6 +107,13 @@ impl<'p> MultiCore<'p> {
         &self.cores
     }
 
+    /// Mutable access to the cores, so a driver can enable per-core
+    /// observation sidecars (telemetry, host profiling) before
+    /// [`run`](Self::run) and drain them after.
+    pub fn cores_mut(&mut self) -> &mut [Core<'p>] {
+        &mut self.cores
+    }
+
     /// Runs every core until it halts, retires `max_instructions`, or the
     /// shared clock reaches `cycle_budget`, advancing live cores one cycle
     /// at a time in core-id order. Returns per-core outcomes (index =

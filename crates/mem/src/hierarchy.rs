@@ -6,6 +6,7 @@ use crate::event::{EventMshr, EventOutstanding};
 use crate::line_addr;
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::prefetch::{PrefetcherConfig, StreamPrefetcher};
+use crate::prof::{HeapProf, MemProfReport};
 
 /// Configuration of the whole hierarchy (defaults mirror Table 1).
 #[derive(Clone, PartialEq, Debug)]
@@ -84,61 +85,98 @@ impl MemModelKind {
 
 /// An MSHR file, dispatching to the lazy or event-driven implementation.
 /// All methods take `&mut self` because the event model advances its
-/// expiry heap on every query.
+/// expiry heap on every query. Every operation is bracketed by an optional
+/// host timer ([`HeapProf`]) so profiled runs can attribute wall time to
+/// MSHR bookkeeping; an unprofiled file pays one null check per call.
 #[derive(Clone, Debug)]
-enum MshrFile {
+struct MshrFile {
+    imp: MshrImpl,
+    prof: Option<Box<HeapProf>>,
+}
+
+#[derive(Clone, Debug)]
+enum MshrImpl {
     Lazy(Mshr),
     Event(EventMshr),
 }
 
 impl MshrFile {
     fn new(capacity: usize, model: MemModelKind) -> MshrFile {
-        match model {
-            MemModelKind::EventDriven => MshrFile::Event(EventMshr::new(capacity)),
-            MemModelKind::ReferenceLazy => MshrFile::Lazy(Mshr::new(capacity)),
+        MshrFile {
+            imp: match model {
+                MemModelKind::EventDriven => MshrImpl::Event(EventMshr::new(capacity)),
+                MemModelKind::ReferenceLazy => MshrImpl::Lazy(Mshr::new(capacity)),
+            },
+            prof: None,
+        }
+    }
+
+    #[inline]
+    fn finish(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(p) = self.prof.as_mut() {
+            p.finish(t0);
         }
     }
 
     fn try_alloc(&mut self, line: u64, now: u64, completes_at: u64) -> MshrOutcome {
-        match self {
-            MshrFile::Lazy(m) => m.try_alloc(line, now, completes_at),
-            MshrFile::Event(m) => m.try_alloc(line, now, completes_at),
-        }
+        let t0 = HeapProf::start(self.prof.is_some());
+        let r = match &mut self.imp {
+            MshrImpl::Lazy(m) => m.try_alloc(line, now, completes_at),
+            MshrImpl::Event(m) => m.try_alloc(line, now, completes_at),
+        };
+        self.finish(t0);
+        r
     }
 
     fn outstanding(&mut self, line: u64, now: u64) -> Option<u64> {
-        match self {
-            MshrFile::Lazy(m) => m.outstanding(line, now),
-            MshrFile::Event(m) => m.outstanding(line, now),
-        }
+        let t0 = HeapProf::start(self.prof.is_some());
+        let r = match &mut self.imp {
+            MshrImpl::Lazy(m) => m.outstanding(line, now),
+            MshrImpl::Event(m) => m.outstanding(line, now),
+        };
+        self.finish(t0);
+        r
     }
 
     fn len(&mut self, now: u64) -> usize {
-        match self {
-            MshrFile::Lazy(m) => m.len(now),
-            MshrFile::Event(m) => m.len(now),
-        }
+        let t0 = HeapProf::start(self.prof.is_some());
+        let r = match &mut self.imp {
+            MshrImpl::Lazy(m) => m.len(now),
+            MshrImpl::Event(m) => m.len(now),
+        };
+        self.finish(t0);
+        r
     }
 
     fn capacity(&self) -> usize {
-        match self {
-            MshrFile::Lazy(m) => m.capacity(),
-            MshrFile::Event(m) => m.capacity(),
+        match &self.imp {
+            MshrImpl::Lazy(m) => m.capacity(),
+            MshrImpl::Event(m) => m.capacity(),
         }
     }
 
     fn earliest_release(&mut self, now: u64) -> Option<u64> {
-        match self {
-            MshrFile::Lazy(m) => m.earliest_release(now),
-            MshrFile::Event(m) => m.earliest_release(now),
-        }
+        let t0 = HeapProf::start(self.prof.is_some());
+        let r = match &mut self.imp {
+            MshrImpl::Lazy(m) => m.earliest_release(now),
+            MshrImpl::Event(m) => m.earliest_release(now),
+        };
+        self.finish(t0);
+        r
     }
 }
 
 /// Completion cycles of outstanding *demand* LLC misses, for MLP
 /// measurement (merged and prefetch requests are not double counted).
+/// Operations carry the same optional host timer as [`MshrFile`].
 #[derive(Clone, Debug)]
-enum MlpTracker {
+struct MlpTracker {
+    imp: MlpImpl,
+    prof: Option<Box<HeapProf>>,
+}
+
+#[derive(Clone, Debug)]
+enum MlpImpl {
     /// Reference: `retain` on insert, filter-count on sample.
     Lazy(Vec<u64>),
     /// Event-driven: min-heap popped as completions pass.
@@ -147,27 +185,42 @@ enum MlpTracker {
 
 impl MlpTracker {
     fn new(model: MemModelKind) -> MlpTracker {
-        match model {
-            MemModelKind::EventDriven => MlpTracker::Event(EventOutstanding::default()),
-            MemModelKind::ReferenceLazy => MlpTracker::Lazy(Vec::new()),
+        MlpTracker {
+            imp: match model {
+                MemModelKind::EventDriven => MlpImpl::Event(EventOutstanding::default()),
+                MemModelKind::ReferenceLazy => MlpImpl::Lazy(Vec::new()),
+            },
+            prof: None,
+        }
+    }
+
+    #[inline]
+    fn finish(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(p) = self.prof.as_mut() {
+            p.finish(t0);
         }
     }
 
     fn note(&mut self, done: u64, now: u64) {
-        match self {
-            MlpTracker::Lazy(v) => {
+        let t0 = HeapProf::start(self.prof.is_some());
+        match &mut self.imp {
+            MlpImpl::Lazy(v) => {
                 v.retain(|&d| d > now);
                 v.push(done);
             }
-            MlpTracker::Event(h) => h.note(done),
+            MlpImpl::Event(h) => h.note(done),
         }
+        self.finish(t0);
     }
 
     fn outstanding(&mut self, now: u64) -> usize {
-        match self {
-            MlpTracker::Lazy(v) => v.iter().filter(|&&d| d > now).count(),
-            MlpTracker::Event(h) => h.outstanding(now),
-        }
+        let t0 = HeapProf::start(self.prof.is_some());
+        let r = match &mut self.imp {
+            MlpImpl::Lazy(v) => v.iter().filter(|&&d| d > now).count(),
+            MlpImpl::Event(h) => h.outstanding(now),
+        };
+        self.finish(t0);
+        r
     }
 }
 
@@ -598,6 +651,40 @@ impl MemoryHierarchy {
     /// The prefetcher (read-only view for reports).
     pub fn prefetcher(&self) -> &StreamPrefetcher {
         &self.prefetcher
+    }
+
+    /// Enables host-side timing of the MSHR and MLP bookkeeping structures
+    /// (see [`crate::prof`]). Idempotent; never changes simulated state.
+    pub fn enable_prof(&mut self) {
+        for mshr in [&mut self.l1d_mshr, &mut self.llc_mshr] {
+            if mshr.prof.is_none() {
+                mshr.prof = Some(Box::default());
+            }
+        }
+        if self.demand_outstanding.prof.is_none() {
+            self.demand_outstanding.prof = Some(Box::default());
+        }
+    }
+
+    /// Detaches and returns the host timers (`None` when profiling was
+    /// never enabled), summed across both MSHR files.
+    pub fn take_prof(&mut self) -> Option<MemProfReport> {
+        let l1d = self.l1d_mshr.prof.take();
+        let llc = self.llc_mshr.prof.take();
+        let mlp = self.demand_outstanding.prof.take();
+        if l1d.is_none() && llc.is_none() && mlp.is_none() {
+            return None;
+        }
+        let mut r = MemProfReport::default();
+        for p in [l1d, llc].into_iter().flatten() {
+            r.mshr_ns += p.ns;
+            r.mshr_ops += p.ops;
+        }
+        if let Some(p) = mlp {
+            r.mlp_ns = p.ns;
+            r.mlp_ops = p.ops;
+        }
+        Some(r)
     }
 }
 

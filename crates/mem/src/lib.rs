@@ -53,6 +53,7 @@ mod event;
 mod hierarchy;
 mod mshr;
 mod prefetch;
+pub mod prof;
 mod shared;
 
 pub use cache::{Cache, CacheConfig, Eviction};
@@ -64,6 +65,7 @@ pub use hierarchy::{
 };
 pub use mshr::{Mshr, MshrOutcome};
 pub use prefetch::{PrefetcherConfig, StreamPrefetcher};
+pub use prof::MemProfReport;
 pub use shared::{CoreShareStats, MultiCoreMemory, SharedMemConfig};
 
 /// Cache line size in bytes used throughout the hierarchy (Table 1: 64B).

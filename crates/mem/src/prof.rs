@@ -1,0 +1,58 @@
+//! Host-side timers for the memory system's event structures.
+//!
+//! The throughput push made MSHR and MLP bookkeeping event-driven (PR 6);
+//! these counters measure what those heaps actually cost on the host so
+//! the next optimization target is picked from a profile, not intuition.
+//! The pattern mirrors the core's profiling sidecar: every timer hangs off
+//! an `Option` that is `None` by default, so an unprofiled hierarchy runs
+//! one null check per heap operation and nothing else, and enabling the
+//! timers never changes simulated state (they only read the clock).
+
+use std::time::Instant;
+
+/// Nanoseconds + operation count for one timed boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HeapProf {
+    /// Wall-clock nanoseconds inside the boundary.
+    pub ns: u64,
+    /// Operations timed.
+    pub ops: u64,
+}
+
+impl HeapProf {
+    /// Starts a timer when profiling is enabled (`enabled` is the
+    /// containing `Option`'s `is_some()`).
+    #[inline]
+    pub fn start(enabled: bool) -> Option<Instant> {
+        enabled.then(Instant::now)
+    }
+
+    /// Closes a timer opened by [`start`](Self::start).
+    #[inline]
+    pub fn finish(&mut self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.ns += t0.elapsed().as_nanos() as u64;
+            self.ops += 1;
+        }
+    }
+}
+
+/// What the memory system spent on the host, drained once per run by the
+/// core's `take_profile` (private hierarchies) or the mix driver (shared
+/// systems) and folded into the `shared_llc`/`mshr_heap`/`mlp_heap`
+/// subsystem rows of the host profile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemProfReport {
+    /// MSHR completion-heap nanoseconds (admission checks + allocations).
+    pub mshr_ns: u64,
+    /// MSHR heap operations timed.
+    pub mshr_ops: u64,
+    /// MLP outstanding-heap nanoseconds (notes + samples).
+    pub mlp_ns: u64,
+    /// MLP heap operations timed.
+    pub mlp_ops: u64,
+    /// Shared-LLC access nanoseconds (multi-core systems only).
+    pub shared_llc_ns: u64,
+    /// Shared-LLC accesses timed.
+    pub shared_llc_ops: u64,
+}

@@ -132,6 +132,9 @@ pub struct MultiCoreMemory {
     chain_reads: BTreeMap<(u32, u64), u64>,
     /// Total fairness steals across all cores.
     total_steals: u64,
+    /// Optional host timer over shared-LLC accesses (see [`crate::prof`]);
+    /// `None` — the default — costs one null check per access.
+    prof: Option<Box<crate::prof::HeapProf>>,
 }
 
 impl MultiCoreMemory {
@@ -165,8 +168,28 @@ impl MultiCoreMemory {
             owner: HashMap::new(),
             chain_reads: BTreeMap::new(),
             total_steals: 0,
+            prof: None,
             cfg,
         }
+    }
+
+    /// Enables host-side timing of shared-LLC accesses (the `shared_llc`
+    /// subsystem row of a host profile). Idempotent; the timer only reads
+    /// the clock, so simulated state and statistics are unchanged.
+    pub fn enable_prof(&mut self) {
+        if self.prof.is_none() {
+            self.prof = Some(Box::default());
+        }
+    }
+
+    /// Detaches and returns the host timer as a [`crate::prof::MemProfReport`]
+    /// (`None` when profiling was never enabled).
+    pub fn take_prof(&mut self) -> Option<crate::prof::MemProfReport> {
+        self.prof.take().map(|p| crate::prof::MemProfReport {
+            shared_llc_ns: p.ns,
+            shared_llc_ops: p.ops,
+            ..Default::default()
+        })
     }
 
     /// The configuration.
@@ -225,6 +248,23 @@ impl MultiCoreMemory {
     /// round-robin lockstep stepping discipline guarantees this and the
     /// event-driven MSHRs assert it in debug builds.
     pub fn access(
+        &mut self,
+        core: usize,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+        wrong_path: bool,
+        chain: u64,
+    ) -> AccessResult {
+        let t0 = crate::prof::HeapProf::start(self.prof.is_some());
+        let r = self.access_inner(core, addr, kind, now, wrong_path, chain);
+        if let Some(p) = self.prof.as_mut() {
+            p.finish(t0);
+        }
+        r
+    }
+
+    fn access_inner(
         &mut self,
         core: usize,
         addr: u64,
@@ -397,7 +437,12 @@ impl MultiCoreMemory {
     /// only, bypassing the core's L1D MSHRs). Returns whether a DRAM read
     /// was actually issued.
     pub fn runahead_prefetch(&mut self, core: usize, addr: u64, now: u64) -> bool {
-        self.issue_prefetch(core, line_addr(Self::phys(core, addr)), now, true)
+        let t0 = crate::prof::HeapProf::start(self.prof.is_some());
+        let r = self.issue_prefetch(core, line_addr(Self::phys(core, addr)), now, true);
+        if let Some(p) = self.prof.as_mut() {
+            p.finish(t0);
+        }
+        r
     }
 
     /// `pf_addr` is already in the shared physical space: prefetcher

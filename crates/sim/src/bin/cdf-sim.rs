@@ -11,13 +11,15 @@
 //!                 [sizing flags]
 //! cdf-sim telemetry <workload> [--mech M] [--interval N] [--out FILE]
 //!                   [--trace-out FILE] [sizing flags]
+//! cdf-sim profile <workload> [--mech M] [--out FILE] [--trace-out FILE]
+//!                 [sizing flags]
 //! cdf-sim compare <workload> [sizing flags]
 //! cdf-sim compare <refA> <refB> [--store FILE] [--tolerance F] [--out FILE]
 //! cdf-sim record [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
 //!                [--filter SUBSTR] [--store FILE] [--telemetry N]
-//!                [--explain] [sizing flags]
+//!                [--explain] [--profile] [sizing flags]
 //! cdf-sim sweep [--workloads a,b,c] [--mechs base,cdf,...] [--threads N]
-//!               [--max-cycles N] [--telemetry N] [--explain]
+//!               [--max-cycles N] [--telemetry N] [--explain] [--profile]
 //!               [--record] [--store FILE]
 //!               [--out results.json] [sizing flags]
 //! cdf-sim fuzz [--seeds N] [--start N] [--budget M] [--mechs a,b,c]
@@ -26,6 +28,7 @@
 //! cdf-sim equiv [--seeds N] [--start N] [--mechs a,b,c] [--threads N]
 //!               [--mem] [--boundary] [--report FILE]
 //! cdf-sim mix --workloads a,b[,c,...] [--mechs base,cdf,...] [--fast]
+//!             [--telemetry N] [--profile]
 //!             [--out FILE] [--record] [--store FILE] [sizing flags]
 //! cdf-sim campaign run --spec FILE [--dir DIR] [--shards N] [--threads N]
 //!                      [--store FILE] [--no-record]
@@ -37,18 +40,26 @@
 
 use cdf_core::{CoreConfig, TelemetryConfig};
 use cdf_sim::{
-    accounting_table, run_explain, run_sweep, simulate, table1_text, telemetry_json,
-    trace_events_json, try_simulate_workload_telemetry, EvalConfig, ExplainConfig, Mechanism,
-    SweepConfig,
+    accounting_table, profile_json, profile_table, profile_trace_json, run_explain, run_sweep,
+    simulate, table1_text, telemetry_json, trace_events_json, try_simulate_workload_profiled,
+    try_simulate_workload_telemetry, EvalConfig, ExplainConfig, Mechanism, SweepConfig,
 };
 use cdf_workloads::registry;
 use std::process::exit;
+
+/// Counting allocator so host profiles ([`cdf_sim::prof`]) attribute
+/// allocation counts and bytes to pipeline stages. Zero overhead beyond two
+/// relaxed atomic increments per allocation; behaves identically to the
+/// system allocator it wraps.
+#[global_allocator]
+static ALLOC: cdf_core::CountingAlloc = cdf_core::CountingAlloc;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  cdf-sim list\n  cdf-sim table1\n  cdf-sim run <workload> [options]\n  \
          cdf-sim report <workload> [options]\n  cdf-sim explain [options]\n  \
          cdf-sim telemetry <workload> [options]\n  \
+         cdf-sim profile <workload> [options]\n  \
          cdf-sim compare <workload> [options]\n  \
          cdf-sim compare <refA> <refB> [options]\n  \
          cdf-sim record [options]\n  cdf-sim sweep [options]\n  \
@@ -69,6 +80,9 @@ fn usage() -> ! {
          --trace-out FILE   write per-chain Perfetto async spans to FILE\n\ntelemetry options:\n  \
          --interval N       cycles per interval sample (default 1024)\n  \
          --out FILE         write the cdf-telemetry/1 JSON document to FILE\n  \
+         --trace-out FILE   write Chrome/Perfetto trace-event JSON to FILE\n\nprofile options:\n  \
+         --mech M           mechanism to profile (default cdf)\n  \
+         --out FILE         write the cdf-profile/1 JSON document to FILE\n  \
          --trace-out FILE   write Chrome/Perfetto trace-event JSON to FILE\n\nsweep options:\n  \
          --workloads a,b,c  comma-separated workloads (default: full registry)\n  \
          --mechs a,b,c      comma-separated mechanisms (default: all)\n  \
@@ -78,11 +92,15 @@ fn usage() -> ! {
          embed it per cell in the JSON records\n  \
          --explain          collect criticality-provenance diagnostics and\n                     \
          embed them per cell in the JSON records\n  \
+         --profile          attach the host self-profiler and embed a\n                     \
+         cdf-profile/1 document per cell in the JSON records\n  \
          --record           also append one cdf-result/1 record per cell to the\n                     \
          results store\n  \
          --store FILE       results store path (default .cdf-results/results.jsonl)\n  \
          --out FILE         write the stamped JSON records to FILE\n\nrecord options:\n  \
          --workloads/--mechs/--threads/--telemetry/--explain  as for sweep\n  \
+         --profile          also append one host-throughput \"profile\" record per\n                     \
+         successful cell (compare classifies them tolerantly)\n  \
          --filter SUBSTR    only cells whose workload/mechanism label contains SUBSTR\n  \
          --store FILE       results store to append to\n\ncompare options (two-ref form):\n  \
          <refA> <refB>      each: `latest`, `latest~N`, a run id, or a commit prefix\n  \
@@ -108,6 +126,10 @@ fn usage() -> ! {
          --report FILE      write the cdf-equiv/1 JSON report to FILE\n\nmix options:\n  \
          --workloads a,b    one workload per core, in core order (2+ cores)\n  \
          --mechs a,b        one mechanism per core, or one for all (default cdf)\n  \
+         --telemetry N      per-core telemetry with an N-cycle sample interval,\n                     \
+         embedded per core in the JSON document\n  \
+         --profile          host self-profile for the whole mix, embedded in the\n                     \
+         JSON document and printed as a table\n  \
          --out FILE         write the cdf-mix/1 JSON document to FILE\n  \
          --record           append per-core cdf-result/1 records to the store\n  \
          --store FILE       results store path (default .cdf-results/results.jsonl)\n\ncampaign options:\n  \
@@ -405,6 +427,48 @@ fn run_telemetry_command(args: &[String]) {
     }
 }
 
+/// `cdf-sim profile <workload>` — run one cell with the host self-profiler
+/// attached and report where the simulator's own wall-clock time went.
+fn run_profile_command(args: &[String]) {
+    let name = args.first().cloned().unwrap_or_else(|| usage());
+    let allowed: Vec<(&str, bool)> = SIZING_FLAGS
+        .iter()
+        .copied()
+        .chain([("--mech", true), ("--out", true), ("--trace-out", true)])
+        .collect();
+    reject_unknown_flags(&args[1..], &allowed);
+    let mech = parse_mech(args);
+    let cfg = parse_eval(&args[1..]);
+    let w = registry::lookup(&name, &cfg.gen).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    let (m, p) = try_simulate_workload_profiled(&w, mech, &cfg).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    print_measurement(&m);
+    println!();
+    print!("{}", profile_table(&p));
+    let write = |path: &str, contents: String, what: &str| {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote {what} to {path}");
+    };
+    if let Some(path) = flag_value(args, "--out") {
+        write(
+            path,
+            profile_json(&p, &name, mech.label()).render_pretty(),
+            "profile JSON",
+        );
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        write(path, profile_trace_json(&p).render(), "trace events");
+    }
+}
+
 fn run_explain_command(args: &[String]) {
     let allowed: Vec<(&str, bool)> = SIZING_FLAGS
         .iter()
@@ -497,6 +561,7 @@ fn run_sweep_command(args: &[String]) {
     }
     eval.diagnostics = args.iter().any(|a| a == "--explain");
     let mut cfg = SweepConfig::full_grid(eval);
+    cfg.profile = args.iter().any(|a| a == "--profile");
     if let Some(list) = flag_value(args, "--workloads") {
         cfg.workloads = list.split(',').map(str::to_string).collect();
     }
@@ -551,13 +616,21 @@ fn run_mix_command(args: &[String]) {
         .chain([
             ("--workloads", true),
             ("--mechs", true),
+            ("--telemetry", true),
+            ("--profile", false),
             ("--out", true),
             ("--record", false),
             ("--store", true),
         ])
         .collect();
     reject_unknown_flags(args, &allowed);
-    let eval = parse_eval(args);
+    let mut eval = parse_eval(args);
+    if let Some(i) = flag_value(args, "--telemetry") {
+        eval.telemetry = Some(TelemetryConfig {
+            interval: i.parse().unwrap_or_else(|_| usage()),
+            ..TelemetryConfig::default()
+        });
+    }
     let workloads: Vec<String> = flag_value(args, "--workloads")
         .unwrap_or_else(|| {
             eprintln!("mix needs --workloads a,b[,c,...] (one per core)");
@@ -595,6 +668,7 @@ fn run_mix_command(args: &[String]) {
         cfg.cycle_budget = budget;
     }
     cfg.eval = eval;
+    cfg.profile = args.iter().any(|a| a == "--profile");
     let report = cdf_sim::run_mix(&cfg).unwrap_or_else(|e| {
         eprintln!("{e}");
         exit(1)
@@ -625,6 +699,10 @@ fn run_mix_command(args: &[String]) {
             c.share.mshr_steals_suffered,
             c.share.mshr_steals_caused,
         );
+    }
+    if let Some(p) = &report.profile {
+        println!();
+        print!("{}", profile_table(p));
     }
 
     if let Some(path) = flag_value(args, "--out") {
@@ -676,6 +754,7 @@ fn run_record_command(args: &[String]) {
             ("--store", true),
             ("--telemetry", true),
             ("--explain", false),
+            ("--profile", false),
         ])
         .collect();
     reject_unknown_flags(args, &allowed);
@@ -688,6 +767,7 @@ fn run_record_command(args: &[String]) {
     }
     eval.diagnostics = args.iter().any(|a| a == "--explain");
     let mut cfg = cdf_sim::RecordConfig::full_grid(eval);
+    cfg.profile = args.iter().any(|a| a == "--profile");
     if let Some(list) = flag_value(args, "--workloads") {
         cfg.workloads = list.split(',').map(str::to_string).collect();
     }
@@ -1072,6 +1152,7 @@ fn main() {
         Some("report") => run_report_command(&args[1..]),
         Some("explain") => run_explain_command(&args[1..]),
         Some("telemetry") => run_telemetry_command(&args[1..]),
+        Some("profile") => run_profile_command(&args[1..]),
         Some("sweep") => run_sweep_command(&args[1..]),
         Some("mix") => run_mix_command(&args[1..]),
         Some("fuzz") => run_fuzz_command(&args[1..]),

@@ -9,12 +9,18 @@
 //! suite compares: a killed-and-resumed campaign must produce the same
 //! digest as an uninterrupted one.
 
-use super::checkpoint::{CellOutcome, CellRecord};
+use super::checkpoint::{CellOutcome, CellRecord, ShardJournal};
 use super::spec::{CampaignSpec, CellMode};
 use crate::json::{field, Json};
 use crate::schema;
 use crate::sweep::fnv1a_hex;
 use std::collections::HashMap;
+
+/// How long a shard may go without a heartbeat (while still holding
+/// pending cells) before `campaign status` flags it stale. Shards stamp a
+/// heartbeat before every cell batch, so on a live shard the gap is one
+/// batch's wall time.
+pub const HEARTBEAT_STALE_SECS: u64 = 120;
 
 /// Per-shard completion counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -25,6 +31,12 @@ pub struct ShardProgress {
     pub assigned: u64,
     /// Cells this shard has journaled.
     pub done: u64,
+    /// Unix timestamp of the shard's newest journal heartbeat, if any.
+    pub last_heartbeat: Option<u64>,
+    /// Set by [`CampaignStatus::mark_staleness`]: the shard still has
+    /// pending cells but has not heartbeat within the staleness window —
+    /// it was probably killed and needs `campaign resume`.
+    pub stale: bool,
 }
 
 /// One row of the mean-IPC surface: a (mechanism, config-point) slice of
@@ -39,6 +51,35 @@ pub struct AggregateRow {
     pub cells: u64,
     /// Mean IPC over those cells.
     pub mean_ipc: f64,
+    /// Median IPC over those cells (nearest rank).
+    pub p50_ipc: f64,
+    /// 90th-percentile IPC over those cells (nearest rank).
+    pub p90_ipc: f64,
+}
+
+/// One per-workload row of the aggregate: all measured cells of one
+/// workload, across every mechanism and config point.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WorkloadRow {
+    /// Workload name.
+    pub workload: String,
+    /// Completed, successfully measured cells for this workload.
+    pub cells: u64,
+    /// Mean IPC over those cells.
+    pub mean_ipc: f64,
+    /// Median IPC over those cells (nearest rank).
+    pub p50_ipc: f64,
+    /// 90th-percentile IPC over those cells (nearest rank).
+    pub p90_ipc: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0 for empty input.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1).min(sorted.len()) - 1]
 }
 
 /// The aggregate state of a campaign: totals, per-shard progress, the
@@ -70,6 +111,9 @@ pub struct CampaignStatus {
     /// Mean-IPC surface rows (mechanism-major, then grid-point order);
     /// empty for fuzz/equiv campaigns.
     pub rows: Vec<AggregateRow>,
+    /// Per-workload rows, in spec workload order; empty for fuzz/equiv
+    /// campaigns.
+    pub workload_rows: Vec<WorkloadRow>,
     /// FNV-1a digest over the canonical rendering of every completed cell,
     /// in cell-id order. Excludes wall-clock, shard assignment, and
     /// completion order — equal digests mean equal results.
@@ -80,6 +124,19 @@ impl CampaignStatus {
     /// Whether every cell of the grid has completed.
     pub fn complete(&self) -> bool {
         self.done == self.total
+    }
+
+    /// Flags shards that still hold pending cells but have not stamped a
+    /// heartbeat within `stale_after` seconds of `now`. Kept out of
+    /// [`aggregate`] so aggregation itself stays clock-free (and the final
+    /// report deterministic); only the live `campaign status` path calls
+    /// this with the real clock.
+    pub fn mark_staleness(&mut self, now: u64, stale_after: u64) {
+        for s in &mut self.shards {
+            s.stale = s.done < s.assigned
+                && s.last_heartbeat
+                    .is_none_or(|hb| now.saturating_sub(hb) > stale_after);
+        }
     }
 
     /// Serializes the [`schema::CAMPAIGN`] report.
@@ -102,11 +159,16 @@ impl CampaignStatus {
                     self.shards
                         .iter()
                         .map(|s| {
-                            Json::Obj(vec![
+                            let mut fields = vec![
                                 field("shard", s.shard),
                                 field("assigned", s.assigned),
                                 field("done", s.done),
-                            ])
+                            ];
+                            if let Some(hb) = s.last_heartbeat {
+                                fields.push(field("last_heartbeat", hb));
+                            }
+                            fields.push(field("stale", s.stale));
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),
@@ -122,6 +184,25 @@ impl CampaignStatus {
                                 field("point", r.point.as_str()),
                                 field("cells", r.cells),
                                 field("mean_ipc", r.mean_ipc),
+                                field("p50_ipc", r.p50_ipc),
+                                field("p90_ipc", r.p90_ipc),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            field(
+                "workloads",
+                Json::Arr(
+                    self.workload_rows
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                field("workload", r.workload.as_str()),
+                                field("cells", r.cells),
+                                field("mean_ipc", r.mean_ipc),
+                                field("p50_ipc", r.p50_ipc),
+                                field("p90_ipc", r.p90_ipc),
                             ])
                         })
                         .collect(),
@@ -155,8 +236,15 @@ impl CampaignStatus {
         }
         for s in &self.shards {
             out.push_str(&format!(
-                "  shard {:>2}: {:>5}/{:<5}\n",
-                s.shard, s.done, s.assigned
+                "  shard {:>2}: {:>5}/{:<5}{}\n",
+                s.shard,
+                s.done,
+                s.assigned,
+                if s.stale {
+                    "  STALE (no recent heartbeat — resume with `campaign resume`)"
+                } else {
+                    ""
+                }
             ));
         }
         if !self.rows.is_empty() {
@@ -168,13 +256,25 @@ impl CampaignStatus {
                 .unwrap_or(5)
                 .max("point".len());
             out.push_str(&format!(
-                "  {:<14} {:<width$} {:>5} {:>9}\n",
-                "mechanism", "point", "cells", "mean-ipc"
+                "  {:<14} {:<width$} {:>5} {:>9} {:>9} {:>9}\n",
+                "mechanism", "point", "cells", "mean-ipc", "p50-ipc", "p90-ipc"
             ));
             for r in &self.rows {
                 out.push_str(&format!(
-                    "  {:<14} {:<width$} {:>5} {:>9.4}\n",
-                    r.mechanism, r.point, r.cells, r.mean_ipc
+                    "  {:<14} {:<width$} {:>5} {:>9.4} {:>9.4} {:>9.4}\n",
+                    r.mechanism, r.point, r.cells, r.mean_ipc, r.p50_ipc, r.p90_ipc
+                ));
+            }
+        }
+        if !self.workload_rows.is_empty() {
+            out.push_str(&format!(
+                "  {:<14} {:>5} {:>9} {:>9} {:>9}\n",
+                "workload", "cells", "mean-ipc", "p50-ipc", "p90-ipc"
+            ));
+            for r in &self.workload_rows {
+                out.push_str(&format!(
+                    "  {:<14} {:>5} {:>9.4} {:>9.4} {:>9.4}\n",
+                    r.workload, r.cells, r.mean_ipc, r.p50_ipc, r.p90_ipc
                 ));
             }
         }
@@ -184,23 +284,26 @@ impl CampaignStatus {
 }
 
 /// Aggregates whatever the journals hold so far. `journals` pairs each
-/// shard index with its replayed records; completeness is judged against
-/// the spec's full enumeration.
-pub fn aggregate(spec: &CampaignSpec, journals: &[(u64, Vec<CellRecord>)]) -> CampaignStatus {
+/// shard index with its replayed journal; completeness is judged against
+/// the spec's full enumeration. Clock-free: staleness flags stay unset
+/// until [`CampaignStatus::mark_staleness`].
+pub fn aggregate(spec: &CampaignSpec, journals: &[(u64, ShardJournal)]) -> CampaignStatus {
     let cells = spec.cells();
     let total = cells.len() as u64;
     let shard_count = journals.len() as u64;
 
     let mut shards = Vec::new();
     let mut by_id: Vec<(u64, &CellRecord)> = Vec::new();
-    for &(shard, ref records) in journals {
+    for &(shard, ref journal) in journals {
         let assigned = cells.iter().filter(|c| c.id % shard_count == shard).count() as u64;
         shards.push(ShardProgress {
             shard,
             assigned,
-            done: records.len() as u64,
+            done: journal.records.len() as u64,
+            last_heartbeat: journal.last_heartbeat,
+            stale: false,
         });
-        for r in records {
+        for r in &journal.records {
             by_id.push((r.cell, r));
         }
     }
@@ -210,8 +313,9 @@ pub fn aggregate(spec: &CampaignSpec, journals: &[(u64, Vec<CellRecord>)]) -> Ca
     let mut failed = 0u64;
     let mut divergent = 0u64;
     let mut checked = 0u64;
-    // (mechanism, point) → (measured cells, summed IPC).
-    let mut surface: HashMap<(String, String), (u64, f64)> = HashMap::new();
+    // (mechanism, point) → per-cell IPCs; workload → per-cell IPCs.
+    let mut surface: HashMap<(String, String), Vec<f64>> = HashMap::new();
+    let mut per_workload: HashMap<String, Vec<f64>> = HashMap::new();
     let mut canon = String::new();
     for &(id, r) in &by_id {
         canon.push_str(&r.canonical());
@@ -224,11 +328,14 @@ pub fn aggregate(spec: &CampaignSpec, journals: &[(u64, Vec<CellRecord>)]) -> Ca
                     .mechanism
                     .map(|m| m.label().to_string())
                     .unwrap_or_default();
-                let e = surface
+                surface
                     .entry((mech, params.point.label()))
-                    .or_insert((0, 0.0));
-                e.0 += 1;
-                e.1 += measurement.ipc;
+                    .or_default()
+                    .push(measurement.ipc);
+                per_workload
+                    .entry(params.workload.clone())
+                    .or_default()
+                    .push(measurement.ipc);
             }
             CellOutcome::Checked {
                 checked: n, clean, ..
@@ -245,17 +352,33 @@ pub fn aggregate(spec: &CampaignSpec, journals: &[(u64, Vec<CellRecord>)]) -> Ca
 
     // Deterministic row order: spec mechanism order, then grid-point order.
     let mut rows = Vec::new();
+    let mut workload_rows = Vec::new();
     if spec.mode.measures() {
         for m in &spec.mechanisms {
             for p in spec.grid.points() {
-                if let Some(&(cells, ipc_sum)) = surface.get(&(m.label().to_string(), p.label())) {
+                if let Some(ipcs) = surface.get_mut(&(m.label().to_string(), p.label())) {
+                    ipcs.sort_by(f64::total_cmp);
                     rows.push(AggregateRow {
                         mechanism: m.label().to_string(),
                         point: p.label(),
-                        cells,
-                        mean_ipc: ipc_sum / cells as f64,
+                        cells: ipcs.len() as u64,
+                        mean_ipc: ipcs.iter().sum::<f64>() / ipcs.len() as f64,
+                        p50_ipc: percentile(ipcs, 0.5),
+                        p90_ipc: percentile(ipcs, 0.9),
                     });
                 }
+            }
+        }
+        for w in &spec.workloads {
+            if let Some(ipcs) = per_workload.get_mut(w) {
+                ipcs.sort_by(f64::total_cmp);
+                workload_rows.push(WorkloadRow {
+                    workload: w.clone(),
+                    cells: ipcs.len() as u64,
+                    mean_ipc: ipcs.iter().sum::<f64>() / ipcs.len() as f64,
+                    p50_ipc: percentile(ipcs, 0.5),
+                    p90_ipc: percentile(ipcs, 0.9),
+                });
             }
         }
     }
@@ -273,6 +396,7 @@ pub fn aggregate(spec: &CampaignSpec, journals: &[(u64, Vec<CellRecord>)]) -> Ca
         checked,
         shards,
         rows,
+        workload_rows,
         digest: fnv1a_hex(&canon),
     }
 }
@@ -313,17 +437,26 @@ mod tests {
         }
     }
 
+    fn j(records: Vec<CellRecord>) -> ShardJournal {
+        ShardJournal {
+            records,
+            valid_len: 0,
+            torn_tail: false,
+            last_heartbeat: None,
+        }
+    }
+
     #[test]
     fn digest_ignores_sharding_order_and_wall_clock() {
         let s = spec();
-        let one = aggregate(&s, &[(0, vec![measured(0, 1.0), measured(1, 2.0)])]);
+        let one = aggregate(&s, &[(0, j(vec![measured(0, 1.0), measured(1, 2.0)]))]);
         let mut a = measured(1, 2.0);
         a.wall_ms = 777;
-        let two = aggregate(&s, &[(0, vec![measured(0, 1.0)]), (1, vec![a])]);
+        let two = aggregate(&s, &[(0, j(vec![measured(0, 1.0)])), (1, j(vec![a]))]);
         assert_eq!(one.digest, two.digest);
         assert_eq!(one.done, 2);
         assert!(!one.complete(), "grid has 4 cells");
-        let other = aggregate(&s, &[(0, vec![measured(0, 1.5), measured(1, 2.0)])]);
+        let other = aggregate(&s, &[(0, j(vec![measured(0, 1.5), measured(1, 2.0)]))]);
         assert_ne!(one.digest, other.digest, "different IPC, different digest");
     }
 
@@ -335,12 +468,12 @@ mod tests {
             &s,
             &[(
                 0,
-                vec![
+                j(vec![
                     measured(0, 1.0),
                     measured(1, 2.0),
                     measured(2, 3.0),
                     measured(3, 5.0),
-                ],
+                ]),
             )],
         );
         assert!(status.complete());
@@ -349,9 +482,53 @@ mod tests {
         assert_eq!(status.rows[0].cells, 2);
         assert!((status.rows[0].mean_ipc - 1.5).abs() < 1e-12);
         assert!((status.rows[1].mean_ipc - 4.0).abs() < 1e-12);
+        // Two cells per slice: p50 is the lower sample, p90 the upper.
+        assert!((status.rows[0].p50_ipc - 1.0).abs() < 1e-12);
+        assert!((status.rows[0].p90_ipc - 2.0).abs() < 1e-12);
+        // One workload row covering all four cells.
+        assert_eq!(status.workload_rows.len(), 1);
+        let w = &status.workload_rows[0];
+        assert_eq!((w.workload.as_str(), w.cells), ("astar_like", 4));
+        assert!((w.mean_ipc - 2.75).abs() < 1e-12);
+        assert!((w.p50_ipc - 2.0).abs() < 1e-12, "nearest rank of 4 at 0.5");
+        assert!((w.p90_ipc - 5.0).abs() < 1e-12);
         let text = status.render_text();
         assert!(text.contains("4/4 cells done"), "{text}");
         assert!(text.contains("digest:"), "{text}");
+        assert!(text.contains("p90-ipc"), "{text}");
+        assert!(text.contains("astar_like"), "{text}");
+    }
+
+    #[test]
+    fn staleness_flags_only_incomplete_shards_without_recent_heartbeat() {
+        let s = spec();
+        let mut fresh = j(vec![measured(0, 1.0)]);
+        fresh.last_heartbeat = Some(1_000);
+        let mut dead = j(vec![measured(1, 2.0)]);
+        dead.last_heartbeat = Some(100);
+        let mut status = aggregate(&s, &[(0, fresh), (1, dead)]);
+        assert!(
+            status.shards.iter().all(|sh| !sh.stale),
+            "unset before marking"
+        );
+        status.mark_staleness(1_010, HEARTBEAT_STALE_SECS);
+        assert!(!status.shards[0].stale, "recent heartbeat");
+        assert!(status.shards[1].stale, "silent for 910s with pending cells");
+        let text = status.render_text();
+        assert!(text.contains("STALE"), "{text}");
+
+        // A complete shard is never stale, however old its heartbeat.
+        let complete = aggregate(
+            &s,
+            &[(0, j(vec![measured(0, 1.0), measured(2, 1.0)])), {
+                let mut done = j(vec![measured(1, 1.0), measured(3, 1.0)]);
+                done.last_heartbeat = Some(5);
+                (1, done)
+            }],
+        );
+        let mut complete = complete;
+        complete.mark_staleness(1_000_000, HEARTBEAT_STALE_SECS);
+        assert!(complete.shards.iter().all(|sh| !sh.stale));
     }
 
     #[test]
@@ -379,7 +556,7 @@ mod tests {
                 },
             },
         ];
-        let status = aggregate(&s, &[(0, cells)]);
+        let status = aggregate(&s, &[(0, j(cells))]);
         assert_eq!((status.ok, status.divergent, status.checked), (2, 1, 70));
         assert!(status.complete(), "fuzz grid is one cell per seed");
         assert!(status.rows.is_empty());

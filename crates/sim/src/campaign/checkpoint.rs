@@ -310,6 +310,27 @@ pub struct ShardJournal {
     pub valid_len: u64,
     /// Whether the file ended in a torn (incomplete) final line.
     pub torn_tail: bool,
+    /// Unix timestamp of the newest heartbeat line, if the shard has
+    /// stamped any. Heartbeats are liveness-only: they carry no results,
+    /// never enter the aggregate digest, and a torn heartbeat is repaired
+    /// like any other torn tail.
+    pub last_heartbeat: Option<u64>,
+}
+
+/// Appends one heartbeat line (`{"schema":…,"heartbeat":<unix-secs>}`) to a
+/// shard's journal. Shards stamp one before every cell batch so `campaign
+/// status` can tell a slow shard from a dead one.
+pub fn append_heartbeat(dir: &Path, shard: u64, unix_secs: u64) -> Result<(), JournalError> {
+    let line = Json::Obj(vec![
+        field("schema", schema::CAMPAIGN_JOURNAL),
+        field("heartbeat", unix_secs),
+    ]);
+    let mut f = fs::OpenOptions::new()
+        .append(true)
+        .open(journal_path(dir, shard))?;
+    writeln!(f, "{}", line.render())?;
+    f.flush()?;
+    Ok(())
 }
 
 /// Creates a shard journal containing only its header line. Errors if the
@@ -365,6 +386,7 @@ pub fn read_journal(
                 records: Vec::new(),
                 valid_len: 0,
                 torn_tail: false,
+                last_heartbeat: None,
             })
         }
         Err(e) => return Err(e.into()),
@@ -378,6 +400,7 @@ pub fn read_journal(
     let mut seen = std::collections::HashSet::new();
     let mut valid_len = 0u64;
     let mut torn_tail = false;
+    let mut last_heartbeat = None;
     let mut offset = 0usize;
     let mut lineno = 0usize;
     while offset < bytes.len() {
@@ -434,6 +457,14 @@ pub fn read_journal(
             offset += consumed;
             continue;
         }
+        // Heartbeat lines are liveness stamps, not results: record the
+        // newest one and move on before any cell validation.
+        if let Some(ts) = doc.get("heartbeat").and_then(Json::as_u64) {
+            last_heartbeat = Some(last_heartbeat.map_or(ts, |prev: u64| prev.max(ts)));
+            valid_len = (offset + consumed) as u64;
+            offset += consumed;
+            continue;
+        }
         let cell_id = doc.get("cell").and_then(Json::as_u64);
         let (workload, mechanism) = match cell_id.and_then(labels) {
             Some(pair) => pair,
@@ -474,6 +505,7 @@ pub fn read_journal(
         records,
         valid_len,
         torn_tail,
+        last_heartbeat,
     })
 }
 
@@ -591,6 +623,35 @@ mod tests {
         append_cells(&dir, 0, &[checked(0), checked(0)]).unwrap();
         let err = read_journal(&dir, &header(), &labels).unwrap_err();
         assert!(err.to_string().contains("duplicate cell"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeats_are_liveness_only() {
+        let dir = std::env::temp_dir().join(format!("cdf-journal-hb-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        create_journal(&dir, &header()).unwrap();
+        append_heartbeat(&dir, 0, 100).unwrap();
+        append_cells(&dir, 0, &[checked(0)]).unwrap();
+        append_heartbeat(&dir, 0, 250).unwrap();
+        let j = read_journal(&dir, &header(), &labels).unwrap();
+        assert_eq!(j.records.len(), 1, "heartbeats are not cell records");
+        assert_eq!(j.last_heartbeat, Some(250), "newest heartbeat wins");
+        assert_eq!(
+            j.valid_len,
+            fs::metadata(journal_path(&dir, 0)).unwrap().len(),
+            "heartbeat lines are part of the valid prefix"
+        );
+
+        // A torn heartbeat tail is repaired like any torn record: the
+        // complete prefix (including the earlier heartbeat) survives.
+        let full = fs::read(journal_path(&dir, 0)).unwrap();
+        fs::write(journal_path(&dir, 0), &full[..full.len() - 4]).unwrap();
+        let j2 = read_journal(&dir, &header(), &labels).unwrap();
+        assert!(j2.torn_tail);
+        assert_eq!(j2.records.len(), 1);
+        assert_eq!(j2.last_heartbeat, Some(100));
         let _ = fs::remove_dir_all(&dir);
     }
 

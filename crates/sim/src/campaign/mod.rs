@@ -33,8 +33,11 @@ pub mod checkpoint;
 pub mod spec;
 pub mod toml;
 
-pub use aggregate::{aggregate as aggregate_journals, AggregateRow, CampaignStatus, ShardProgress};
-pub use checkpoint::{CellOutcome, CellRecord, JournalError, JournalHeader};
+pub use aggregate::{
+    aggregate as aggregate_journals, AggregateRow, CampaignStatus, ShardProgress, WorkloadRow,
+    HEARTBEAT_STALE_SECS,
+};
+pub use checkpoint::{CellOutcome, CellRecord, JournalError, JournalHeader, ShardJournal};
 pub use spec::{CampaignSpec, CellMode, CellParams};
 
 use crate::equivalence::check_seed;
@@ -289,6 +292,9 @@ pub fn run_shard(c: &Campaign, shard: u64, opts: &ShardOptions) -> Result<ShardR
     };
     let mut completed = 0usize;
     for chunk in pending.chunks(batch) {
+        // Liveness stamp before the batch: `campaign status` can then tell
+        // a shard grinding through a slow batch from one that was killed.
+        checkpoint::append_heartbeat(&c.dir, shard, unix_now())?;
         let records = parallel_map(chunk, opts.threads, |p| run_campaign_cell(&c.spec, p));
         checkpoint::append_cells(&c.dir, shard, &records)?;
         completed += records.len();
@@ -400,20 +406,30 @@ pub fn run_campaign_cell(spec: &CampaignSpec, p: &CellParams) -> CellRecord {
 /// Replays every shard journal (tolerating torn tails — this is the
 /// read-only path `status` uses mid-run, possibly while shards are still
 /// writing).
-pub fn read_journals(c: &Campaign) -> Result<Vec<(u64, Vec<CellRecord>)>, CampaignError> {
+pub fn read_journals(c: &Campaign) -> Result<Vec<(u64, ShardJournal)>, CampaignError> {
     let cells = c.spec.cells();
     let mut out = Vec::new();
     for shard in 0..c.shards {
         let labels = labels_fn(c, &cells, shard);
         let journal = checkpoint::read_journal(&c.dir, &c.header(shard), &labels)?;
-        out.push((shard, journal.records));
+        out.push((shard, journal));
     }
     Ok(out)
 }
 
-/// The streaming aggregate of whatever the journals hold right now.
+/// Wall-clock unix seconds, for heartbeat stamps and staleness checks.
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// The streaming aggregate of whatever the journals hold right now, with
+/// shards gone silent past [`HEARTBEAT_STALE_SECS`] flagged stale.
 pub fn status(c: &Campaign) -> Result<CampaignStatus, CampaignError> {
-    Ok(aggregate::aggregate(&c.spec, &read_journals(c)?))
+    let mut status = aggregate::aggregate(&c.spec, &read_journals(c)?);
+    status.mark_staleness(unix_now(), HEARTBEAT_STALE_SECS);
+    Ok(status)
 }
 
 /// Converts a completed campaign's cells into results-store records, in
@@ -423,10 +439,10 @@ pub fn status(c: &Campaign) -> Result<CampaignStatus, CampaignError> {
 pub fn store_records(
     c: &Campaign,
     run_id: &str,
-    journals: &[(u64, Vec<CellRecord>)],
+    journals: &[(u64, ShardJournal)],
 ) -> Vec<ResultRecord> {
     let cells = c.spec.cells();
-    let mut by_id: Vec<&CellRecord> = journals.iter().flat_map(|(_, r)| r).collect();
+    let mut by_id: Vec<&CellRecord> = journals.iter().flat_map(|(_, j)| &j.records).collect();
     by_id.sort_by_key(|r| r.cell);
     by_id
         .iter()

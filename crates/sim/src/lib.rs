@@ -62,6 +62,7 @@ pub mod fuzz;
 pub mod golden;
 pub mod json;
 pub mod mix;
+pub mod prof;
 pub mod provenance;
 pub mod report;
 pub mod schema;
@@ -103,10 +104,14 @@ pub use mix::{
     mix_from_json, mix_json, records_from_mix, run_mix, MixConfig, MixCoreResult, MixReport,
     MixSummary,
 };
+pub use prof::{
+    profile_from_json, profile_json, profile_table, profile_trace_json, PROFILE_SCHEMA,
+};
 pub use provenance::{provenance_from_json, provenance_json};
 pub use run::{
-    simulate, simulate_workload, try_simulate, try_simulate_workload,
+    simulate, simulate_workload, try_simulate, try_simulate_profiled, try_simulate_workload,
     try_simulate_workload_diagnostics, try_simulate_workload_mode, try_simulate_workload_observed,
+    try_simulate_workload_observed_profiled, try_simulate_workload_profiled,
     try_simulate_workload_telemetry, EvalConfig, Measurement, Mechanism,
 };
 pub use store::{
@@ -115,6 +120,8 @@ pub use store::{
     RecordConfig, RecordPayload, RecordRun, ResultKey, ResultRecord, ResultStore, StoreError,
     TelemetrySummary, DEFAULT_STORE_PATH, RESULT_SCHEMA,
 };
-pub use sweep::{eval_config_hash, run_sweep, Sweep, SweepCell, SweepConfig};
+pub use sweep::{
+    eval_config_hash, run_cell, run_cell_profiled, run_sweep, Sweep, SweepCell, SweepConfig,
+};
 pub use table1::table1_text;
 pub use telemetry::{accounting_table, telemetry_json, trace_events_json, TELEMETRY_SCHEMA};

@@ -32,7 +32,11 @@ use crate::run::{EvalConfig, Measurement, Mechanism};
 use crate::schema;
 use crate::store::{measurement_from_json, RecordPayload, ResultKey, ResultRecord};
 use crate::sweep::{eval_config_hash, measurement_json};
-use cdf_core::{CoreOutcome, CoreShareStats, MultiCore, Provenance, SharedStatsReport};
+use crate::telemetry::telemetry_json;
+use cdf_core::{
+    CoreOutcome, CoreShareStats, HostProf, HostProfile, MultiCore, Provenance, SharedStatsReport,
+    Telemetry,
+};
 use cdf_workloads::registry;
 use cdf_workloads::Workload;
 
@@ -56,6 +60,13 @@ pub struct MixConfig {
     /// any core is still short of its retirement target when the shared
     /// clock reaches it.
     pub cycle_budget: u64,
+    /// Attach the host-side self-profiler to every core (`cdf-sim mix
+    /// --profile`): per-core collectors merge into one mix-level
+    /// [`HostProfile`], with the shared-system timers (shared LLC, pooled
+    /// MSHR heaps) drained once from the shared memory system. Like the
+    /// sweep flag, it lives outside [`EvalConfig`] so config hashes are
+    /// unchanged, and it never perturbs measured results.
+    pub profile: bool,
 }
 
 impl MixConfig {
@@ -72,6 +83,7 @@ impl MixConfig {
             mechanisms,
             eval: EvalConfig::default(),
             cycle_budget: 50_000_000,
+            profile: false,
         }
     }
 
@@ -104,6 +116,10 @@ pub struct MixCoreResult {
     /// [`llc_occupancy`](Self::llc_occupancy) as a fraction of total LLC
     /// lines.
     pub llc_occupancy_share: f64,
+    /// The core's telemetry (interval samples, cycle accounting), when
+    /// [`EvalConfig::telemetry`] was set on the mix's sizing. Observation-
+    /// only; serialized into the per-core JSON as a `telemetry` section.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// A finished mix: per-core results plus shared-resource totals.
@@ -119,6 +135,11 @@ pub struct MixReport {
     pub shared: SharedStatsReport,
     /// Per-channel DRAM data-bus utilization (busy cycles / mix cycles).
     pub channel_utilization: Vec<f64>,
+    /// The merged host-side self-profile, when [`MixConfig::profile`] was
+    /// set. Per-core collectors sum soundly because the round-robin driver
+    /// interleaves cores on one host thread (disjoint wall intervals);
+    /// shared-system timers are drained once and folded in.
+    pub profile: Option<HostProfile>,
 }
 
 /// Runs one mix. Workload names resolve through the full registry
@@ -154,8 +175,18 @@ pub fn run_mix(cfg: &MixConfig) -> Result<MixReport, SimError> {
         })
         .collect();
     let mut mc = MultiCore::new(cores);
+    for core in mc.cores_mut() {
+        if let Some(tcfg) = &cfg.eval.telemetry {
+            core.enable_telemetry(tcfg.clone());
+        }
+        if cfg.profile {
+            core.enable_prof();
+        }
+    }
+    let wall_start = cfg.profile.then(std::time::Instant::now);
     let target = cfg.eval.warmup_instructions + cfg.eval.measure_instructions;
     let outcomes = mc.run(target, cfg.cycle_budget);
+    let wall_ns = wall_start.map(|t0| t0.elapsed().as_nanos() as u64);
     for o in &outcomes {
         if !o.stats.halted && o.stats.retired < target {
             return Err(SimError::Watchdog {
@@ -168,10 +199,32 @@ pub fn run_mix(cfg: &MixConfig) -> Result<MixReport, SimError> {
 
     let llc_lines = (cfg.eval.core.mem.llc.capacity_bytes / 64).max(1) as f64;
     let shared = mc.shared_report();
+    let telemetries: Vec<Option<Telemetry>> = mc
+        .cores_mut()
+        .iter_mut()
+        .map(|c| c.take_telemetry())
+        .collect();
+    let profile = wall_ns.map(|wall| {
+        let mut merged = HostProf::new();
+        for core in mc.cores_mut() {
+            if let Some(p) = core.take_prof() {
+                merged.merge(&p);
+            }
+        }
+        // The shared system's timers (shared LLC path, pooled MSHR/MLP
+        // heaps) belong to the whole mix, so they are drained exactly once
+        // here rather than attributed to whichever core asked first.
+        if let Some(m) = mc.shared().borrow_mut().take_prof() {
+            merged.fold_mem(&m);
+        }
+        let retired: u64 = outcomes.iter().map(|o| o.stats.retired).sum();
+        merged.into_profile(shared.cycles, retired, wall)
+    });
     let cores = outcomes
         .iter()
         .enumerate()
-        .map(|(id, o)| {
+        .zip(telemetries)
+        .map(|((id, o), telemetry)| {
             let e = mc.cores()[id].energy_report();
             MixCoreResult {
                 core: id,
@@ -187,6 +240,7 @@ pub fn run_mix(cfg: &MixConfig) -> Result<MixReport, SimError> {
                 share: o.share,
                 llc_occupancy: o.llc_occupancy,
                 llc_occupancy_share: o.llc_occupancy as f64 / llc_lines,
+                telemetry,
             }
         })
         .collect();
@@ -207,6 +261,7 @@ pub fn run_mix(cfg: &MixConfig) -> Result<MixReport, SimError> {
         cores,
         shared,
         channel_utilization,
+        profile,
     })
 }
 
@@ -264,7 +319,7 @@ pub fn mix_json(r: &MixReport) -> Json {
         .cores
         .iter()
         .map(|c| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 field("core", c.core as u64),
                 field("workload", c.workload.as_str()),
                 field("mechanism", c.mechanism.label()),
@@ -281,10 +336,14 @@ pub fn mix_json(r: &MixReport) -> Json {
                         field("llc_occupancy_share", c.llc_occupancy_share),
                     ]),
                 ),
-            ])
+            ];
+            if let Some(t) = &c.telemetry {
+                fields.push(field("telemetry", telemetry_json(t)));
+            }
+            Json::Obj(fields)
         })
         .collect();
-    Json::Obj(vec![
+    let doc = Json::Obj(vec![
         field("schema", schema::MIX),
         field("provenance", provenance_json(&r.provenance)),
         field(
@@ -333,7 +392,28 @@ pub fn mix_json(r: &MixReport) -> Json {
                 ),
             ]),
         ),
-    ])
+    ]);
+    let mut doc = match doc {
+        Json::Obj(fields) => fields,
+        _ => unreachable!(),
+    };
+    if let Some(p) = &r.profile {
+        let composition = mix_composition(r);
+        doc.push(field(
+            "profile",
+            crate::prof::profile_json(p, &composition, "mix"),
+        ));
+    }
+    Json::Obj(doc)
+}
+
+/// The mix's composition label, e.g. `mcf_like:base+stream_hog:base`.
+fn mix_composition(r: &MixReport) -> String {
+    r.cores
+        .iter()
+        .map(|c| format!("{}:{}", c.workload, c.mechanism.label()))
+        .collect::<Vec<_>>()
+        .join("+")
 }
 
 /// The validated essentials of a parsed `cdf-mix/1` document — what CI
@@ -428,13 +508,9 @@ pub fn mix_from_json(doc: &Json) -> Result<MixSummary, String> {
 /// rows; `wall_ms` is 0 so recorded stores are byte-reproducible.
 pub fn records_from_mix(run_id: &str, prov: &Provenance, r: &MixReport) -> Vec<ResultRecord> {
     let config_hash = eval_config_hash(&r.eval);
-    let composition = r
+    let composition = mix_composition(r);
+    let mut records: Vec<ResultRecord> = r
         .cores
-        .iter()
-        .map(|c| format!("{}:{}", c.workload, c.mechanism.label()))
-        .collect::<Vec<_>>()
-        .join("+");
-    r.cores
         .iter()
         .map(|c| ResultRecord {
             run_id: run_id.to_string(),
@@ -456,7 +532,31 @@ pub fn records_from_mix(run_id: &str, prov: &Provenance, r: &MixReport) -> Vec<R
                 telemetry: None,
             },
         })
-        .collect()
+        .collect();
+    // A profiled mix rides one host-perf row along, keyed by the full
+    // composition so compare only joins it against the same experiment.
+    if let Some(p) = &r.profile {
+        records.push(ResultRecord {
+            run_id: run_id.to_string(),
+            seq: records.len() as u64,
+            provenance: prov.clone(),
+            config_hash: config_hash.clone(),
+            gen: Some(r.eval.gen),
+            key: ResultKey {
+                kind: "profile".to_string(),
+                workload: format!("mix[{composition}]"),
+                mechanism: "mix".to_string(),
+                scheduler: r.eval.core.scheduler.as_str().to_string(),
+                mem_model: r.eval.core.mem_model.as_str().to_string(),
+            },
+            wall_ms: 0,
+            payload: RecordPayload::Throughput {
+                simulated_cycles: p.cycles,
+                wall_seconds: p.total_wall_ns as f64 / 1e9,
+            },
+        });
+    }
+    records
 }
 
 #[cfg(test)]
@@ -549,6 +649,49 @@ mod tests {
         for rec in &recs {
             record_json(rec).render(); // serializes as a valid store line
         }
+    }
+
+    #[test]
+    fn telemetry_and_profile_are_observation_only() {
+        let plain_cfg = quick_mix(&["ptr_chase", "stream_hog"], &[Mechanism::Cdf]);
+        let mut obs_cfg = plain_cfg.clone();
+        obs_cfg.eval.telemetry = Some(cdf_core::TelemetryConfig::default());
+        obs_cfg.profile = true;
+        let plain = run_mix(&plain_cfg).expect("mix runs");
+        let obs = run_mix(&obs_cfg).expect("mix runs");
+        for (a, b) in plain.cores.iter().zip(&obs.cores) {
+            assert_eq!(
+                a.measurement, b.measurement,
+                "observers never perturb mix results"
+            );
+        }
+        assert!(plain.cores.iter().all(|c| c.telemetry.is_none()));
+        assert!(plain.profile.is_none());
+        for c in &obs.cores {
+            let t = c.telemetry.as_ref().expect("per-core telemetry collected");
+            assert_eq!(t.accounting.total(), t.observed_cycles());
+        }
+        let p = obs.profile.as_ref().expect("mix profile collected");
+        assert!(p.cycles > 0 && p.retired > 0);
+        assert_eq!(
+            p.tracked_ns() + p.untracked_ns,
+            p.total_wall_ns,
+            "totality invariant holds for merged mix profiles"
+        );
+        let json = mix_json(&obs).render();
+        assert!(
+            json.contains("cdf-telemetry/1"),
+            "per-core telemetry embeds"
+        );
+        assert!(json.contains("cdf-profile/1"), "mix profile embeds");
+        let recs = records_from_mix("r1", &obs.provenance, &obs);
+        assert_eq!(recs.len(), 3, "two cell rows plus one profile row");
+        assert_eq!(recs[2].key.kind, "profile");
+        assert_eq!(recs[2].key.workload, "mix[ptr_chase:CDF+stream_hog:CDF]");
+        assert!(matches!(
+            recs[2].payload,
+            RecordPayload::Throughput { simulated_cycles, .. } if simulated_cycles == p.cycles
+        ));
     }
 
     #[test]

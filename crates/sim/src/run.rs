@@ -2,9 +2,11 @@
 
 use crate::error::{SimError, WatchdogPhase};
 use cdf_core::{
-    CdfConfig, CdfDiagnostics, Core, CoreConfig, CoreMode, PreConfig, Telemetry, TelemetryConfig,
+    CdfConfig, CdfDiagnostics, Core, CoreConfig, CoreMode, HostProfile, PreConfig, Telemetry,
+    TelemetryConfig,
 };
 use cdf_workloads::{registry, GenConfig, Workload};
+use std::time::Instant;
 
 /// Which mechanism to simulate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -304,7 +306,7 @@ pub fn try_simulate_workload_telemetry(
     mechanism: Mechanism,
     cfg: &EvalConfig,
 ) -> Result<(Measurement, Option<Telemetry>), SimError> {
-    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg).map(|(m, t, _)| (m, t))
+    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg, false).map(|(m, t, _, _)| (m, t))
 }
 
 /// Simulates an already-built workload on one mechanism and also returns the
@@ -316,8 +318,46 @@ pub fn try_simulate_workload_diagnostics(
     mechanism: Mechanism,
     cfg: &EvalConfig,
 ) -> Result<(Measurement, Option<CdfDiagnostics>), SimError> {
-    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg).map(|(m, _, d)| (m, d))
+    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg, false).map(|(m, _, d, _)| (m, d))
 }
+
+/// Simulates one named workload on one mechanism with the host-side
+/// self-profiler attached, with typed errors for unknown names and watchdog
+/// expiry. See [`try_simulate_workload_profiled`].
+pub fn try_simulate_profiled(
+    name: &str,
+    mechanism: Mechanism,
+    cfg: &EvalConfig,
+) -> Result<(Measurement, HostProfile), SimError> {
+    let w = registry::lookup(name, &cfg.gen)?;
+    try_simulate_workload_profiled(&w, mechanism, cfg)
+}
+
+/// Simulates an already-built workload on one mechanism with the host-side
+/// self-profiler attached, returning the measurement plus a [`HostProfile`]
+/// attributing the run's wall-clock time to pipeline stages and subsystem
+/// boundaries. The measurement is bit-identical to what
+/// [`try_simulate_workload`] returns — the profiler is observation-only
+/// (asserted by `tests/prof.rs` across every mechanism).
+pub fn try_simulate_workload_profiled(
+    w: &Workload,
+    mechanism: Mechanism,
+    cfg: &EvalConfig,
+) -> Result<(Measurement, HostProfile), SimError> {
+    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg, true).map(|(m, _, _, p)| {
+        let p = p.expect("profiling was requested, so a profile is produced");
+        (m, p)
+    })
+}
+
+/// Everything one simulated window can report: the measurement plus each
+/// optional observer that was attached for the run.
+pub type ObservedRun = (
+    Measurement,
+    Option<Telemetry>,
+    Option<CdfDiagnostics>,
+    Option<HostProfile>,
+);
 
 /// Simulates an already-built workload on one mechanism and returns every
 /// observation layer at once: the measurement, the telemetry (when
@@ -330,22 +370,21 @@ pub fn try_simulate_workload_observed(
     mechanism: Mechanism,
     cfg: &EvalConfig,
 ) -> Result<(Measurement, Option<Telemetry>, Option<CdfDiagnostics>), SimError> {
-    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg)
+    simulate_windows(w, mechanism.mode(), mechanism.label(), cfg, false)
+        .map(|(m, t, d, _)| (m, t, d))
 }
 
 /// Simulates an already-built workload on an explicit [`CoreMode`] and
-/// returns every observation layer, like [`try_simulate_workload_observed`]
-/// — the campaign engine's cell runner, where grid points may override CDF
-/// structure knobs inside the mode. With an unmodified mechanism mode this
-/// is exactly the sweep's code path, so default-point campaign cells are
-/// bit-identical to sweep cells.
-pub fn try_simulate_workload_observed_mode(
+/// returns every observation layer **including** the host profile when
+/// `profile` is set — the sweep/record runner behind `--profile`.
+pub fn try_simulate_workload_observed_profiled(
     w: &Workload,
     mode: CoreMode,
     label: &str,
     cfg: &EvalConfig,
-) -> Result<(Measurement, Option<Telemetry>, Option<CdfDiagnostics>), SimError> {
-    simulate_windows(w, mode, label, cfg)
+    profile: bool,
+) -> Result<ObservedRun, SimError> {
+    simulate_windows(w, mode, label, cfg, profile)
 }
 
 /// Simulates an already-built workload on an explicit [`CoreMode`] with a
@@ -357,7 +396,7 @@ pub fn try_simulate_workload_mode(
     label: &str,
     cfg: &EvalConfig,
 ) -> Result<Measurement, SimError> {
-    simulate_windows(w, mode, label, cfg).map(|(m, _, _)| m)
+    simulate_windows(w, mode, label, cfg, false).map(|(m, _, _, _)| m)
 }
 
 fn simulate_windows(
@@ -365,7 +404,8 @@ fn simulate_windows(
     mode: CoreMode,
     label: &str,
     cfg: &EvalConfig,
-) -> Result<(Measurement, Option<Telemetry>, Option<CdfDiagnostics>), SimError> {
+    profile: bool,
+) -> Result<ObservedRun, SimError> {
     let core_cfg = CoreConfig {
         mode,
         ..cfg.core.clone()
@@ -377,6 +417,10 @@ fn simulate_windows(
     if cfg.diagnostics {
         core.enable_diagnostics();
     }
+    if profile {
+        core.enable_prof();
+    }
+    let wall_start = profile.then(Instant::now);
     let budget = cfg.max_cycles.unwrap_or(u64::MAX);
 
     // Warmup window.
@@ -410,6 +454,7 @@ fn simulate_windows(
     let rob_n = end.rob_non_critical - start.rob_non_critical;
     let telemetry = core.take_telemetry();
     let diagnostics = core.take_diagnostics();
+    let host_profile = wall_start.and_then(|t0| core.take_profile(t0.elapsed().as_nanos() as u64));
     Ok((
         Measurement {
             workload: w.name.to_string(),
@@ -452,6 +497,7 @@ fn simulate_windows(
         },
         telemetry,
         diagnostics,
+        host_profile,
     ))
 }
 

@@ -45,6 +45,12 @@ pub const CAMPAIGN_JOURNAL: &str = "cdf-campaign-journal/1";
 /// Multi-core co-scheduled mix reports (`cdf-sim mix`): per-core
 /// measurements plus shared LLC/MSHR/DRAM contention statistics.
 pub const MIX: &str = "cdf-mix/1";
+/// Host-side self-profiles (`cdf-sim profile`): stage-level wall-clock
+/// attribution, subsystem timers, and host throughput denominators.
+pub const PROFILE: &str = "cdf-profile/1";
+/// A batch of host self-profiles, one per throughput-suite case
+/// (`throughput-gate --profile-out`).
+pub const PROFILE_SET: &str = "cdf-profile-set/1";
 
 /// Every schema tag the workspace emits, for exhaustiveness checks.
 pub const ALL: &[&str] = &[
@@ -62,6 +68,8 @@ pub const ALL: &[&str] = &[
     CAMPAIGN_SPEC,
     CAMPAIGN_JOURNAL,
     MIX,
+    PROFILE,
+    PROFILE_SET,
 ];
 
 /// Checks that `doc` is an object whose `"schema"` field equals `tag`.

@@ -36,7 +36,9 @@ use crate::json::{field, Json};
 use crate::provenance::{provenance_from_json, provenance_json};
 use crate::run::{EvalConfig, Measurement, Mechanism};
 use crate::schema;
-use crate::sweep::{eval_config_hash, measurement_json, parallel_map, run_cell, Sweep, SweepCell};
+use crate::sweep::{
+    eval_config_hash, measurement_json, parallel_map, run_cell, run_cell_profiled, Sweep, SweepCell,
+};
 use cdf_core::{CdfDiagnostics, Coverage, Provenance, Telemetry};
 use cdf_workloads::{registry, GenConfig};
 use std::io::Write as _;
@@ -55,8 +57,9 @@ pub const DEFAULT_STORE_PATH: &str = ".cdf-results/results.jsonl";
 /// classified regression), not as a silently missing cell.
 #[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub struct ResultKey {
-    /// Record kind: `"cell"` (a grid measurement) or `"throughput"` (a
-    /// perf-gate row).
+    /// Record kind: `"cell"` (a grid measurement), `"throughput"` (a
+    /// perf-gate row), or `"profile"` (a host-perf row produced by
+    /// `record --profile`; same wall-tolerant comparison as throughput).
     pub kind: String,
     /// Workload (or throughput-case) name.
     pub workload: String,
@@ -490,6 +493,13 @@ pub struct RecordConfig {
     pub filter: Option<String>,
     /// Store file to append to.
     pub store_path: PathBuf,
+    /// Attach the host-side self-profiler to every cell and append one
+    /// extra `"profile"` record per successful cell (`record --profile`),
+    /// so host-perf regressions are caught by the same `compare` pass that
+    /// guards the simulated stats. Kept out of [`EvalConfig`] so the
+    /// per-cell config hash is unchanged whether or not profiling rode
+    /// along.
+    pub profile: bool,
 }
 
 impl RecordConfig {
@@ -502,6 +512,7 @@ impl RecordConfig {
             threads: 0,
             filter: None,
             store_path: PathBuf::from(DEFAULT_STORE_PATH),
+            profile: false,
         }
     }
 }
@@ -530,7 +541,13 @@ pub fn run_record(cfg: &RecordConfig) -> Result<RecordRun, StoreError> {
             None => true,
         })
         .collect();
-    let cells = parallel_map(&jobs, cfg.threads, |(w, m)| run_cell(w, *m, &cfg.eval));
+    let cells = parallel_map(&jobs, cfg.threads, |(w, m)| {
+        if cfg.profile {
+            run_cell_profiled(w, *m, &cfg.eval)
+        } else {
+            run_cell(w, *m, &cfg.eval)
+        }
+    });
     let store = ResultStore::open(&cfg.store_path);
     let prov = Provenance::capture();
     let run_id = store.reserve_run_id(&prov)?;
@@ -552,7 +569,7 @@ pub fn records_from_cells(
     cells: &[SweepCell],
 ) -> Vec<ResultRecord> {
     let config_hash = eval_config_hash(eval);
-    cells
+    let mut records: Vec<ResultRecord> = cells
         .iter()
         .enumerate()
         .map(|(i, c)| {
@@ -578,7 +595,33 @@ pub fn records_from_cells(
                 payload,
             }
         })
-        .collect()
+        .collect();
+    // Profiled cells append one extra host-perf row each, after the cell
+    // records (so cell seq numbers match the unprofiled layout). The
+    // Throughput payload reuses the compare engine's wall-tolerant
+    // classification: simulated_cycles exact, cycles/sec within tolerance.
+    let mut seq = records.len() as u64;
+    for c in cells {
+        if let Some(p) = &c.profile {
+            let mut key = cell_key(&c.workload, c.mechanism.label(), eval);
+            key.kind = "profile".to_string();
+            records.push(ResultRecord {
+                run_id: run_id.to_string(),
+                seq,
+                provenance: prov.clone(),
+                config_hash: config_hash.clone(),
+                gen: Some(eval.gen),
+                key,
+                wall_ms: c.wall_ms,
+                payload: RecordPayload::Throughput {
+                    simulated_cycles: p.cycles,
+                    wall_seconds: p.total_wall_ns as f64 / 1e9,
+                },
+            });
+            seq += 1;
+        }
+    }
+    records
 }
 
 /// Tees a finished sweep into the store (`cdf-sim sweep --record`).

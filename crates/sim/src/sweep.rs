@@ -20,11 +20,12 @@
 use crate::error::SimError;
 use crate::explain::diagnostics_json;
 use crate::json::{field, Json};
+use crate::prof::profile_json;
 use crate::provenance::provenance_json;
 use crate::report::Table;
 use crate::run::{EvalConfig, Measurement, Mechanism};
 use crate::telemetry::telemetry_json;
-use cdf_core::{CdfDiagnostics, Provenance, Telemetry};
+use cdf_core::{CdfDiagnostics, HostProfile, Provenance, Telemetry};
 use cdf_workloads::registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,6 +46,13 @@ pub struct SweepConfig {
     pub eval: EvalConfig,
     /// Worker threads; `0` means one per available hardware thread.
     pub threads: usize,
+    /// Attach the host-side self-profiler to every cell (`cdf-sim sweep
+    /// --profile`). Observation-only: measurements are bit-identical either
+    /// way, and the flag is deliberately *not* part of [`EvalConfig`] so it
+    /// never perturbs [`eval_config_hash`] (which keys the results store and
+    /// campaign grids). Like `threads`, it is excluded from the sweep's
+    /// config hash.
+    pub profile: bool,
 }
 
 impl SweepConfig {
@@ -59,6 +67,7 @@ impl SweepConfig {
             mechanisms,
             eval,
             threads: 0,
+            profile: false,
         }
     }
 
@@ -92,6 +101,11 @@ pub struct SweepCell {
     /// cell succeeded. Serialized into the cell's JSON record as a
     /// `diagnostics` section (same shape as the `cdf-explain/1` cells).
     pub diagnostics: Option<CdfDiagnostics>,
+    /// The host-side self-profile, when the sweep's
+    /// [`SweepConfig::profile`] was enabled and the cell succeeded.
+    /// Serialized into the cell's JSON record as a `profile` section
+    /// (`cdf-profile/1` shape).
+    pub profile: Option<HostProfile>,
     /// Wall-clock milliseconds this cell took (the one quantity that is
     /// *not* deterministic, and is excluded from equality checks).
     pub wall_ms: u64,
@@ -125,7 +139,7 @@ pub fn run_sweep(config: &SweepConfig) -> Sweep {
         .collect();
     let threads_used = effective_threads(config.threads, jobs.len());
     let cells = parallel_map(&jobs, config.threads, |&(w, m)| {
-        run_cell(w, m, &config.eval)
+        run_cell_inner(w, m, m.mode(), &config.eval, config.profile)
     });
     Sweep {
         config: config.clone(),
@@ -138,7 +152,14 @@ pub fn run_sweep(config: &SweepConfig) -> Sweep {
 
 /// Runs one grid cell, capturing every failure mode as a [`SimError`].
 pub fn run_cell(workload: &str, mechanism: Mechanism, eval: &EvalConfig) -> SweepCell {
-    run_cell_mode(workload, mechanism, mechanism.mode(), eval)
+    run_cell_inner(workload, mechanism, mechanism.mode(), eval, false)
+}
+
+/// [`run_cell`] with the host-side self-profiler attached — the runner
+/// behind `cdf-sim record --profile`. The measurement half of the cell is
+/// bit-identical to [`run_cell`]'s.
+pub fn run_cell_profiled(workload: &str, mechanism: Mechanism, eval: &EvalConfig) -> SweepCell {
+    run_cell_inner(workload, mechanism, mechanism.mode(), eval, true)
 }
 
 /// [`run_cell`] with an explicit [`cdf_core::CoreMode`] — the campaign
@@ -151,15 +172,36 @@ pub fn run_cell_mode(
     mode: cdf_core::CoreMode,
     eval: &EvalConfig,
 ) -> SweepCell {
+    run_cell_inner(workload, mechanism, mode, eval, false)
+}
+
+fn run_cell_inner(
+    workload: &str,
+    mechanism: Mechanism,
+    mode: cdf_core::CoreMode,
+    eval: &EvalConfig,
+    profile: bool,
+) -> SweepCell {
     let t0 = Instant::now();
-    let (result, telemetry, diagnostics) = match registry::lookup(workload, &eval.gen) {
-        Err(e) => (Err(SimError::from(e)), None, None),
+    let (result, telemetry, diagnostics, prof) = match registry::lookup(workload, &eval.gen) {
+        Err(e) => (Err(SimError::from(e)), None, None, None),
         Ok(w) => match catch_unwind(AssertUnwindSafe(|| {
-            crate::run::try_simulate_workload_observed_mode(&w, mode, mechanism.label(), eval)
+            crate::run::try_simulate_workload_observed_profiled(
+                &w,
+                mode,
+                mechanism.label(),
+                eval,
+                profile,
+            )
         })) {
-            Ok(Ok((m, tel, diag))) => (Ok(m), tel, diag),
-            Ok(Err(e)) => (Err(e), None, None),
-            Err(payload) => (Err(SimError::Panicked(panic_message(payload))), None, None),
+            Ok(Ok((m, tel, diag, p))) => (Ok(m), tel, diag, p),
+            Ok(Err(e)) => (Err(e), None, None, None),
+            Err(payload) => (
+                Err(SimError::Panicked(panic_message(payload))),
+                None,
+                None,
+                None,
+            ),
         },
     };
     SweepCell {
@@ -168,6 +210,7 @@ pub fn run_cell_mode(
         result,
         telemetry,
         diagnostics,
+        profile: prof,
         wall_ms: t0.elapsed().as_millis() as u64,
     }
 }
@@ -255,6 +298,7 @@ impl Sweep {
                         },
                     ),
                     field("diagnostics", self.config.eval.diagnostics),
+                    field("profile", self.config.profile),
                 ]),
             ),
             field(
@@ -336,6 +380,12 @@ fn cell_json(c: &SweepCell) -> Json {
                 fields.push(field(
                     "diagnostics",
                     diagnostics_json(d, crate::explain::DEFAULT_CHAIN_LIMIT),
+                ));
+            }
+            if let Some(p) = &c.profile {
+                fields.push(field(
+                    "profile",
+                    profile_json(p, &c.workload, c.mechanism.label()),
                 ));
             }
         }
@@ -551,6 +601,30 @@ mod tests {
         let json = cell_json(&telem).render();
         assert!(json.contains("\"telemetry\""));
         assert!(json.contains("cdf-telemetry/1"));
+    }
+
+    #[test]
+    fn profiled_cells_embed_profile_without_perturbing_results() {
+        let eval = tiny_eval();
+        let plain = run_cell("libq_like", Mechanism::Cdf, &eval);
+        let prof = run_cell_profiled("libq_like", Mechanism::Cdf, &eval);
+        assert_eq!(plain.result, prof.result, "profiling is observation-only");
+        assert!(plain.profile.is_none());
+        let p = prof.profile.as_ref().expect("profiler returned");
+        assert!(p.cycles > 0 && p.total_wall_ns > 0);
+        assert_eq!(
+            p.tracked_ns() + p.untracked_ns,
+            p.total_wall_ns,
+            "totality invariant"
+        );
+        let json = cell_json(&prof).render();
+        assert!(json.contains("\"profile\""));
+        assert!(json.contains("cdf-profile/1"));
+        let mut cfg = SweepConfig::new(["libq_like"], vec![Mechanism::Cdf], eval);
+        cfg.profile = true;
+        let sweep = run_sweep(&cfg);
+        assert!(sweep.cells[0].profile.is_some());
+        assert!(sweep.to_json().render().contains("\"profile\""));
     }
 
     #[test]

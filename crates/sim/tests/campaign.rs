@@ -137,8 +137,8 @@ proptest! {
 
         // Journal id sets equal the grid assignment, with no duplicates.
         let journals = cdf_sim::campaign::read_journals(&c).unwrap();
-        for (shard, records) in &journals {
-            let ids: Vec<u64> = records.iter().map(|r| r.cell).collect();
+        for (shard, journal) in &journals {
+            let ids: Vec<u64> = journal.records.iter().map(|r| r.cell).collect();
             let uniq: BTreeSet<u64> = ids.iter().copied().collect();
             prop_assert_eq!(ids.len(), uniq.len(), "shard {} re-ran a cell", shard);
             let expect: BTreeSet<u64> = c.assigned(&spec.cells(), *shard).into_iter().collect();
@@ -203,7 +203,7 @@ fn campaign_matches_sweep_bit_for_bit_under_sharding() {
         let mut records: Vec<_> = cdf_sim::campaign::read_journals(&c)
             .unwrap()
             .into_iter()
-            .flat_map(|(_, r)| r)
+            .flat_map(|(_, j)| j.records)
             .collect();
         records.sort_by_key(|r| r.cell);
         assert_eq!(records.len(), golden.len());
